@@ -1,0 +1,59 @@
+"""Shared benchmark fixtures.
+
+Every figure/table bench times the experiment that regenerates the paper
+artifact, prints the resulting rows/series, and archives them under
+``benchmarks/results/`` so a run leaves the full set of reproduced tables
+on disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.montage import (
+    montage_1_degree,
+    montage_2_degree,
+    montage_4_degree,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def publish(results_dir):
+    """Print a reproduced table and archive it as results/<name>.txt.
+
+    An optional ``csv`` payload is archived alongside as <name>.csv for
+    replotting.
+    """
+
+    def _publish(name: str, text: str, csv: str | None = None) -> None:
+        print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        if csv is not None:
+            (results_dir / f"{name}.csv").write_text(csv, encoding="utf-8")
+
+    return _publish
+
+
+@pytest.fixture(scope="session")
+def montage1():
+    return montage_1_degree()
+
+
+@pytest.fixture(scope="session")
+def montage2():
+    return montage_2_degree()
+
+
+@pytest.fixture(scope="session")
+def montage4():
+    return montage_4_degree()

@@ -1,0 +1,112 @@
+"""Two more extension benches.
+
+* **Cloud bursting** — the paper's Question-1 scenario as a policy: how
+  much cloud money does a given local cluster size save when a storm of
+  mosaic requests hits, at a fixed response-time objective?
+* **Bandwidth sensitivity** — the paper fixes the user<->storage link at
+  10 Mbps and studies data-intensity through CCR; sweeping the link
+  instead shows the same effect from the infrastructure side (CCR scales
+  inversely with bandwidth).
+"""
+
+import pytest
+
+from repro.core.costs import compute_cost
+from repro.core.plans import ExecutionPlan
+from repro.core.pricing import AWS_2008
+from repro.experiments.report import format_table
+from repro.provisioning.bursting import simulate_bursting
+from repro.service.arrivals import ServiceRequest
+from repro.sim.executor import simulate
+from repro.util.units import HOUR, MBPS, format_duration, format_money
+from repro.workflow.analysis import communication_to_computation_ratio
+
+
+@pytest.mark.benchmark(group="extension")
+def test_bench_bursting_local_capacity(benchmark, montage1, publish):
+    storm = [ServiceRequest(f"r{i}", montage1, 0.0) for i in range(8)]
+    objective = 2.0 * HOUR
+
+    def run():
+        rows = []
+        for local in (1, 2, 4, 8, 16, 32):
+            out = simulate_bursting(storm, local, objective)
+            rows.append(
+                (
+                    local,
+                    out.n_local,
+                    out.n_burst,
+                    out.cloud_cost.total,
+                    out.max_response_time(),
+                )
+            )
+        return rows
+
+    rows = benchmark(run)
+    bursts = [r[2] for r in rows]
+    costs = [r[3] for r in rows]
+    assert bursts == sorted(bursts, reverse=True)  # bigger cluster, fewer
+    assert costs == sorted(costs, reverse=True)
+    assert bursts[-1] == 0  # 32 local processors absorb the whole storm
+    assert bursts[0] > 0
+    publish(
+        "extension_bursting",
+        format_table(
+            ("local procs", "served locally", "burst to cloud",
+             "cloud bill", "worst response"),
+            [
+                (local, n_local, n_burst, format_money(cost),
+                 format_duration(worst))
+                for local, n_local, n_burst, cost, worst in rows
+            ],
+            title="Cloud bursting — eight simultaneous 1-degree requests, "
+            "2-hour objective, 16-processor cloud bursts",
+        ),
+    )
+
+
+@pytest.mark.benchmark(group="extension")
+def test_bench_bandwidth_sensitivity(benchmark, montage1, publish):
+    plan = ExecutionPlan.provisioned(8, "regular")
+
+    def run():
+        rows = []
+        for mbps in (1.0, 10.0, 100.0, 1000.0):
+            bw = mbps * MBPS
+            result = simulate(
+                montage1, 8, "regular",
+                bandwidth_bytes_per_sec=bw, record_trace=False,
+            )
+            cost = compute_cost(result, AWS_2008, plan)
+            rows.append(
+                (
+                    mbps,
+                    communication_to_computation_ratio(montage1, bw),
+                    result.makespan,
+                    cost.total,
+                )
+            )
+        return rows
+
+    rows = benchmark(run)
+    spans = [r[2] for r in rows]
+    totals = [r[3] for r in rows]
+    assert spans == sorted(spans, reverse=True)  # faster link, faster run
+    assert totals == sorted(totals, reverse=True)
+    # CCR at 10 Mbps is the paper's 0.053; inversely proportional.
+    ccr = {round(r[0], 1): r[1] for r in rows}
+    assert ccr[10.0] == pytest.approx(0.053, abs=1e-6)
+    assert ccr[1.0] == pytest.approx(0.53, abs=1e-5)
+    publish(
+        "extension_bandwidth",
+        format_table(
+            ("link Mbps", "CCR", "time", "total $ (8 procs)"),
+            [
+                (f"{mbps:g}", f"{c:.4f}", format_duration(t),
+                 format_money(total))
+                for mbps, c, t, total in rows
+            ],
+            title="Bandwidth sensitivity — Montage 1° provisioned on 8 "
+            "processors",
+        ),
+    )

@@ -1,0 +1,59 @@
+"""Whole-sky campaign bench (Question 3, extended with a schedule).
+
+The paper prices the full-sky computation; this extension also schedules
+it, sweeping pool configurations, and quantifies why pre-staging the
+archive cannot pay for a one-shot campaign (each plate reads its inputs
+once) — hosting needs the sustained traffic of Question 2b.
+"""
+
+import pytest
+
+from repro.experiments.report import format_table
+from repro.montage.campaign import plan_whole_sky_campaign
+from repro.util.units import format_money
+
+
+@pytest.mark.benchmark(group="extension")
+def test_bench_whole_sky_campaign(benchmark, publish):
+    configs = [(16, 1), (16, 4), (16, 16), (64, 16)]
+
+    def run():
+        rows = []
+        for procs, pools in configs:
+            staged = plan_whole_sky_campaign(
+                4.0, processors_per_pool=procs, n_pools=pools
+            )
+            pre = plan_whole_sky_campaign(
+                4.0, processors_per_pool=procs, n_pools=pools,
+                prestage_inputs=True,
+            )
+            rows.append(
+                (procs, pools, staged.duration_months,
+                 staged.total_cost, pre.total_cost)
+            )
+        return rows
+
+    rows = benchmark(run)
+    durations = [r[2] for r in rows]
+    assert durations == sorted(durations, reverse=True)
+    for _, _, _, staged, pre in rows:
+        assert pre > staged  # one-shot campaigns never justify hosting
+    # Compute cost is duration-invariant at fixed pool width (the paper's
+    # core on-demand argument, at campaign scale).
+    same_width = [r for r in rows if r[0] == 16]
+    totals = {round(r[3], 2) for r in same_width}
+    assert len(totals) == 1
+    publish(
+        "extension_whole_sky_campaign",
+        format_table(
+            ("procs/pool", "pools", "duration (months)",
+             "total $ (staged)", "total $ (pre-staged)"),
+            [
+                (procs, pools, f"{months:.1f}", format_money(staged),
+                 format_money(pre))
+                for procs, pools, months, staged, pre in rows
+            ],
+            title="Whole-sky campaign — 3,900 four-degree plates, cleanup "
+            "mode, on-demand accounting",
+        ),
+    )

@@ -1,0 +1,28 @@
+"""Task-clustering ablation (the Pegasus optimization for Montage).
+
+The paper flags Montage's "small computational granularity"; on any real
+scheduler each of its 203 short jobs pays submission latency.  The study
+sweeps that per-job overhead against horizontal cluster factors on 8
+processors: clustering amortizes overhead, and cluster counts that
+mispack the waves onto the pool squander parallelism (factor 5 packs the
+40-wide waves perfectly on 8 processors; factor 8 leaves three idle).
+"""
+
+import pytest
+
+from repro.experiments.ablations import clustering_study
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_bench_ablation_clustering(benchmark, montage1, publish):
+    study = benchmark(clustering_study, montage1)
+    by_factor = {r[0]: r for r in study.raw}
+    # No overhead: clustering can only lose (less parallelism).
+    assert by_factor[5][2] == pytest.approx(by_factor[1][2])
+    assert by_factor[8][2] >= by_factor[1][2]
+    # 10 s and 30 s overhead: the well-packed factor 5 wins.
+    assert by_factor[5][3] < by_factor[1][3]
+    assert by_factor[5][4] < by_factor[1][4]
+    # The mispacked factor 8 loses even with overhead to amortize.
+    assert by_factor[8][3] > by_factor[1][3]
+    publish("ablation_clustering", study.as_table())

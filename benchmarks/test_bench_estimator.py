@@ -1,0 +1,72 @@
+"""Estimator-accuracy bench: closed-form pricing vs full simulation.
+
+Reports, for every Montage workload and pool size, the analytic
+estimate's error against the simulated ground truth — and how much faster
+it is.  The estimate prices a plan from workflow structure alone (exact
+transfer and on-demand CPU components; Graham-bounded makespan).
+"""
+
+import time
+
+import pytest
+
+from repro.core.costs import compute_cost
+from repro.core.estimate import estimate_cost
+from repro.core.plans import ExecutionPlan
+from repro.core.pricing import AWS_2008
+from repro.experiments.report import format_table
+from repro.sim.executor import simulate
+
+
+@pytest.mark.benchmark(group="estimator")
+def test_bench_estimator_accuracy(benchmark, montage1, montage2, montage4, publish):
+    cases = [
+        (wf, p)
+        for wf in (montage1, montage2, montage4)
+        for p in (1, 16, 128)
+    ]
+
+    def run():
+        rows = []
+        for wf, p in cases:
+            plan = ExecutionPlan.provisioned(p, "regular")
+            t0 = time.perf_counter()
+            est = estimate_cost(wf, plan)
+            t_est = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            result = simulate(wf, p, "regular", record_trace=False)
+            t_sim = time.perf_counter() - t0
+            measured = compute_cost(result, AWS_2008, plan)
+            rows.append(
+                (
+                    wf.name,
+                    p,
+                    measured.total,
+                    est.total,
+                    est.total / measured.total - 1.0,
+                    result.makespan,
+                    est.makespan_lower,
+                    est.makespan_upper,
+                    t_sim / max(t_est, 1e-9),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for (_, _, total, est_total, err, makespan, lo, hi, _) in rows:
+        assert lo - 1e-6 <= makespan <= hi + 1e-6  # bounds always hold
+        assert abs(err) < 0.30  # estimate within 30% everywhere
+    publish(
+        "estimator_accuracy",
+        format_table(
+            ("workflow", "procs", "simulated $", "estimated $", "error",
+             "speedup"),
+            [
+                (name, p, f"${total:.3f}", f"${est_total:.3f}",
+                 f"{err:+.1%}", f"{speedup:,.0f}x")
+                for name, p, total, est_total, err, _, _, _, speedup in rows
+            ],
+            title="Analytic estimator vs simulator — provisioned regular "
+            "mode",
+        ),
+    )

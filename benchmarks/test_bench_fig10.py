@@ -1,0 +1,53 @@
+"""Figure 10 — CPU cost versus data-management cost across all workflows.
+
+Each workflow contributes its mode-invariant CPU cost next to the DM
+(storage + transfer) costs of the three execution modes; the paper reads
+off this figure that "the CPU cost is slightly higher than the data
+management costs for the remote I/O execution mode" and that storage-heavy
+modes barely register against CPU.
+"""
+
+import pytest
+
+from repro.experiments.question2a import MODES, run_question2a
+from repro.experiments.report import format_table
+from repro.util.units import format_money
+
+
+def _figure10_rows(results):
+    rows = []
+    for res in results:
+        for mode in MODES:
+            m = res.metrics(mode)
+            rows.append(
+                (
+                    res.workflow_name,
+                    mode,
+                    format_money(m.cpu_cost),
+                    format_money(m.dm_cost),
+                    format_money(m.total_cost),
+                )
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="question2a")
+def test_bench_fig10_cpu_vs_dm(benchmark, montage1, montage2, montage4, publish):
+    def run():
+        return [run_question2a(wf) for wf in (montage1, montage2, montage4)]
+
+    results = benchmark(run)
+    # Paper's Figure 10 anchors.
+    cpu = [r.metrics("regular").cpu_cost for r in results]
+    assert cpu[0] == pytest.approx(0.56, abs=0.01)
+    assert cpu[1] == pytest.approx(2.03, abs=0.01)
+    assert cpu[2] == pytest.approx(8.40, abs=0.01)
+    for res in results:
+        m = res.metrics("remote-io")
+        assert m.cpu_cost > m.dm_cost  # CPU slightly higher than DM
+    table = format_table(
+        ("workflow", "mode", "CPU $", "DM $", "total $"),
+        _figure10_rows(results),
+        title="Figure 10 — CPU and data management costs (on-demand)",
+    )
+    publish("fig10_cpu_vs_dm", table)

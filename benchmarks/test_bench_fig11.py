@@ -1,0 +1,29 @@
+"""Figure 11 — execution costs of Montage 1° with changing CCR.
+
+Rescales the workflow's file sizes across a CCR grid (the paper's
+CCRd/CCRr multiplication) and provisions 8 processors, reproducing the
+figure's series: storage cost with/without cleanup, transfer cost, CPU
+cost and total cost, all increasing with CCR.
+"""
+
+import pytest
+
+from repro.experiments.ccr import run_ccr_sweep
+
+
+@pytest.mark.benchmark(group="ccr")
+def test_bench_fig11_ccr_sweep(benchmark, montage1, publish):
+    result = benchmark(run_ccr_sweep, montage1)
+    pts = result.points
+    for attr in ("cpu_cost", "storage_cost", "transfer_cost", "total_cost",
+                 "makespan"):
+        series = [getattr(p, attr) for p in pts]
+        assert series == sorted(series), f"{attr} must increase with CCR"
+    # Transfers scale linearly with CCR; storage super-linearly.
+    first, last = pts[0], pts[-1]
+    ccr_ratio = last.ccr / first.ccr
+    assert last.transfer_cost / first.transfer_cost == pytest.approx(
+        ccr_ratio, rel=1e-6
+    )
+    assert last.storage_cost / first.storage_cost > ccr_ratio
+    publish("fig11_ccr_sweep", result.as_table(), result.as_csv())

@@ -1,0 +1,50 @@
+"""Figures 4, 5, 6 — execution cost and time versus provisioned processors.
+
+Regenerates every series in the paper's Question 1 figures: CPU cost,
+storage cost with and without cleanup, transfer cost, total cost and
+makespan for P = 1..128 in geometric progression, for the 1°, 2° and 4°
+Montage workflows.
+"""
+
+import pytest
+
+from repro.experiments.question1 import run_question1
+from repro.util.units import HOUR
+
+
+def _check_figure_shape(result):
+    totals = [r.total_cost for r in result.rows]
+    spans = [r.makespan for r in result.rows]
+    # Total cost rises with processors (allowing the <0.2% dips that tail
+    # effects produce at the low end of the 4-degree sweep).
+    for a, b in zip(totals, totals[1:]):
+        assert b >= a * 0.998, "total cost must rise with processors"
+    assert totals[-1] > 1.5 * totals[0]
+    assert spans == sorted(spans, reverse=True), "time must fall"
+
+
+@pytest.mark.benchmark(group="question1")
+def test_bench_fig4_montage_1deg(benchmark, montage1, publish):
+    result = benchmark(run_question1, montage1)
+    _check_figure_shape(result)
+    assert result.row(1).total_cost == pytest.approx(0.60, abs=0.03)
+    publish("fig4_montage_1deg", result.as_table(), result.as_csv())
+
+
+@pytest.mark.benchmark(group="question1")
+def test_bench_fig5_montage_2deg(benchmark, montage2, publish):
+    result = benchmark(run_question1, montage2)
+    _check_figure_shape(result)
+    assert result.row(1).total_cost == pytest.approx(2.25, abs=0.05)
+    assert result.row(128).total_cost < 8.0
+    publish("fig5_montage_2deg", result.as_table(), result.as_csv())
+
+
+@pytest.mark.benchmark(group="question1")
+def test_bench_fig6_montage_4deg(benchmark, montage4, publish):
+    result = benchmark(run_question1, montage4)
+    _check_figure_shape(result)
+    assert result.row(1).total_cost == pytest.approx(9.0, rel=0.04)
+    assert result.row(1).makespan == pytest.approx(85 * HOUR, rel=0.02)
+    assert result.row(16).total_cost == pytest.approx(9.25, rel=0.12)
+    publish("fig6_montage_4deg", result.as_table(), result.as_csv())

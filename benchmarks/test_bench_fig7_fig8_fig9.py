@@ -1,0 +1,44 @@
+"""Figures 7, 8, 9 — data-management metrics per execution mode.
+
+For each Montage workflow at full parallelism: storage GB-hours, bytes
+transferred in/out, and the storage/transfer/total cost split across the
+Remote I/O, Regular and Cleanup modes (paper Section 6, Question 2a).
+"""
+
+import pytest
+
+from repro.experiments.question2a import run_question2a
+
+
+def _check_mode_ordering(result):
+    rem = result.metrics("remote-io")
+    reg = result.metrics("regular")
+    cln = result.metrics("cleanup")
+    # Figure top panel: storage remote < cleanup < regular.
+    assert rem.storage_gb_hours < cln.storage_gb_hours < reg.storage_gb_hours
+    # Middle panel: remote I/O transfers the most; regular == cleanup.
+    assert rem.bytes_in > reg.bytes_in == pytest.approx(cln.bytes_in)
+    assert rem.bytes_out > reg.bytes_out == pytest.approx(cln.bytes_out)
+    # Bottom panel: remote I/O DM cost highest, cleanup lowest.
+    assert rem.dm_cost > reg.dm_cost >= cln.dm_cost
+
+
+@pytest.mark.benchmark(group="question2a")
+def test_bench_fig7_montage_1deg(benchmark, montage1, publish):
+    result = benchmark(run_question2a, montage1)
+    _check_mode_ordering(result)
+    publish("fig7_montage_1deg", result.as_table(), result.as_csv())
+
+
+@pytest.mark.benchmark(group="question2a")
+def test_bench_fig8_montage_2deg(benchmark, montage2, publish):
+    result = benchmark(run_question2a, montage2)
+    _check_mode_ordering(result)
+    publish("fig8_montage_2deg", result.as_table(), result.as_csv())
+
+
+@pytest.mark.benchmark(group="question2a")
+def test_bench_fig9_montage_4deg(benchmark, montage4, publish):
+    result = benchmark(run_question2a, montage4)
+    _check_mode_ordering(result)
+    publish("fig9_montage_4deg", result.as_table(), result.as_csv())

@@ -1,0 +1,38 @@
+"""Questions 2b and 3 — the economics analyses.
+
+Q2b: hosting the 12 TB 2MASS archive ($1,800/month, $1,200 upload) versus
+staging inputs per request; break-even request volume (paper: 18,000/month
+with its rounded $0.10 saving).
+
+Q3: the whole-sky mosaic bill (3,900 4° plates; paper: $34,632 staged /
+$34,145 pre-staged) and the store-vs-recompute horizons (21.52 / 24.25 /
+25.12 months).
+"""
+
+import pytest
+
+from repro.experiments.question2b import run_question2b
+from repro.experiments.question3 import run_question3
+
+
+@pytest.mark.benchmark(group="economics")
+def test_bench_q2b_archive_economics(benchmark, montage2, publish):
+    result = benchmark(run_question2b, montage2)
+    assert result.monthly_storage_cost == pytest.approx(1800.0)
+    assert result.cost_staged == pytest.approx(2.22, abs=0.04)
+    assert result.cost_prestaged == pytest.approx(2.12, abs=0.03)
+    assert 15_000 < result.break_even_requests_per_month < 25_000
+    publish("q2b_archive_economics", result.as_table())
+
+
+@pytest.mark.benchmark(group="economics")
+def test_bench_q3_whole_sky(benchmark, publish):
+    result = benchmark(run_question3)
+    assert result.n_plates == 3900
+    assert result.total_staged == pytest.approx(34632.0, rel=0.04)
+    assert result.total_prestaged == pytest.approx(34145.0, rel=0.02)
+    months = {r.degree: r.months for r in result.store_rows}
+    assert months[1.0] == pytest.approx(21.52, abs=0.2)
+    assert months[2.0] == pytest.approx(24.25, abs=0.2)
+    assert months[4.0] == pytest.approx(25.12, abs=0.2)
+    publish("q3_whole_sky", result.as_table())

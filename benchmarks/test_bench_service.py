@@ -1,0 +1,120 @@
+"""Service-layer benches (extensions of the paper's Question 2 and 3).
+
+* **Pool sizing** — the Question-2 deployment, made operational: a stream
+  of mosaic requests against shared pools of increasing size; reports p95
+  response time, utilization, and the operator's cost per request under
+  pool vs resources-used accounting.
+* **Cache retention** — the Question-3 recommendation, made operational:
+  cost of serving a Zipf-popular request stream under different mosaic
+  retention policies, versus always recomputing.
+"""
+
+import pytest
+
+from repro.experiments.report import format_table
+from repro.montage import montage_1_degree
+from repro.service import (
+    ServiceSimulator,
+    ZipfPopularity,
+    popularity_stream,
+    request_stream,
+    service_economics,
+    sweep_retention,
+    uniform_arrivals,
+)
+from repro.util.units import MB, format_duration, format_money
+
+
+@pytest.mark.benchmark(group="service")
+def test_bench_service_pool_sizing(benchmark, publish):
+    workflow = montage_1_degree()
+    requests = request_stream(uniform_arrivals(10, 120.0), [workflow])
+
+    def run():
+        rows = []
+        for p in (8, 16, 32, 64, 128):
+            result = ServiceSimulator(p, "cleanup").run(requests)
+            eco = service_economics(result)
+            rows.append(
+                (
+                    p,
+                    result.percentile_response_time(95.0),
+                    result.pool_utilization(),
+                    eco.cost_per_request_pool,
+                    eco.cost_per_request_on_demand,
+                )
+            )
+        return rows
+
+    rows = benchmark(run)
+    p95s = [r[1] for r in rows]
+    assert p95s == sorted(p95s, reverse=True)  # bigger pool, faster service
+    # Resources-used cost is pool-size invariant up to the (negligible)
+    # storage-occupancy term, which shrinks as queueing disappears.
+    ond = [r[4] for r in rows]
+    assert max(ond) - min(ond) < 0.001
+    for _, _, util, pool_cost, ond_cost in rows:
+        assert pool_cost >= ond_cost - 1e-9
+        assert 0.0 < util <= 1.0
+    publish(
+        "service_pool_sizing",
+        format_table(
+            ("procs", "p95 response", "utilization", "$/req (pool)",
+             "$/req (on-demand)"),
+            [
+                (
+                    p,
+                    format_duration(p95),
+                    f"{util:.0%}",
+                    format_money(pool_cost),
+                    format_money(ond_cost),
+                )
+                for p, p95, util, pool_cost, ond_cost in rows
+            ],
+            title="Mosaic service pool sizing — ten 1-degree requests, "
+            "one every 2 minutes",
+        ),
+    )
+
+
+@pytest.mark.benchmark(group="service")
+def test_bench_cache_retention(benchmark, publish):
+    mosaic_bytes = 557.9 * MB
+    generation_cost = 2.21  # ~the paper's staged 2-degree request
+    popularity = ZipfPopularity(200, exponent=1.2, seed=2008)
+    stream = popularity_stream(popularity, 150.0, 24.0, seed=2008)
+    grid = [0.0, 1.0, 3.0, 6.0, 12.0, 24.0]
+
+    def run():
+        return sweep_retention(
+            stream, 24.0, grid, generation_cost, mosaic_bytes
+        )
+
+    results = benchmark(run)
+    no_cache = results[0]
+    best = min(results, key=lambda r: r.total_cost)
+    assert best.retention_months > 0  # caching wins for popular traffic
+    assert best.total_cost < no_cache.total_cost
+    hit_rates = [r.hit_rate for r in results]
+    assert hit_rates == sorted(hit_rates)  # longer retention, more hits
+    publish(
+        "service_cache_retention",
+        format_table(
+            ("retention (months)", "hit rate", "compute $", "serve $",
+             "storage $", "total $", "$/request"),
+            [
+                (
+                    f"{r.retention_months:g}",
+                    f"{r.hit_rate:.0%}",
+                    format_money(r.compute_cost),
+                    format_money(r.serve_cost),
+                    format_money(r.storage_cost),
+                    format_money(r.total_cost),
+                    format_money(r.cost_per_request),
+                )
+                for r in results
+            ],
+            title="Mosaic cache retention sweep — Zipf(1.2) traffic over "
+            "200 regions, 150 req/month for 24 months (2-degree mosaics)",
+        ),
+    )

@@ -1,0 +1,46 @@
+"""Simulator micro-benchmarks (the substrate's own performance).
+
+Not a paper experiment: these time the discrete-event engine itself so
+regressions in the hot paths (event loop, dispatch, storage accounting)
+are visible.  The 4-degree workflow pushes ~18k events per run.
+"""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.executor import simulate
+
+
+@pytest.mark.benchmark(group="perf")
+def test_bench_perf_engine_event_throughput(benchmark):
+    def run():
+        engine = SimulationEngine()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 50_000:
+                engine.schedule(1.0, tick)
+
+        engine.schedule(1.0, tick)
+        engine.run()
+        return count
+
+    assert benchmark(run) == 50_000
+
+
+@pytest.mark.benchmark(group="perf")
+def test_bench_perf_montage4_simulation(benchmark, montage4):
+    result = benchmark(
+        simulate, montage4, 128, "cleanup", record_trace=False
+    )
+    assert result.n_task_executions == 3027
+
+
+@pytest.mark.benchmark(group="perf")
+def test_bench_perf_montage4_remote_io(benchmark, montage4):
+    result = benchmark(
+        simulate, montage4, 610, "remote-io", record_trace=False
+    )
+    assert result.n_task_executions == 3027

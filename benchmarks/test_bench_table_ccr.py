@@ -1,0 +1,24 @@
+"""The Section 6 CCR table — 0.053 / 0.053 / 0.045 at 10 Mbps."""
+
+import pytest
+
+from repro.experiments.ccr import ccr_table
+from repro.experiments.report import format_table
+
+
+@pytest.mark.benchmark(group="ccr")
+def test_bench_table_ccr(benchmark, publish):
+    rows = benchmark(ccr_table)
+    values = dict(rows)
+    assert values["montage-1deg"] == pytest.approx(0.053, abs=1e-6)
+    assert values["montage-2deg"] == pytest.approx(0.053, abs=1e-6)
+    assert values["montage-4deg"] == pytest.approx(0.045, abs=1e-6)
+    publish(
+        "table_ccr",
+        format_table(
+            ("workflow", "CCR"),
+            [(name, f"{value:.4f}") for name, value in rows],
+            title="CCR of the Montage workflows at B = 10 Mbps "
+            "(paper: 0.053 / 0.053 / 0.045)",
+        ),
+    )

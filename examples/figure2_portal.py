@@ -1,0 +1,74 @@
+"""The paper's Figure 2, running: a portal serving mosaic requests.
+
+Users ask for named sky regions; the portal checks its mosaic cache,
+generates workflows for the misses on a shared provisioned pool, and
+accounts for every dollar — including what pre-staging the survey inputs
+(Question 2b) and caching popular products (Question 3) save.
+
+Run:  python examples/figure2_portal.py
+"""
+
+from repro.montage.sky import REGION_CATALOG
+from repro.service import MontagePortal
+from repro.util import HOUR, format_duration, format_money
+
+WEEK = 7 * 24 * HOUR
+
+
+def build_request_log(portal: MontagePortal):
+    """Four weeks of traffic: Orion is popular, the rest are one-offs."""
+    log = []
+    t = 0.0
+    for week in range(4):
+        base = week * WEEK
+        log.append(portal.request("orion", 1.0, base))          # every week
+        log.append(portal.request("orion", 1.0, base + 2 * HOUR))
+        if week == 0:
+            log.append(portal.request("m17", 2.0, base + HOUR))
+        if week == 1:
+            log.append(portal.request("m31", 1.0, base + HOUR))
+        if week == 3:
+            log.append(portal.request("galacticcenter", 1.0, base + HOUR))
+    return log
+
+
+def main() -> None:
+    print("Region catalog:",
+          ", ".join(sorted(r.name for r in REGION_CATALOG.values())), "\n")
+
+    configs = {
+        "no cache, staged inputs": MontagePortal(32),
+        "12-month cache": MontagePortal(32, cache_retention_months=12.0),
+        "12-month cache + pre-staged inputs": MontagePortal(
+            32, cache_retention_months=12.0, prestage_inputs=True
+        ),
+    }
+    for label, portal in configs.items():
+        report = portal.serve(build_request_log(portal))
+        print(f"{label}:")
+        print(
+            f"  {report.n_requests} requests, hit rate "
+            f"{report.hit_rate:.0%}, mean response "
+            f"{format_duration(report.mean_response_time())}"
+        )
+        print(
+            f"  total {format_money(report.total_cost)} "
+            f"({format_money(report.cost_per_request)}/request; cache rent "
+            f"{format_money(report.cache_storage_cost)})\n"
+        )
+
+    portal = MontagePortal(32, cache_retention_months=12.0)
+    report = portal.serve(build_request_log(portal))
+    print("Fulfillment log (cached portal):")
+    for f in report.fulfillments:
+        kind = "HIT " if f.cache_hit else "MISS"
+        print(
+            f"  {kind} {f.request.region.name:<14} "
+            f"{f.request.degree:g} deg  at {f.request.arrival_time / WEEK:4.2f} wk"
+            f"  response {format_duration(f.response_time):>9}"
+            f"  {format_money(f.cost)}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: simulate one Montage mosaic request on the cloud and price it.
+
+Builds the paper's Montage 1-degree workflow (203 tasks), runs it through
+the discrete-event simulator on 8 provisioned processors with dynamic
+cleanup, and prints the measured metrics and the Amazon-2008 bill.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import AWS_2008, ExecutionPlan, compute_cost
+from repro.montage import montage_1_degree
+from repro.sim import simulate
+from repro.util import format_bytes, format_duration, format_money
+from repro.workflow import workflow_stats
+
+
+def main() -> None:
+    workflow = montage_1_degree()
+    stats = workflow_stats(workflow)
+    print(f"Workflow: {workflow.name}")
+    print(f"  tasks:           {stats.n_tasks}")
+    print(f"  files:           {stats.n_files} "
+          f"({format_bytes(stats.footprint_bytes)} footprint)")
+    print(f"  total CPU time:  {format_duration(stats.total_runtime)}")
+    print(f"  critical path:   {format_duration(stats.critical_path)}")
+    print(f"  CCR @ 10 Mbps:   {stats.ccr:.3f}")
+    print()
+
+    n_processors = 8
+    result = simulate(workflow, n_processors, data_mode="cleanup")
+    print(f"Simulated on {n_processors} provisioned processors "
+          f"(cleanup mode):")
+    print(f"  makespan:        {format_duration(result.makespan)}")
+    print(f"  data in:         {format_bytes(result.bytes_in)}")
+    print(f"  data out:        {format_bytes(result.bytes_out)}")
+    print(f"  storage used:    {result.storage_gb_hours:.3f} GB-hours")
+    print(f"  CPU utilization: {result.utilization:.0%}")
+    print()
+
+    plan = ExecutionPlan.provisioned(n_processors, "cleanup")
+    cost = compute_cost(result, AWS_2008, plan)
+    print("Bill at Amazon's 2008 rates:")
+    print(f"  CPU       {format_money(cost.cpu_cost)}")
+    print(f"  storage   {format_money(cost.storage_cost)}")
+    print(f"  transfer  {format_money(cost.transfer_cost)}"
+          f"  (in {format_money(cost.transfer_in_cost)},"
+          f" out {format_money(cost.transfer_out_cost)})")
+    print(f"  TOTAL     {format_money(cost.total)}")
+
+
+if __name__ == "__main__":
+    main()

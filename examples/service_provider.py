@@ -1,0 +1,51 @@
+"""Question 2 scenario: run the whole mosaic service from the cloud.
+
+The application provisions a large shared pool (every request runs at full
+parallelism, billed only for what it uses) and must choose a
+data-management strategy.  We compare Remote I/O, Regular and Dynamic
+cleanup on the 2-degree workload (Figures 8 and 10), then ask the paper's
+archive question: at what request volume does hosting the full 12 TB 2MASS
+archive in the cloud pay for its $1,800/month storage bill?
+
+Run:  python examples/service_provider.py
+"""
+
+from repro.experiments import run_question2a, run_question2b
+from repro.montage import montage_2_degree
+from repro.util import format_money
+
+
+def main() -> None:
+    workflow = montage_2_degree()
+    print(f"Service workload: {workflow.name} ({len(workflow)} tasks)\n")
+
+    q2a = run_question2a(workflow)
+    print(q2a.as_table())
+
+    best = min(q2a.by_mode.values(), key=lambda m: m.total_cost)
+    worst = max(q2a.by_mode.values(), key=lambda m: m.total_cost)
+    print(
+        f"\nBest strategy: {best.mode} at {format_money(best.total_cost)} "
+        f"per mosaic ({format_money(worst.total_cost - best.total_cost)} "
+        f"cheaper than {worst.mode})."
+    )
+
+    print("\n--- Should the service host the 2MASS archive in the cloud? ---")
+    q2b = run_question2b(workflow)
+    print(q2b.as_table())
+    be = q2b.break_even_requests_per_month
+    print(
+        f"\nHosting the archive removes the input-staging fee "
+        f"({format_money(q2b.economics.saving_per_request)} per request) "
+        f"but rents {format_money(q2b.monthly_storage_cost)}/month of "
+        f"storage: it pays off above {be:,.0f} mosaics per month."
+    )
+    print(
+        "At 36,000 requests/month the one-time "
+        f"{format_money(q2b.economics.initial_transfer_cost)} upload "
+        f"amortizes in {q2b.economics.amortization_months(36000):.1f} months."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Question 3 scenario: mosaic the entire sky, then decide what to keep.
+
+Computes the paper's large-scale numbers from simulation: the cost of the
+~3,900 four-degree mosaics covering the whole sky (with inputs staged per
+run versus pre-archived in the cloud), and the store-vs-recompute horizon
+for generated mosaics — the paper's "if the same request is likely within
+two years, store it" rule.
+
+Run:  python examples/whole_sky.py
+"""
+
+from repro.experiments import run_question3
+from repro.util import format_money
+
+
+def main() -> None:
+    q3 = run_question3()
+    print(q3.as_table())
+
+    saving = q3.total_staged - q3.total_prestaged
+    print(
+        f"\nPre-archiving the survey inputs saves "
+        f"{format_money(saving)} across the full sky."
+    )
+    for row in q3.store_rows:
+        years = row.months / 12.0
+        print(
+            f"A {row.degree:g}-degree mosaic costs "
+            f"{format_money(row.cpu_cost)} to regenerate; storing its "
+            f"{row.mosaic_bytes / 1e6:.0f} MB costs the same only after "
+            f"{row.months:.1f} months (~{years:.1f} years) -> cache "
+            "popular regions."
+        )
+
+    print("\n--- A 6-degree tiling as an alternative ---")
+    q3_six = run_question3(sky_degree=6.0, store_degrees=())
+    print(
+        f"{q3_six.n_plates} plates of 6 degrees: "
+        f"{format_money(q3_six.total_staged)} staged / "
+        f"{format_money(q3_six.total_prestaged)} pre-staged."
+    )
+
+
+if __name__ == "__main__":
+    main()

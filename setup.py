@@ -1,0 +1,9 @@
+"""Setuptools shim.
+
+This offline environment lacks the `wheel` package, so PEP 517 editable
+installs fail; `pip install -e . --no-build-isolation` falls back to this
+shim via `setup.py develop`.
+"""
+from setuptools import setup
+
+setup()

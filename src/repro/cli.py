@@ -1,0 +1,412 @@
+"""Command-line interface.
+
+Everything the library does, from a shell::
+
+    python -m repro info --degree 1
+    python -m repro simulate --degree 2 --processors 16 --mode cleanup
+    python -m repro sweep --degree 1 --processors 1,8,64
+    python -m repro modes --degree 1
+    python -m repro ccr --degree 1 --values 0.05,0.5,2
+    python -m repro gantt --degree 1 --processors 8
+    python -m repro dax --degree 1 --output montage1.xml
+    python -m repro report [--fast]
+
+Workflows come from the calibrated Montage generator (``--degree``) or
+from a DAX XML file (``--dax``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.costs import compute_cost
+from repro.core.plans import ExecutionPlan
+from repro.core.pricing import AWS_2008
+from repro.experiments.ccr import run_ccr_sweep
+from repro.experiments.question1 import run_question1
+from repro.experiments.question2a import run_question2a
+from repro.experiments.report import format_table
+from repro.montage.generator import montage_workflow
+from repro.sim.executor import simulate
+from repro.sim.trace import gantt_chart, write_trace_files
+from repro.util.units import (
+    MBPS,
+    format_bytes,
+    format_duration,
+    format_money,
+)
+from repro.workflow.analysis import workflow_stats
+from repro.workflow.dag import Workflow
+from repro.workflow.dax import read_dax_file, write_dax_file
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_workflow(args: argparse.Namespace) -> Workflow:
+    if getattr(args, "dax", None):
+        return read_dax_file(args.dax)
+    return montage_workflow(args.degree)
+
+
+def _add_workflow_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--degree", type=float, default=1.0,
+        help="Montage mosaic size in square degrees (default 1.0)",
+    )
+    parser.add_argument(
+        "--dax", type=str, default=None,
+        help="load the workflow from a DAX XML file instead",
+    )
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    wf = _load_workflow(args)
+    st = workflow_stats(wf)
+    rows = [
+        ("name", st.name),
+        ("tasks", st.n_tasks),
+        ("files", st.n_files),
+        ("levels", st.depth),
+        ("total runtime", format_duration(st.total_runtime)),
+        ("critical path", format_duration(st.critical_path)),
+        ("max parallelism", st.max_parallelism),
+        ("data footprint", format_bytes(st.footprint_bytes)),
+        ("input data", format_bytes(st.input_bytes)),
+        ("output data", format_bytes(st.output_bytes)),
+        ("CCR @ 10 Mbps", f"{st.ccr:.4f}"),
+    ]
+    for name, count in sorted(wf.count_by_transformation().items()):
+        rows.append((f"  {name}", count))
+    print(format_table(("property", "value"), rows))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    wf = _load_workflow(args)
+    result = simulate(
+        wf,
+        n_processors=args.processors,
+        data_mode=args.mode,
+        bandwidth_bytes_per_sec=args.bandwidth_mbps * MBPS,
+        storage_capacity_bytes=(
+            args.storage_capacity_gb * 1e9
+            if args.storage_capacity_gb is not None
+            else None
+        ),
+        compute_ready_seconds=args.boot_seconds,
+        link_contention=args.contended,
+        record_trace=args.trace_dir is not None,
+    )
+    plan = (
+        ExecutionPlan.on_demand(args.processors, args.mode)
+        if args.on_demand
+        else ExecutionPlan.provisioned(args.processors, args.mode)
+    )
+    cost = compute_cost(result, AWS_2008, plan)
+    print(
+        format_table(
+            ("metric", "value"),
+            [
+                ("workflow", result.workflow_name),
+                ("processors", result.n_processors),
+                ("data mode", result.data_mode),
+                ("billing", plan.provisioning.value),
+                ("makespan", format_duration(result.makespan)),
+                ("data in", format_bytes(result.bytes_in)),
+                ("data out", format_bytes(result.bytes_out)),
+                ("storage", f"{result.storage_gb_hours:.4f} GB-h"),
+                ("utilization", f"{result.utilization:.0%}"),
+                ("CPU cost", format_money(cost.cpu_cost)),
+                ("storage cost", format_money(cost.storage_cost)),
+                ("transfer cost", format_money(cost.transfer_cost)),
+                ("TOTAL", format_money(cost.total)),
+            ],
+        )
+    )
+    if args.trace_dir is not None:
+        paths = write_trace_files(result, args.trace_dir)
+        print(f"\ntrace written: {', '.join(str(p) for p in paths)}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    wf = _load_workflow(args)
+    processors = (
+        [int(p) for p in args.processors.split(",")]
+        if args.processors
+        else None
+    )
+    print(run_question1(wf, processors=processors).as_table())
+    return 0
+
+
+def _cmd_modes(args: argparse.Namespace) -> int:
+    wf = _load_workflow(args)
+    print(run_question2a(wf).as_table())
+    return 0
+
+
+def _cmd_ccr(args: argparse.Namespace) -> int:
+    wf = _load_workflow(args)
+    values = (
+        tuple(float(v) for v in args.values.split(","))
+        if args.values
+        else None
+    )
+    kwargs = {"n_processors": args.processors}
+    if values:
+        kwargs["ccr_values"] = values
+    print(run_ccr_sweep(wf, **kwargs).as_table())
+    return 0
+
+
+def _cmd_gantt(args: argparse.Namespace) -> int:
+    wf = _load_workflow(args)
+    result = simulate(wf, args.processors, args.mode)
+    print(gantt_chart(result, width=args.width))
+    return 0
+
+
+def _cmd_dax(args: argparse.Namespace) -> int:
+    wf = _load_workflow(args)
+    path = write_dax_file(wf, args.output)
+    print(f"wrote {len(wf)} tasks to {path}")
+    return 0
+
+
+def _cmd_dataflow(args: argparse.Namespace) -> int:
+    from repro.util.units import MB
+    from repro.workflow.dataflow import (
+        level_data_volumes,
+        predict_transfers,
+        reuse_factor,
+        transfer_multiplicity,
+    )
+
+    wf = _load_workflow(args)
+    print(f"Data-flow analysis — {wf.name}")
+    print(f"reuse factor (remote-I/O amplification): {reuse_factor(wf):.2f}\n")
+    print(
+        format_table(
+            ("mode", "bytes in", "bytes out", "transfers in", "transfers out"),
+            [
+                (
+                    mode,
+                    format_bytes(p.bytes_in),
+                    format_bytes(p.bytes_out),
+                    p.n_transfers_in,
+                    p.n_transfers_out,
+                )
+                for mode in ("regular", "cleanup", "remote-io")
+                for p in (predict_transfers(wf, mode),)
+            ],
+            title="Exact transfer totals (static prediction)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ("consumers", "files"),
+            sorted(transfer_multiplicity(wf).items()),
+            title="File fan-out (how often remote I/O re-transfers)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ("level", "data produced (MB)"),
+            [
+                (lv, f"{v / MB:.1f}")
+                for lv, v in sorted(level_data_volumes(wf).items())
+            ],
+            title="Data volume per workflow level (0 = initial inputs)",
+        )
+    )
+    return 0
+
+
+def _cmd_plot(args: argparse.Namespace) -> int:
+    from repro.experiments.plots import ascii_bars, ascii_chart
+    from repro.experiments.question2a import MODES
+
+    wf = _load_workflow(args)
+    if args.figure == "q1":
+        processors = [1, 2, 4, 8, 16, 32, 64, 128]
+        q1 = run_question1(wf, processors=processors)
+        print(
+            ascii_chart(
+                processors,
+                {
+                    "total $": [r.total_cost for r in q1.rows],
+                    "CPU $": [r.cpu_cost for r in q1.rows],
+                    "transfer $": [r.transfer_cost for r in q1.rows],
+                    "storage $": [r.storage_cost for r in q1.rows],
+                },
+                log_y=True,
+                title=f"Execution costs vs processors — {wf.name} "
+                "(log scale, as in the paper)",
+            )
+        )
+        print()
+        print(
+            ascii_chart(
+                processors,
+                {"makespan (h)": [r.makespan / 3600.0 for r in q1.rows]},
+                title="Execution time vs processors",
+            )
+        )
+    else:  # modes
+        q2a = run_question2a(wf)
+        print(
+            ascii_bars(
+                [
+                    (m, q2a.metrics(m).storage_gb_hours)
+                    for m in MODES
+                ],
+                title=f"Storage used — {wf.name}",
+                unit=" GB-h",
+            )
+        )
+        print()
+        print(
+            ascii_bars(
+                [
+                    (f"{m} in", q2a.metrics(m).bytes_in / 1e6)
+                    for m in MODES
+                ]
+                + [
+                    (f"{m} out", q2a.metrics(m).bytes_out / 1e6)
+                    for m in MODES
+                ],
+                title="Data transferred",
+                unit=" MB",
+            )
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    # Imported lazily: the runner pulls in every experiment.
+    from repro.experiments.runner import run_all
+
+    run_all(fast=args.fast, stream=sys.stdout)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Cloud cost/performance analysis for science workflows "
+            "(reproduction of Deelman et al., SC 2008)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="workflow structure and aggregates")
+    _add_workflow_options(p)
+    p.set_defaults(handler=_cmd_info)
+
+    p = sub.add_parser("simulate", help="simulate and price one execution")
+    _add_workflow_options(p)
+    p.add_argument("--processors", type=int, default=8)
+    p.add_argument(
+        "--mode", choices=["remote-io", "regular", "cleanup"],
+        default="regular",
+    )
+    p.add_argument("--bandwidth-mbps", type=float, default=10.0)
+    p.add_argument(
+        "--storage-capacity-gb", type=float, default=None,
+        help="finite cloud-storage capacity (default: unlimited)",
+    )
+    p.add_argument(
+        "--boot-seconds", type=float, default=0.0,
+        help="VM boot delay before processors become usable",
+    )
+    p.add_argument(
+        "--contended", action="store_true",
+        help="FIFO-serialize the link instead of GridSim-style dedicated",
+    )
+    p.add_argument(
+        "--on-demand", action="store_true",
+        help="bill resources used instead of the provisioned pool",
+    )
+    p.add_argument(
+        "--trace-dir", type=str, default=None,
+        help="write tasks/transfers/storage CSVs to this directory",
+    )
+    p.set_defaults(handler=_cmd_simulate)
+
+    p = sub.add_parser("sweep", help="Figure 4/5/6: cost & time vs pool size")
+    _add_workflow_options(p)
+    p.add_argument(
+        "--processors", type=str, default=None,
+        help="comma-separated pool sizes (default: 1,2,...,128)",
+    )
+    p.set_defaults(handler=_cmd_sweep)
+
+    p = sub.add_parser(
+        "modes", help="Figure 7/8/9: compare data-management modes"
+    )
+    _add_workflow_options(p)
+    p.set_defaults(handler=_cmd_modes)
+
+    p = sub.add_parser("ccr", help="Figure 11: cost vs CCR")
+    _add_workflow_options(p)
+    p.add_argument("--values", type=str, default=None,
+                   help="comma-separated CCR values")
+    p.add_argument("--processors", type=int, default=8)
+    p.set_defaults(handler=_cmd_ccr)
+
+    p = sub.add_parser("gantt", help="text Gantt chart of one execution")
+    _add_workflow_options(p)
+    p.add_argument("--processors", type=int, default=8)
+    p.add_argument(
+        "--mode", choices=["remote-io", "regular", "cleanup"],
+        default="regular",
+    )
+    p.add_argument("--width", type=int, default=72)
+    p.set_defaults(handler=_cmd_gantt)
+
+    p = sub.add_parser("dax", help="write the workflow as DAX XML")
+    _add_workflow_options(p)
+    p.add_argument("--output", type=str, required=True)
+    p.set_defaults(handler=_cmd_dax)
+
+    p = sub.add_parser(
+        "dataflow", help="static data-flow analysis (transfers, fan-out)"
+    )
+    _add_workflow_options(p)
+    p.set_defaults(handler=_cmd_dataflow)
+
+    p = sub.add_parser("plot", help="ASCII rendering of a paper figure")
+    _add_workflow_options(p)
+    p.add_argument(
+        "--figure", choices=["q1", "modes"], default="q1",
+        help="q1: Figures 4-6 curves; modes: Figures 7-9 bars",
+    )
+    p.set_defaults(handler=_cmd_plot)
+
+    p = sub.add_parser("report", help="full paper-comparison report")
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(handler=_cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,101 @@
+"""Turning simulated metrics into dollars.
+
+The bridge between :class:`repro.sim.SimulationResult` (bytes moved,
+byte-seconds stored, seconds computed) and a
+:class:`repro.core.pricing.PricingModel`, under a given
+:class:`repro.core.plans.ExecutionPlan`:
+
+* CPU — PROVISIONED bills ``n_processors x (makespan + VM overhead)``;
+  ON_DEMAND bills the pure compute seconds (invariant across data modes,
+  as in the paper's Figure 10);
+* storage — the occupancy integral (the paper's GB-hours curve area);
+* transfers — bytes in and out at their respective rates.
+
+The paper's "total cost" in Figures 4-6 is CPU + storage + transfers for
+the provisioned plan; its "DM (data management) cost" in Figure 10 is
+storage + transfers under the on-demand plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.plans import ExecutionPlan, ProvisioningMode
+from repro.core.pricing import PricingModel
+from repro.sim.results import SimulationResult
+
+__all__ = ["CostBreakdown", "compute_cost"]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Dollar cost of one execution, itemized as in the paper's figures."""
+
+    cpu_cost: float
+    storage_cost: float
+    transfer_in_cost: float
+    transfer_out_cost: float
+    vm_fixed_cost: float = 0.0
+
+    @property
+    def transfer_cost(self) -> float:
+        """Total transfer fees (in + out)."""
+        return self.transfer_in_cost + self.transfer_out_cost
+
+    @property
+    def data_management_cost(self) -> float:
+        """Storage + transfers: the paper's "DM" cost in Figure 10."""
+        return self.storage_cost + self.transfer_cost
+
+    @property
+    def total(self) -> float:
+        """Everything, the paper's "Total Cost" series."""
+        return (
+            self.cpu_cost
+            + self.storage_cost
+            + self.transfer_cost
+            + self.vm_fixed_cost
+        )
+
+    def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
+        return CostBreakdown(
+            cpu_cost=self.cpu_cost + other.cpu_cost,
+            storage_cost=self.storage_cost + other.storage_cost,
+            transfer_in_cost=self.transfer_in_cost + other.transfer_in_cost,
+            transfer_out_cost=self.transfer_out_cost + other.transfer_out_cost,
+            vm_fixed_cost=self.vm_fixed_cost + other.vm_fixed_cost,
+        )
+
+    def scaled(self, factor: float) -> "CostBreakdown":
+        """Cost of ``factor`` identical executions (e.g. 3,900 mosaics)."""
+        return CostBreakdown(
+            cpu_cost=self.cpu_cost * factor,
+            storage_cost=self.storage_cost * factor,
+            transfer_in_cost=self.transfer_in_cost * factor,
+            transfer_out_cost=self.transfer_out_cost * factor,
+            vm_fixed_cost=self.vm_fixed_cost * factor,
+        )
+
+
+def compute_cost(
+    result: SimulationResult,
+    pricing: PricingModel,
+    plan: ExecutionPlan,
+) -> CostBreakdown:
+    """Price one simulated execution under a plan and a fee structure."""
+    if plan.provisioning is ProvisioningMode.PROVISIONED:
+        held_seconds = plan.n_processors * (
+            result.makespan + plan.vm_overhead.total_seconds
+        )
+        cpu = pricing.cpu_cost(held_seconds, n_instances=plan.n_processors)
+        vm_fixed = plan.vm_overhead.fixed_cost_per_vm * plan.n_processors
+    else:
+        cpu = pricing.cpu_cost(result.compute_seconds)
+        vm_fixed = 0.0
+    return CostBreakdown(
+        cpu_cost=cpu,
+        storage_cost=pricing.storage_cost(result.storage_byte_seconds),
+        transfer_in_cost=pricing.transfer_in_cost(result.bytes_in),
+        transfer_out_cost=pricing.transfer_out_cost(result.bytes_out),
+        vm_fixed_cost=vm_fixed,
+    )

@@ -1,0 +1,133 @@
+"""Closed-form economics of Questions 2b and 3.
+
+Question 2b — *Cost of running and storing data on the cloud*: hosting the
+12 TB 2MASS archive costs $1,800/month at $0.15/GB-month.  With the data
+pre-staged a 2° mosaic costs $2.12; staging its inputs from outside raises
+that to $2.22, so hosting pays for itself at
+``$1,800 / ($2.22 - $2.12) = 18,000`` mosaics per month.  The one-time
+upload of the archive adds $1,200 at $0.10/GB.
+
+Question 3 — *Cost of large-scale science*: the full sky is ~3,900
+4°-mosaics, $8.88 each in regular mode → ~$34,632 (or $8.75 pre-staged →
+~$34,145).  And a generated mosaic is worth archiving if a repeat request
+is likely within ``CPU cost / (size x storage rate)`` months: 21.5 / 24.25
+/ 25.1 months for the 1° / 2° / 4° mosaics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.costs import CostBreakdown
+from repro.core.pricing import PricingModel
+
+__all__ = [
+    "ArchiveEconomics",
+    "archive_economics",
+    "store_vs_recompute_months",
+    "full_sky_cost",
+    "FullSkyCost",
+]
+
+
+@dataclass(frozen=True)
+class ArchiveEconomics:
+    """Break-even analysis for hosting an input archive in the cloud."""
+
+    archive_bytes: float
+    monthly_storage_cost: float
+    initial_transfer_cost: float
+    cost_per_request_staged: float
+    cost_per_request_prestaged: float
+
+    @property
+    def saving_per_request(self) -> float:
+        """Transfer fee avoided per request when inputs are resident."""
+        return self.cost_per_request_staged - self.cost_per_request_prestaged
+
+    @property
+    def break_even_requests_per_month(self) -> float:
+        """Requests/month above which hosting the archive is cheaper.
+
+        Infinite when resident inputs save nothing.
+        """
+        saving = self.saving_per_request
+        if saving <= 0:
+            return math.inf
+        return self.monthly_storage_cost / saving
+
+    def amortization_months(self, requests_per_month: float) -> float:
+        """Months to recoup the initial upload at a given request volume.
+
+        Only the *net* monthly saving (transfer savings minus storage rent)
+        can pay back the upload; below break-even this is infinite.
+        """
+        if requests_per_month < 0:
+            raise ValueError("requests_per_month must be non-negative")
+        net_monthly = (
+            self.saving_per_request * requests_per_month
+            - self.monthly_storage_cost
+        )
+        if net_monthly <= 0:
+            return math.inf
+        return self.initial_transfer_cost / net_monthly
+
+
+def archive_economics(
+    archive_bytes: float,
+    cost_per_request_staged: float,
+    cost_per_request_prestaged: float,
+    pricing: PricingModel,
+) -> ArchiveEconomics:
+    """Question 2b: evaluate hosting an input archive in the cloud."""
+    if archive_bytes < 0:
+        raise ValueError(f"negative archive size {archive_bytes}")
+    return ArchiveEconomics(
+        archive_bytes=archive_bytes,
+        monthly_storage_cost=pricing.monthly_storage_cost(archive_bytes),
+        initial_transfer_cost=pricing.transfer_in_cost(archive_bytes),
+        cost_per_request_staged=cost_per_request_staged,
+        cost_per_request_prestaged=cost_per_request_prestaged,
+    )
+
+
+def store_vs_recompute_months(
+    compute_cost: float,
+    artifact_bytes: float,
+    pricing: PricingModel,
+) -> float:
+    """Months a product can be archived for its (re)computation cost.
+
+    The paper's rule of thumb (Question 3): if the same mosaic is likely to
+    be requested again within this horizon, storing it beats recomputing
+    it.  Infinite for zero-size artifacts.
+    """
+    if compute_cost < 0:
+        raise ValueError(f"negative compute cost {compute_cost}")
+    monthly = pricing.monthly_storage_cost(artifact_bytes)
+    if monthly == 0:
+        return math.inf
+    return compute_cost / monthly
+
+
+@dataclass(frozen=True)
+class FullSkyCost:
+    """Question 3: the whole-sky mosaic bill."""
+
+    n_plates: int
+    cost_per_plate: CostBreakdown
+    total: CostBreakdown
+
+
+def full_sky_cost(
+    n_plates: int, cost_per_plate: CostBreakdown
+) -> FullSkyCost:
+    """Total cost of mosaicking the entire sky from per-plate cost."""
+    if n_plates < 0:
+        raise ValueError(f"negative plate count {n_plates}")
+    return FullSkyCost(
+        n_plates=n_plates,
+        cost_per_plate=cost_per_plate,
+        total=cost_per_plate.scaled(float(n_plates)),
+    )

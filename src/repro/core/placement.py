@@ -1,0 +1,116 @@
+"""Data-placement optimization: which datasets belong in the cloud?
+
+Question 2b decides for a single archive (2MASS) at a single request
+volume.  A real service holds many datasets with different sizes and
+popularities — the paper suggests exactly this: "A possibly better
+solution is to pre-stage some popular data sets.  This would require
+application developers to analyze their request patterns."
+
+Hosting decisions are independent per dataset under the paper's cost
+model, so the optimum is a per-dataset threshold test: host a dataset iff
+its monthly transfer saving exceeds its monthly storage rent,
+
+    requests_per_month x transfer_in_cost(bytes_per_request)
+        >  monthly_storage_cost(dataset_bytes),
+
+with the one-time upload amortized over a caller-chosen horizon when
+requested.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.pricing import AWS_2008, PricingModel
+
+__all__ = ["DatasetProfile", "PlacementDecision", "optimize_placement"]
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """One hostable input dataset and its demand."""
+
+    name: str
+    dataset_bytes: float
+    #: bytes staged in per request when the dataset is NOT hosted
+    bytes_per_request: float
+    requests_per_month: float
+
+    def __post_init__(self) -> None:
+        if self.dataset_bytes < 0:
+            raise ValueError(f"negative dataset size for {self.name!r}")
+        if self.bytes_per_request < 0:
+            raise ValueError(f"negative request volume for {self.name!r}")
+        if self.requests_per_month < 0:
+            raise ValueError(f"negative request rate for {self.name!r}")
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """The hosting verdict for one dataset."""
+
+    dataset: DatasetProfile
+    host: bool
+    monthly_storage_cost: float
+    monthly_transfer_saving: float
+    per_request_saving: float
+    upload_cost: float
+
+    @property
+    def monthly_net_saving(self) -> float:
+        """Positive when hosting is cheaper, ignoring the upload."""
+        return self.monthly_transfer_saving - self.monthly_storage_cost
+
+    @property
+    def payback_months(self) -> float:
+        """Months for the net saving to recoup the one-time upload."""
+        net = self.monthly_net_saving
+        if net <= 0:
+            return math.inf
+        return self.upload_cost / net
+
+    @property
+    def break_even_requests_per_month(self) -> float:
+        """Demand above which hosting this dataset pays."""
+        if self.per_request_saving <= 0:
+            return math.inf
+        return self.monthly_storage_cost / self.per_request_saving
+
+
+def optimize_placement(
+    datasets: list[DatasetProfile],
+    pricing: PricingModel = AWS_2008,
+    amortization_horizon_months: float | None = None,
+) -> list[PlacementDecision]:
+    """Decide hosting per dataset (independent threshold tests).
+
+    Without a horizon, the steady-state rule applies (host iff the
+    monthly transfer saving beats the storage rent).  With a horizon, the
+    one-time upload must additionally pay back within it.
+    """
+    if amortization_horizon_months is not None and (
+        amortization_horizon_months <= 0
+    ):
+        raise ValueError("amortization horizon must be positive")
+    decisions = []
+    for ds in datasets:
+        storage = pricing.monthly_storage_cost(ds.dataset_bytes)
+        per_request = pricing.transfer_in_cost(ds.bytes_per_request)
+        saving = ds.requests_per_month * per_request
+        upload = pricing.transfer_in_cost(ds.dataset_bytes)
+        host = saving > storage
+        if host and amortization_horizon_months is not None:
+            net = saving - storage
+            host = net * amortization_horizon_months >= upload
+        decisions.append(
+            PlacementDecision(
+                dataset=ds,
+                host=host,
+                monthly_storage_cost=storage,
+                monthly_transfer_saving=saving,
+                per_request_saving=per_request,
+                upload_cost=upload,
+            )
+        )
+    return decisions

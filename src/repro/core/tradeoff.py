@@ -1,0 +1,101 @@
+"""Cost/performance sweeps and the Pareto view of Question 1.
+
+The paper's Figures 4-6 sweep the provisioned processor count from 1 to
+128 "in a geometric progression" and plot every cost component plus the
+makespan.  :func:`processor_sweep` produces those series;
+:func:`pareto_frontier` extracts the provisioning choices a rational user
+would actually pick (no other point is both cheaper and faster) — the
+paper's 16-processor example for the 4° workflow is such a compromise
+point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.costs import CostBreakdown, compute_cost
+from repro.core.plans import ExecutionPlan, VMOverhead, NO_OVERHEAD
+from repro.core.pricing import AWS_2008, PricingModel
+from repro.sim.datamanager import DataMode
+from repro.sim.executor import DEFAULT_BANDWIDTH, simulate
+from repro.sim.results import SimulationResult
+from repro.workflow.dag import Workflow
+
+__all__ = [
+    "SweepPoint",
+    "processor_sweep",
+    "geometric_processors",
+    "pareto_frontier",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One provisioning choice: P processors, its metrics and its price."""
+
+    n_processors: int
+    result: SimulationResult
+    cost: CostBreakdown
+
+    @property
+    def makespan(self) -> float:
+        return self.result.makespan
+
+    @property
+    def total_cost(self) -> float:
+        return self.cost.total
+
+
+def geometric_processors(max_processors: int = 128) -> list[int]:
+    """The paper's processor counts: 1, 2, 4, ... up to the maximum."""
+    if max_processors < 1:
+        raise ValueError(f"max_processors must be >= 1, got {max_processors}")
+    out = []
+    p = 1
+    while p <= max_processors:
+        out.append(p)
+        p *= 2
+    return out
+
+
+def processor_sweep(
+    workflow: Workflow,
+    processors: list[int] | None = None,
+    data_mode: DataMode | str = DataMode.REGULAR,
+    pricing: PricingModel = AWS_2008,
+    bandwidth_bytes_per_sec: float = DEFAULT_BANDWIDTH,
+    vm_overhead: VMOverhead = NO_OVERHEAD,
+    record_trace: bool = False,
+) -> list[SweepPoint]:
+    """Simulate and price a workflow across provisioned pool sizes.
+
+    This is the computation behind Figures 4, 5 and 6.
+    """
+    pts = []
+    for p in processors if processors is not None else geometric_processors():
+        result = simulate(
+            workflow,
+            n_processors=p,
+            data_mode=data_mode,
+            bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
+            record_trace=record_trace,
+        )
+        plan = ExecutionPlan.provisioned(p, data_mode, vm_overhead)
+        pts.append(SweepPoint(p, result, compute_cost(result, pricing, plan)))
+    return pts
+
+
+def pareto_frontier(points: list[SweepPoint]) -> list[SweepPoint]:
+    """Points not dominated in (total cost, makespan), sorted by cost.
+
+    A point dominates another when it is at least as cheap *and* at least
+    as fast, and strictly better in one dimension.
+    """
+    ordered = sorted(points, key=lambda s: (s.total_cost, s.makespan))
+    frontier: list[SweepPoint] = []
+    best_makespan = float("inf")
+    for pt in ordered:
+        if pt.makespan < best_makespan:
+            frontier.append(pt)
+            best_makespan = pt.makespan
+    return frontier

@@ -1,0 +1,347 @@
+"""Ablation and sensitivity studies, as callable API.
+
+Each study relaxes one idealization of the paper (or exercises one of its
+future-work items / references) and returns structured rows plus a
+rendered table; the benchmark suite asserts their shapes and archives the
+tables, and ``python -m repro.experiments.runner --extensions`` prints
+them all.
+
+Studies
+-------
+- :func:`billing_granularity_study` — per-second vs instance-hour billing;
+- :func:`vm_overhead_study` — startup/teardown billing vs pool width;
+- :func:`fee_sensitivity_study` — mode ranking across fee structures
+  (the paper's "Remote I/O could win" remark);
+- :func:`link_contention_study` — GridSim dedicated vs FIFO link;
+- :func:`failure_study` — retry cost of per-task failures;
+- :func:`scheduler_study` — ready-queue ordering robustness;
+- :func:`storage_capacity_study` — finite storage admission control;
+- :func:`clustering_study` — horizontal clustering vs job overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.costs import compute_cost
+from repro.core.plans import ExecutionPlan, VMOverhead
+from repro.core.pricing import AWS_2008, STORAGE_HEAVY, PricingModel
+from repro.experiments.question2a import MODES, run_question2a
+from repro.experiments.report import format_table
+from repro.sim.executor import simulate
+from repro.sim.failures import FailureModel
+from repro.sim.scheduler import ALL_ORDERINGS
+from repro.util.units import (
+    GB,
+    format_bytes,
+    format_duration,
+    format_money,
+)
+from repro.workflow.clustering import cluster_workflow
+from repro.workflow.dag import Workflow
+
+__all__ = [
+    "billing_granularity_study",
+    "vm_overhead_study",
+    "fee_sensitivity_study",
+    "link_contention_study",
+    "failure_study",
+    "scheduler_study",
+    "storage_capacity_study",
+    "clustering_study",
+    "all_studies",
+]
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """One study's structured rows and presentation."""
+
+    name: str
+    title: str
+    headers: tuple[str, ...]
+    rows: list[tuple]
+    #: machine-readable rows, study-specific
+    raw: list
+
+    def as_table(self) -> str:
+        return format_table(self.headers, self.rows, title=self.title)
+
+
+def billing_granularity_study(
+    workflow: Workflow,
+    processors: tuple[int, ...] = (1, 8, 32, 128),
+    pricing: PricingModel = AWS_2008,
+) -> StudyResult:
+    """Continuous vs instance-hour CPU billing across pool widths."""
+    hourly = pricing.with_quantum(cpu_quantum_seconds=3600.0)
+    raw = []
+    for p in processors:
+        result = simulate(workflow, p, record_trace=False)
+        plan = ExecutionPlan.provisioned(p)
+        raw.append(
+            (
+                p,
+                result.makespan,
+                compute_cost(result, pricing, plan).total,
+                compute_cost(result, hourly, plan).total,
+            )
+        )
+    return StudyResult(
+        name="billing-granularity",
+        title=f"Billing-granularity ablation — {workflow.name}, provisioned",
+        headers=("procs", "time", "per-second $", "per-hour $", "inflation"),
+        rows=[
+            (p, format_duration(t), format_money(c), format_money(q),
+             f"{q / c:.2f}x")
+            for p, t, c, q in raw
+        ],
+        raw=raw,
+    )
+
+
+def vm_overhead_study(
+    workflow: Workflow,
+    processors: tuple[int, ...] = (1, 8, 32, 128),
+    overhead: VMOverhead = VMOverhead(startup_seconds=120.0,
+                                      teardown_seconds=30.0),
+    pricing: PricingModel = AWS_2008,
+) -> StudyResult:
+    """VM startup/teardown billing as a function of pool width."""
+    raw = []
+    for p in processors:
+        result = simulate(workflow, p, record_trace=False)
+        base = compute_cost(result, pricing, ExecutionPlan.provisioned(p))
+        taxed = compute_cost(
+            result, pricing, ExecutionPlan.provisioned(p, vm_overhead=overhead)
+        )
+        raw.append((p, base.total, taxed.total))
+    return StudyResult(
+        name="vm-overhead",
+        title=(
+            f"VM startup/teardown ablation — {workflow.name} "
+            f"({overhead.total_seconds:g} s per instance)"
+        ),
+        headers=("procs", "no overhead $", "with overhead $", "delta $"),
+        rows=[
+            (p, format_money(b), format_money(t), format_money(t - b))
+            for p, b, t in raw
+        ],
+        raw=raw,
+    )
+
+
+def fee_sensitivity_study(
+    workflow: Workflow,
+    pricings: tuple[PricingModel, ...] = (AWS_2008, STORAGE_HEAVY),
+) -> StudyResult:
+    """Data-management mode ranking under different fee structures."""
+    base = run_question2a(workflow)
+    raw = []
+    for pricing in pricings:
+        totals = {}
+        for mode in MODES:
+            m = base.metrics(mode)
+            cpu_seconds = m.cpu_cost / AWS_2008.cpu_per_second
+            totals[mode] = (
+                pricing.cpu_cost(cpu_seconds)
+                + pricing.storage_cost(m.storage_gb_hours * GB * 3600.0)
+                + pricing.transfer_in_cost(m.bytes_in)
+                + pricing.transfer_out_cost(m.bytes_out)
+            )
+        raw.append((pricing.name, totals))
+    return StudyResult(
+        name="fee-sensitivity",
+        title=f"Fee-structure sensitivity — {workflow.name}, on-demand total",
+        headers=("pricing", "remote-io $", "regular $", "cleanup $", "winner"),
+        rows=[
+            (
+                name,
+                format_money(totals["remote-io"]),
+                format_money(totals["regular"]),
+                format_money(totals["cleanup"]),
+                min(totals, key=totals.get),
+            )
+            for name, totals in raw
+        ],
+        raw=raw,
+    )
+
+
+def link_contention_study(
+    workflow: Workflow, processors: tuple[int, ...] = (1, 8, 128)
+) -> StudyResult:
+    """Dedicated (GridSim-faithful) vs FIFO-contended link."""
+    raw = []
+    for p in processors:
+        free = simulate(workflow, p, record_trace=False)
+        queued = simulate(
+            workflow, p, link_contention=True, record_trace=False
+        )
+        raw.append((p, free.makespan, queued.makespan))
+    return StudyResult(
+        name="link-contention",
+        title=f"Link-contention ablation — {workflow.name}, regular mode",
+        headers=("procs", "dedicated", "contended", "slowdown"),
+        rows=[
+            (p, format_duration(f), format_duration(q), f"{q / f:.3f}x")
+            for p, f, q in raw
+        ],
+        raw=raw,
+    )
+
+
+def failure_study(
+    workflow: Workflow,
+    probabilities: tuple[float, ...] = (0.0, 0.01, 0.05, 0.10),
+    n_processors: int = 16,
+    pricing: PricingModel = AWS_2008,
+    seed: int = 2008,
+) -> StudyResult:
+    """Cost and makespan impact of per-task failures with retry."""
+    raw = []
+    for prob in probabilities:
+        failures = (
+            FailureModel(prob, seed=seed, max_retries=25) if prob > 0 else None
+        )
+        result = simulate(
+            workflow, n_processors, failures=failures, record_trace=False
+        )
+        cost = compute_cost(
+            result, pricing, ExecutionPlan.on_demand(n_processors)
+        )
+        raw.append(
+            (prob, result.n_task_failures, result.makespan, cost.total)
+        )
+    return StudyResult(
+        name="failures",
+        title=(
+            f"Failure-injection ablation — {workflow.name} on "
+            f"{n_processors} processors"
+        ),
+        headers=("failure prob", "retries", "time", "on-demand total $"),
+        rows=[
+            (f"{p:.0%}", n, format_duration(t), format_money(c))
+            for p, n, t, c in raw
+        ],
+        raw=raw,
+    )
+
+
+def scheduler_study(
+    workflow: Workflow, n_processors: int = 16
+) -> StudyResult:
+    """Ready-queue ordering sensitivity."""
+    raw = []
+    for ordering in ALL_ORDERINGS:
+        result = simulate(
+            workflow, n_processors, "cleanup", ordering=ordering,
+            record_trace=False,
+        )
+        raw.append(
+            (ordering.name, result.makespan, result.storage_gb_hours)
+        )
+    return StudyResult(
+        name="scheduler",
+        title=(
+            f"Scheduler-ordering ablation — {workflow.name} on "
+            f"{n_processors} processors"
+        ),
+        headers=("ordering", "time", "storage GB-h"),
+        rows=[
+            (name, format_duration(m), f"{s:.4f}") for name, m, s in raw
+        ],
+        raw=raw,
+    )
+
+
+def storage_capacity_study(
+    workflow: Workflow,
+    fractions: tuple[float | None, ...] = (None, 1.0, 0.75, 0.6, 0.5),
+    processors: tuple[int, ...] = (8, 64),
+) -> StudyResult:
+    """Finite storage capacity (fractions of the workflow footprint)."""
+    footprint = workflow.total_file_bytes()
+    raw = []
+    for p in processors:
+        for frac in fractions:
+            cap = None if frac is None else frac * footprint
+            result = simulate(
+                workflow, p, "cleanup",
+                storage_capacity_bytes=cap, record_trace=False,
+            )
+            raw.append(
+                (p, frac, cap, result.makespan, result.peak_storage_bytes)
+            )
+    return StudyResult(
+        name="storage-capacity",
+        title=(
+            f"Storage-capacity ablation — {workflow.name}, cleanup mode "
+            f"(footprint {format_bytes(footprint)})"
+        ),
+        headers=("procs", "capacity", "fraction", "time", "peak used"),
+        rows=[
+            (
+                p,
+                "unlimited" if cap is None else format_bytes(cap),
+                "-" if frac is None else f"{frac:.0%}",
+                format_duration(makespan),
+                format_bytes(peak),
+            )
+            for p, frac, cap, makespan, peak in raw
+        ],
+        raw=raw,
+    )
+
+
+def clustering_study(
+    workflow: Workflow,
+    factors: tuple[int, ...] = (1, 2, 5, 8),
+    overheads: tuple[float, ...] = (0.0, 10.0, 30.0),
+    n_processors: int = 8,
+) -> StudyResult:
+    """Horizontal clustering vs per-job scheduling overhead."""
+    variants = {
+        f: (workflow if f == 1 else cluster_workflow(workflow, f))
+        for f in factors
+    }
+    raw = []
+    for f in factors:
+        row = [f, len(variants[f])]
+        for oh in overheads:
+            result = simulate(
+                variants[f], n_processors, task_overhead_seconds=oh,
+                record_trace=False,
+            )
+            row.append(result.makespan)
+        raw.append(tuple(row))
+    return StudyResult(
+        name="clustering",
+        title=(
+            f"Task-clustering ablation — {workflow.name} on "
+            f"{n_processors} processors (makespan)"
+        ),
+        headers=(
+            "factor", "jobs",
+            *(f"{oh:g} s/job" for oh in overheads),
+        ),
+        rows=[
+            (f, n, *(format_duration(m) for m in spans))
+            for f, n, *spans in raw
+        ],
+        raw=raw,
+    )
+
+
+def all_studies(workflow: Workflow) -> list[StudyResult]:
+    """Run every ablation on one workflow (the runner's --extensions)."""
+    return [
+        billing_granularity_study(workflow),
+        vm_overhead_study(workflow),
+        fee_sensitivity_study(workflow),
+        link_contention_study(workflow),
+        failure_study(workflow),
+        scheduler_study(workflow),
+        storage_capacity_study(workflow),
+        clustering_study(workflow),
+    ]

@@ -1,0 +1,171 @@
+"""The CCR table and Figure 11 — impact of data-intensiveness on cost.
+
+Section 6 defines the communication-to-computation ratio and tabulates it
+for the three Montage workflows (0.053 / 0.053 / 0.045 at 10 Mbps).  It
+then rescales the Montage 1° workflow's file sizes to sweep the CCR while
+provisioning 8 processors ("a reasonable compromise between the execution
+cost and execution time") and shows every cost component rising with CCR —
+storage and transfer proportionally (or faster, for storage), CPU via the
+longer stage-in-stretched makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.costs import compute_cost
+from repro.core.plans import ExecutionPlan
+from repro.core.pricing import AWS_2008, PricingModel
+from repro.montage.generator import montage_workflow
+from repro.sim.executor import DEFAULT_BANDWIDTH, simulate
+from repro.util.units import format_duration, format_money
+from repro.workflow.analysis import communication_to_computation_ratio
+from repro.workflow.dag import Workflow
+from repro.workflow.scaling import scale_to_ccr
+from repro.experiments.report import format_table
+
+__all__ = [
+    "CCRPoint",
+    "CCRSweepResult",
+    "run_ccr_sweep",
+    "ccr_table",
+    "DEFAULT_CCR_VALUES",
+]
+
+#: Sweep grid: brackets the real Montage CCR (~0.05) and extends to
+#: strongly communication-bound regimes.
+DEFAULT_CCR_VALUES = (0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 4.0)
+
+#: Figure 11 provisions 8 processors.
+FIGURE11_PROCESSORS = 8
+
+
+@dataclass(frozen=True)
+class CCRPoint:
+    """One Figure 11 x-position with every cost series."""
+
+    ccr: float
+    makespan: float
+    cpu_cost: float
+    storage_cost: float
+    storage_cost_cleanup: float
+    transfer_cost: float
+    total_cost: float
+
+
+@dataclass(frozen=True)
+class CCRSweepResult:
+    """Figure 11."""
+
+    workflow_name: str
+    n_processors: int
+    points: list[CCRPoint]
+
+    def as_csv(self) -> str:
+        """Figure 11's series as CSV."""
+        lines = [
+            "ccr,makespan_s,cpu_cost,storage_cost,storage_cost_cleanup,"
+            "transfer_cost,total_cost"
+        ]
+        for p in self.points:
+            lines.append(
+                f"{p.ccr!r},{p.makespan!r},{p.cpu_cost!r},"
+                f"{p.storage_cost!r},{p.storage_cost_cleanup!r},"
+                f"{p.transfer_cost!r},{p.total_cost!r}"
+            )
+        return "\n".join(lines) + "\n"
+
+    def as_table(self) -> str:
+        return format_table(
+            (
+                "CCR",
+                "time",
+                "CPU $",
+                "storage $",
+                "storage (C) $",
+                "transfer $",
+                "total $",
+            ),
+            [
+                (
+                    f"{p.ccr:g}",
+                    format_duration(p.makespan),
+                    format_money(p.cpu_cost),
+                    f"{p.storage_cost:.5f}",
+                    f"{p.storage_cost_cleanup:.5f}",
+                    format_money(p.transfer_cost),
+                    format_money(p.total_cost),
+                )
+                for p in self.points
+            ],
+            title=(
+                f"Execution costs vs CCR — {self.workflow_name} on "
+                f"{self.n_processors} processors"
+            ),
+        )
+
+
+def run_ccr_sweep(
+    workflow: Workflow | float = 1.0,
+    ccr_values: tuple[float, ...] = DEFAULT_CCR_VALUES,
+    n_processors: int = FIGURE11_PROCESSORS,
+    pricing: PricingModel = AWS_2008,
+    bandwidth_bytes_per_sec: float = DEFAULT_BANDWIDTH,
+) -> CCRSweepResult:
+    """Compute Figure 11: provisioned costs across rescaled CCRs."""
+    if not isinstance(workflow, Workflow):
+        workflow = montage_workflow(float(workflow))
+    points = []
+    for ccr in ccr_values:
+        scaled = scale_to_ccr(workflow, ccr, bandwidth_bytes_per_sec)
+        regular = simulate(
+            scaled,
+            n_processors,
+            "regular",
+            bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
+            record_trace=False,
+        )
+        cleanup = simulate(
+            scaled,
+            n_processors,
+            "cleanup",
+            bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
+            record_trace=False,
+        )
+        plan = ExecutionPlan.provisioned(n_processors, "regular")
+        cost = compute_cost(regular, pricing, plan)
+        points.append(
+            CCRPoint(
+                ccr=ccr,
+                makespan=regular.makespan,
+                cpu_cost=cost.cpu_cost,
+                storage_cost=cost.storage_cost,
+                storage_cost_cleanup=pricing.storage_cost(
+                    cleanup.storage_byte_seconds
+                ),
+                transfer_cost=cost.transfer_cost,
+                total_cost=cost.total,
+            )
+        )
+    return CCRSweepResult(
+        workflow_name=workflow.name,
+        n_processors=n_processors,
+        points=points,
+    )
+
+
+def ccr_table(
+    degrees: tuple[float, ...] = (1.0, 2.0, 4.0),
+    bandwidth_bytes_per_sec: float = DEFAULT_BANDWIDTH,
+) -> list[tuple[str, float]]:
+    """The Section 6 CCR table: (workflow name, CCR) per Montage size.
+
+    Paper values: 0.053, 0.053, 0.045.
+    """
+    rows = []
+    for degree in degrees:
+        wf = montage_workflow(degree)
+        rows.append(
+            (wf.name, communication_to_computation_ratio(wf, bandwidth_bytes_per_sec))
+        )
+    return rows

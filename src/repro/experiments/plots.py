@@ -1,0 +1,130 @@
+"""ASCII charts: render the paper's figures in a terminal.
+
+No plotting stack is assumed (this reproduction runs offline); these
+renderers draw the figure *shapes* — the log-scale cost curves of
+Figures 4-6, the grouped bars of Figures 7-9 — as text, so `repro plot`
+can show a figure next to its numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+__all__ = ["ascii_chart", "ascii_bars"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    x_labels: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    log_y: bool = False,
+    title: str | None = None,
+) -> str:
+    """Plot one or more aligned series against categorical x positions.
+
+    Each series gets a marker character; collisions print ``+``.  With
+    ``log_y`` the vertical axis is logarithmic (the paper draws Figures
+    4-6 that way "to make the storage costs discernable"); zero or
+    negative points are clamped to the smallest positive value.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    n = len(x_labels)
+    for name, values in series.items():
+        if len(values) != n:
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, expected {n}"
+            )
+    if height < 2:
+        raise ValueError(f"height must be >= 2, got {height}")
+
+    all_values = [v for vs in series.values() for v in vs]
+    if log_y:
+        positive = [v for v in all_values if v > 0]
+        if not positive:
+            raise ValueError("log scale needs at least one positive value")
+        floor = min(positive)
+        transform = lambda v: math.log10(max(v, floor))  # noqa: E731
+    else:
+        transform = lambda v: v  # noqa: E731
+    lo = min(transform(v) for v in all_values)
+    hi = max(transform(v) for v in all_values)
+    span = hi - lo or 1.0
+
+    def row_of(value: float) -> int:
+        frac = (transform(value) - lo) / span
+        return int(round(frac * (height - 1)))
+
+    col_width = max(max(len(str(x)) for x in x_labels), 6) + 1
+    grid = [[" " * col_width for _ in range(n)] for _ in range(height)]
+    markers = {
+        name: _MARKERS[i % len(_MARKERS)]
+        for i, name in enumerate(series)
+    }
+    for name, values in series.items():
+        for j, v in enumerate(values):
+            r = height - 1 - row_of(v)
+            cell = grid[r][j]
+            mark = markers[name] if cell.strip() == "" else "+"
+            grid[r][j] = mark.center(col_width)
+
+    def axis_value(r: int) -> float:
+        frac = (height - 1 - r) / (height - 1)
+        value = lo + frac * span
+        return 10**value if log_y else value
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r in range(height):
+        label = _format_axis(axis_value(r)) if r % 2 == 0 else ""
+        lines.append(f"{label:>10} |" + "".join(grid[r]))
+    lines.append(" " * 10 + "-+" + "-" * (col_width * n))
+    lines.append(
+        " " * 11 + "".join(str(x).center(col_width) for x in x_labels)
+    )
+    legend = "   ".join(f"{m} {name}" for name, m in markers.items())
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    rows: Sequence[tuple[str, float]],
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart (Figures 7-9 style group panels)."""
+    if not rows:
+        raise ValueError("need at least one bar")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    peak = max(v for _, v in rows)
+    label_width = max(len(name) for name, _ in rows)
+    lines = []
+    if title:
+        lines.append(title)
+    for name, value in rows:
+        if value < 0:
+            raise ValueError(f"negative bar value for {name!r}")
+        filled = 0 if peak == 0 else int(round(value / peak * width))
+        bar = "#" * filled
+        lines.append(
+            f"{name:>{label_width}} |{bar:<{width}}| "
+            f"{_format_axis(value)}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def _format_axis(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1000 or magnitude < 0.01:
+        return f"{value:.1e}"
+    if magnitude >= 10:
+        return f"{value:.0f}"
+    return f"{value:.2f}"

@@ -1,0 +1,143 @@
+"""Question 1 — cost of running sporadic computations on the cloud.
+
+Reproduces Figures 4, 5 and 6: for a Montage workflow, provision P
+processors (P = 1, 2, 4, ..., 128) for the duration of the run and report
+the CPU cost, storage cost (with and without dynamic cleanup, as the two
+storage series in the figures), transfer cost, total cost, and the
+execution time.  Per the paper, the *total* series uses the
+without-cleanup storage cost ("The total costs shown in the Figure are
+computed using the storage costs without cleanup"), and the difference is
+invisible at figure scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.costs import CostBreakdown, compute_cost
+from repro.core.plans import ExecutionPlan
+from repro.core.pricing import AWS_2008, PricingModel
+from repro.core.tradeoff import geometric_processors
+from repro.montage.generator import montage_workflow
+from repro.sim.executor import DEFAULT_BANDWIDTH, simulate
+from repro.util.units import HOUR, format_duration, format_money
+from repro.workflow.dag import Workflow
+from repro.experiments.report import format_table
+
+__all__ = ["Question1Row", "Question1Result", "run_question1"]
+
+
+@dataclass(frozen=True)
+class Question1Row:
+    """One provisioning point: the figures' x-axis value and all series."""
+
+    n_processors: int
+    makespan: float
+    cpu_cost: float
+    storage_cost: float
+    storage_cost_cleanup: float
+    transfer_cost: float
+    total_cost: float
+
+
+@dataclass(frozen=True)
+class Question1Result:
+    """All series of one of Figures 4/5/6."""
+
+    workflow_name: str
+    rows: list[Question1Row]
+
+    def as_table(self) -> str:
+        """Render the figure's data as text."""
+        return format_table(
+            (
+                "procs",
+                "time",
+                "CPU cost",
+                "storage",
+                "storage (C)",
+                "transfer",
+                "total",
+            ),
+            [
+                (
+                    r.n_processors,
+                    format_duration(r.makespan),
+                    format_money(r.cpu_cost),
+                    f"${r.storage_cost:.6f}",
+                    f"${r.storage_cost_cleanup:.6f}",
+                    format_money(r.transfer_cost),
+                    format_money(r.total_cost),
+                )
+                for r in self.rows
+            ],
+            title=f"Execution costs and time vs processors — {self.workflow_name}",
+        )
+
+    def as_csv(self) -> str:
+        """The figure's series as CSV (for replotting with any tool)."""
+        lines = [
+            "n_processors,makespan_s,cpu_cost,storage_cost,"
+            "storage_cost_cleanup,transfer_cost,total_cost"
+        ]
+        for r in self.rows:
+            lines.append(
+                f"{r.n_processors},{r.makespan!r},{r.cpu_cost!r},"
+                f"{r.storage_cost!r},{r.storage_cost_cleanup!r},"
+                f"{r.transfer_cost!r},{r.total_cost!r}"
+            )
+        return "\n".join(lines) + "\n"
+
+    def row(self, n_processors: int) -> Question1Row:
+        for r in self.rows:
+            if r.n_processors == n_processors:
+                return r
+        raise KeyError(f"no row for {n_processors} processors")
+
+
+def run_question1(
+    workflow: Workflow | float,
+    processors: list[int] | None = None,
+    pricing: PricingModel = AWS_2008,
+    bandwidth_bytes_per_sec: float = DEFAULT_BANDWIDTH,
+) -> Question1Result:
+    """Compute one of Figures 4/5/6.
+
+    ``workflow`` may be a prebuilt workflow or a mosaic degree (1.0, 2.0,
+    4.0 build the paper's workloads).
+    """
+    if not isinstance(workflow, Workflow):
+        workflow = montage_workflow(float(workflow))
+    if processors is None:
+        processors = geometric_processors(128)
+    rows = []
+    for p in processors:
+        regular = simulate(
+            workflow,
+            p,
+            "regular",
+            bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
+            record_trace=False,
+        )
+        cleanup = simulate(
+            workflow,
+            p,
+            "cleanup",
+            bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
+            record_trace=False,
+        )
+        plan = ExecutionPlan.provisioned(p, "regular")
+        cost: CostBreakdown = compute_cost(regular, pricing, plan)
+        storage_cleanup = pricing.storage_cost(cleanup.storage_byte_seconds)
+        rows.append(
+            Question1Row(
+                n_processors=p,
+                makespan=regular.makespan,
+                cpu_cost=cost.cpu_cost,
+                storage_cost=cost.storage_cost,
+                storage_cost_cleanup=storage_cleanup,
+                transfer_cost=cost.transfer_cost,
+                total_cost=cost.total,
+            )
+        )
+    return Question1Result(workflow_name=workflow.name, rows=rows)

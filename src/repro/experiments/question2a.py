@@ -1,0 +1,170 @@
+"""Question 2a — cost of relying on the cloud for all computing needs.
+
+Reproduces Figures 7, 8, 9 (data-management metrics for the 1°, 2° and 4°
+workflows) and Figure 10 (CPU vs data-management cost).  The request runs
+at its full parallelism on a large pre-provisioned pool and is charged
+only for the resources it uses; the three execution modes of Section 3 are
+compared on:
+
+* storage used, in GB-hours (Figures 7-9, top),
+* data transferred to and from the resource (middle),
+* storage / transfer / total data-management cost (bottom),
+* and the mode-invariant CPU cost next to the DM cost (Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.costs import compute_cost
+from repro.core.plans import ExecutionPlan
+from repro.core.pricing import AWS_2008, PricingModel
+from repro.montage.generator import montage_workflow
+from repro.sim.executor import DEFAULT_BANDWIDTH, simulate
+from repro.util.units import MB, format_money
+from repro.workflow.analysis import max_parallelism
+from repro.workflow.dag import Workflow
+from repro.experiments.report import format_table
+
+__all__ = ["ModeMetrics", "Question2aResult", "run_question2a", "MODES"]
+
+#: The paper's mode order in Figures 7-10.
+MODES = ("remote-io", "regular", "cleanup")
+
+
+@dataclass(frozen=True)
+class ModeMetrics:
+    """All Figure 7/8/9 series for one execution mode."""
+
+    mode: str
+    makespan: float
+    storage_gb_hours: float
+    bytes_in: float
+    bytes_out: float
+    storage_cost: float
+    transfer_in_cost: float
+    transfer_out_cost: float
+    cpu_cost: float
+
+    @property
+    def dm_cost(self) -> float:
+        """Figure 7 (bottom) "total": storage + transfers, no CPU."""
+        return self.storage_cost + self.transfer_in_cost + self.transfer_out_cost
+
+    @property
+    def total_cost(self) -> float:
+        """Figure 10 total: CPU + data management."""
+        return self.cpu_cost + self.dm_cost
+
+
+@dataclass(frozen=True)
+class Question2aResult:
+    """Figures 7/8/9 for one workflow (plus its Figure 10 column group)."""
+
+    workflow_name: str
+    n_processors: int
+    by_mode: dict[str, ModeMetrics]
+
+    def metrics(self, mode: str) -> ModeMetrics:
+        return self.by_mode[mode]
+
+    def as_csv(self) -> str:
+        """The figure's series as CSV (for replotting with any tool)."""
+        return _csv_of(self)
+
+    def as_table(self) -> str:
+        return format_table(
+            (
+                "mode",
+                "storage GB-h",
+                "in MB",
+                "out MB",
+                "storage $",
+                "in $",
+                "out $",
+                "DM $",
+                "CPU $",
+                "total $",
+            ),
+            [
+                (
+                    m.mode,
+                    f"{m.storage_gb_hours:.4f}",
+                    f"{m.bytes_in / MB:.1f}",
+                    f"{m.bytes_out / MB:.1f}",
+                    f"{m.storage_cost:.5f}",
+                    f"{m.transfer_in_cost:.4f}",
+                    f"{m.transfer_out_cost:.4f}",
+                    f"{m.dm_cost:.4f}",
+                    format_money(m.cpu_cost),
+                    format_money(m.total_cost),
+                )
+                for m in (self.by_mode[mode] for mode in MODES)
+            ],
+            title=(
+                f"Data management metrics — {self.workflow_name} "
+                f"(full parallelism, {self.n_processors} processors)"
+            ),
+        )
+
+
+def _csv_of(result: "Question2aResult") -> str:
+    lines = [
+        "mode,makespan_s,storage_gb_hours,bytes_in,bytes_out,"
+        "storage_cost,transfer_in_cost,transfer_out_cost,cpu_cost,"
+        "dm_cost,total_cost"
+    ]
+    for mode in MODES:
+        m = result.by_mode[mode]
+        lines.append(
+            f"{m.mode},{m.makespan!r},{m.storage_gb_hours!r},"
+            f"{m.bytes_in!r},{m.bytes_out!r},{m.storage_cost!r},"
+            f"{m.transfer_in_cost!r},{m.transfer_out_cost!r},"
+            f"{m.cpu_cost!r},{m.dm_cost!r},{m.total_cost!r}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def run_question2a(
+    workflow: Workflow | float,
+    pricing: PricingModel = AWS_2008,
+    bandwidth_bytes_per_sec: float = DEFAULT_BANDWIDTH,
+    n_processors: int | None = None,
+) -> Question2aResult:
+    """Compute one of Figures 7/8/9 (and the Figure 10 inputs).
+
+    The pool defaults to the workflow's maximum parallelism, matching the
+    paper's "the requests can run at their full level of parallelism".
+    """
+    if not isinstance(workflow, Workflow):
+        workflow = montage_workflow(float(workflow))
+    if n_processors is None:
+        n_processors = max(1, max_parallelism(workflow))
+    by_mode: dict[str, ModeMetrics] = {}
+    for mode in MODES:
+        result = simulate(
+            workflow,
+            n_processors,
+            mode,
+            bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
+            record_trace=False,
+        )
+        cost = compute_cost(
+            result, pricing, ExecutionPlan.on_demand(n_processors, mode)
+        )
+        by_mode[mode] = ModeMetrics(
+            mode=mode,
+            makespan=result.makespan,
+            storage_gb_hours=result.storage_gb_hours,
+            bytes_in=result.bytes_in,
+            bytes_out=result.bytes_out,
+            storage_cost=cost.storage_cost,
+            transfer_in_cost=cost.transfer_in_cost,
+            transfer_out_cost=cost.transfer_out_cost,
+            cpu_cost=cost.cpu_cost,
+        )
+    return Question2aResult(
+        workflow_name=workflow.name,
+        n_processors=n_processors,
+        by_mode=by_mode,
+    )

@@ -1,0 +1,116 @@
+"""Question 2b — cost of running *and storing data* on the cloud.
+
+The paper's worked example: host the full 12 TB 2MASS archive in S3 at
+$1,800/month.  A 2° mosaic then costs $2.12 (CPU $2.03 + $0.09 of
+temporary storage and output transfer) instead of $2.22 when its inputs
+must be staged in from outside, so at least
+``$1,800 / ($2.22 - $2.12) = 18,000`` mosaics/month are needed for hosting
+to pay off; the initial upload adds a one-time $1,200.
+
+We regenerate all of those numbers from simulation: the staged cost is the
+regular-mode on-demand total, and the pre-staged cost is the same minus
+the input-transfer fee (resident inputs are read for free inside the
+cloud).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.costs import compute_cost
+from repro.core.plans import ExecutionPlan
+from repro.core.pricing import AWS_2008, PricingModel
+from repro.core.economics import ArchiveEconomics, archive_economics
+from repro.montage.generator import montage_workflow
+from repro.montage.twomass import TWO_MASS, TwoMassArchive
+from repro.sim.executor import DEFAULT_BANDWIDTH, simulate
+from repro.util.units import format_money
+from repro.workflow.analysis import max_parallelism
+from repro.workflow.dag import Workflow
+from repro.experiments.report import format_table
+
+__all__ = ["Question2bResult", "run_question2b"]
+
+
+@dataclass(frozen=True)
+class Question2bResult:
+    """The archive-hosting break-even analysis."""
+
+    workflow_name: str
+    economics: ArchiveEconomics
+
+    @property
+    def monthly_storage_cost(self) -> float:
+        return self.economics.monthly_storage_cost
+
+    @property
+    def cost_staged(self) -> float:
+        return self.economics.cost_per_request_staged
+
+    @property
+    def cost_prestaged(self) -> float:
+        return self.economics.cost_per_request_prestaged
+
+    @property
+    def break_even_requests_per_month(self) -> float:
+        return self.economics.break_even_requests_per_month
+
+    def as_table(self) -> str:
+        e = self.economics
+        return format_table(
+            ("quantity", "value"),
+            [
+                ("archive size", f"{e.archive_bytes / 1e12:.0f} TB"),
+                ("monthly storage cost", format_money(e.monthly_storage_cost)),
+                ("initial upload cost", format_money(e.initial_transfer_cost)),
+                (
+                    "request cost, inputs staged in",
+                    format_money(e.cost_per_request_staged),
+                ),
+                (
+                    "request cost, inputs pre-staged",
+                    format_money(e.cost_per_request_prestaged),
+                ),
+                ("saving per request", format_money(e.saving_per_request)),
+                (
+                    "break-even requests/month",
+                    f"{e.break_even_requests_per_month:,.0f}",
+                ),
+            ],
+            title=f"Archive hosting economics — {self.workflow_name}",
+        )
+
+
+def run_question2b(
+    workflow: Workflow | float = 2.0,
+    archive: TwoMassArchive = TWO_MASS,
+    pricing: PricingModel = AWS_2008,
+    bandwidth_bytes_per_sec: float = DEFAULT_BANDWIDTH,
+) -> Question2bResult:
+    """Compute the Question 2b analysis (default: the paper's 2° mosaic)."""
+    if not isinstance(workflow, Workflow):
+        workflow = montage_workflow(float(workflow))
+    n_processors = max(1, max_parallelism(workflow))
+    result = simulate(
+        workflow,
+        n_processors,
+        "regular",
+        bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
+        record_trace=False,
+    )
+    cost = compute_cost(
+        result, pricing, ExecutionPlan.on_demand(n_processors, "regular")
+    )
+    # Pre-staged inputs are read for free from cloud storage: the request
+    # sheds exactly its input-transfer fee.
+    staged = cost.total
+    prestaged = cost.total - cost.transfer_in_cost
+    return Question2bResult(
+        workflow_name=workflow.name,
+        economics=archive_economics(
+            archive_bytes=archive.size_bytes,
+            cost_per_request_staged=staged,
+            cost_per_request_prestaged=prestaged,
+            pricing=pricing,
+        ),
+    )

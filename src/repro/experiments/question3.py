@@ -1,0 +1,144 @@
+"""Question 3 — cost of large-scale science on the cloud.
+
+Two analyses:
+
+1. **The whole sky.**  ~3,900 4°-square mosaics at the regular-mode
+   on-demand cost per mosaic ($8.88 in the paper, x3,900 = $34,632), and
+   the cheaper variant with the input data already archived in the cloud
+   ($8.75 → $34,145).
+2. **Store or recompute?**  A generated mosaic can be stored for
+   ``CPU cost / (size x $0.15/GB-month)`` months before storage exceeds
+   regeneration: 21.52 / 24.25 / 25.12 months for the 1° / 2° / 4°
+   mosaics — "if it is likely that the same request would be repeated
+   within the next two years ... store the generated mosaic."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.costs import CostBreakdown, compute_cost
+from repro.core.plans import ExecutionPlan
+from repro.core.pricing import AWS_2008, PricingModel
+from repro.core.economics import (
+    FullSkyCost,
+    full_sky_cost,
+    store_vs_recompute_months,
+)
+from repro.montage.generator import montage_workflow
+from repro.montage.twomass import TWO_MASS, TwoMassArchive
+from repro.sim.executor import DEFAULT_BANDWIDTH, simulate
+from repro.util.units import format_money
+from repro.workflow.analysis import max_parallelism
+from repro.experiments.report import format_table
+
+__all__ = ["StoreVsRecomputeRow", "Question3Result", "run_question3"]
+
+
+@dataclass(frozen=True)
+class StoreVsRecomputeRow:
+    """Archival horizon for one mosaic size."""
+
+    degree: float
+    mosaic_bytes: float
+    cpu_cost: float
+    months: float
+
+
+@dataclass(frozen=True)
+class Question3Result:
+    """The whole-sky bill and the store-vs-recompute horizons."""
+
+    sky_degree: float
+    n_plates: int
+    cost_per_plate_staged: CostBreakdown
+    cost_per_plate_prestaged: float
+    sky: FullSkyCost
+    store_rows: list[StoreVsRecomputeRow]
+
+    @property
+    def total_staged(self) -> float:
+        return self.sky.total.total
+
+    @property
+    def total_prestaged(self) -> float:
+        return self.n_plates * self.cost_per_plate_prestaged
+
+    def as_table(self) -> str:
+        head = format_table(
+            ("quantity", "value"),
+            [
+                ("plates", self.n_plates),
+                (
+                    "cost per plate (staged)",
+                    format_money(self.cost_per_plate_staged.total),
+                ),
+                (
+                    "cost per plate (pre-staged)",
+                    format_money(self.cost_per_plate_prestaged),
+                ),
+                ("whole sky (staged)", format_money(self.total_staged)),
+                ("whole sky (pre-staged)", format_money(self.total_prestaged)),
+            ],
+            title=f"Whole-sky mosaic at {self.sky_degree:g} degrees",
+        )
+        tail = format_table(
+            ("mosaic", "size MB", "CPU cost", "storable months"),
+            [
+                (
+                    f"{r.degree:g} deg",
+                    f"{r.mosaic_bytes / 1e6:.2f}",
+                    format_money(r.cpu_cost),
+                    f"{r.months:.2f}",
+                )
+                for r in self.store_rows
+            ],
+            title="Store-vs-recompute horizon",
+        )
+        return head + "\n\n" + tail
+
+
+def run_question3(
+    sky_degree: float = 4.0,
+    store_degrees: tuple[float, ...] = (1.0, 2.0, 4.0),
+    archive: TwoMassArchive = TWO_MASS,
+    pricing: PricingModel = AWS_2008,
+    bandwidth_bytes_per_sec: float = DEFAULT_BANDWIDTH,
+) -> Question3Result:
+    """Compute the Question 3 analyses from simulation."""
+    wf = montage_workflow(sky_degree)
+    n_processors = max(1, max_parallelism(wf))
+    result = simulate(
+        wf,
+        n_processors,
+        "regular",
+        bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
+        record_trace=False,
+    )
+    cost = compute_cost(
+        result, pricing, ExecutionPlan.on_demand(n_processors, "regular")
+    )
+    n_plates = archive.plates_for_full_sky(sky_degree)
+    store_rows = []
+    for degree in store_degrees:
+        swf = montage_workflow(degree)
+        cpu_cost = pricing.cpu_cost(swf.total_runtime())
+        mosaic_bytes = swf.file("mosaic.fits").size_bytes
+        store_rows.append(
+            StoreVsRecomputeRow(
+                degree=degree,
+                mosaic_bytes=mosaic_bytes,
+                cpu_cost=cpu_cost,
+                months=store_vs_recompute_months(
+                    cpu_cost, mosaic_bytes, pricing
+                ),
+            )
+        )
+    return Question3Result(
+        sky_degree=sky_degree,
+        n_plates=n_plates,
+        cost_per_plate_staged=cost,
+        cost_per_plate_prestaged=cost.total - cost.transfer_in_cost,
+        sky=full_sky_cost(n_plates, cost),
+        store_rows=store_rows,
+    )

@@ -1,0 +1,169 @@
+"""Programmatic paper-vs-measured verification.
+
+One function, :func:`verify_reproduction`, recomputes every headline
+number of the paper's evaluation and compares it against the published
+value with an explicit tolerance — the machine-checkable form of
+``EXPERIMENTS.md``.  The report runner prints it; the test suite asserts
+that every row passes; users can call it after modifying the model to see
+exactly which paper claims still hold.
+
+Tolerances encode how closely each quantity is *expected* to track the
+paper (see EXPERIMENTS.md for the reasons behind the loose ones: the
+paper's 4°/128-processor point and its 4° staged totals are internally
+inconsistent with its own CCR table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.costs import compute_cost
+from repro.core.plans import ExecutionPlan
+from repro.core.pricing import AWS_2008, PricingModel
+from repro.experiments.question2b import run_question2b
+from repro.experiments.question3 import run_question3
+from repro.experiments.report import format_table
+from repro.montage.generator import montage_workflow
+from repro.sim.executor import simulate
+from repro.util.units import HOUR, MINUTE
+from repro.workflow.analysis import (
+    communication_to_computation_ratio,
+    max_parallelism,
+)
+
+__all__ = ["ComparisonRow", "verify_reproduction", "comparison_table"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One verified claim."""
+
+    experiment: str
+    quantity: str
+    paper_value: float
+    measured_value: float
+    rel_tol: float
+    #: "approx" checks |measured - paper| <= tol * |paper|;
+    #: "le" checks measured <= paper (the paper's "< $8"-style bounds)
+    kind: str = "approx"
+
+    @property
+    def ok(self) -> bool:
+        if self.kind == "le":
+            return self.measured_value <= self.paper_value
+        return abs(self.measured_value - self.paper_value) <= (
+            self.rel_tol * abs(self.paper_value)
+        )
+
+    @property
+    def deviation(self) -> float:
+        """Signed relative deviation from the paper value."""
+        if self.paper_value == 0:
+            return 0.0
+        return self.measured_value / self.paper_value - 1.0
+
+
+def verify_reproduction(
+    pricing: PricingModel = AWS_2008,
+) -> list[ComparisonRow]:
+    """Recompute and compare every headline number (runs ~20 simulations)."""
+    rows: list[ComparisonRow] = []
+
+    def add(exp, quantity, paper, measured, tol, kind="approx"):
+        rows.append(
+            ComparisonRow(exp, quantity, paper, measured, tol, kind)
+        )
+
+    workflows = {d: montage_workflow(d) for d in (1.0, 2.0, 4.0)}
+
+    # ------------------------------------------------------ workloads
+    for degree, count in ((1.0, 203), (2.0, 731), (4.0, 3027)):
+        add("workloads", f"{degree:g}deg task count", count,
+            len(workflows[degree]), 0.0)
+    for degree, ccr in ((1.0, 0.053), (2.0, 0.053), (4.0, 0.045)):
+        add("ccr-table", f"{degree:g}deg CCR", ccr,
+            communication_to_computation_ratio(workflows[degree]), 1e-6)
+
+    # ------------------------------------------- Figures 4/5/6 (Q1)
+    def provisioned(wf, p):
+        r = simulate(wf, p, "regular", record_trace=False)
+        return r, compute_cost(r, pricing, ExecutionPlan.provisioned(p))
+
+    r, c = provisioned(workflows[1.0], 1)
+    add("fig4", "1deg/1p total $", 0.60, c.total, 0.05)
+    add("fig4", "1deg/1p time h", 5.5, r.makespan / HOUR, 0.06)
+    r, c = provisioned(workflows[1.0], 128)
+    add("fig4", "1deg/128p total $", 4.0, c.total, 0.20)
+    add("fig4", "1deg/128p time min", 18.0, r.makespan / MINUTE, 0.20)
+    r, c = provisioned(workflows[2.0], 1)
+    add("fig5", "2deg/1p total $", 2.25, c.total, 0.03)
+    add("fig5", "2deg/1p time h", 20.5, r.makespan / HOUR, 0.03)
+    r, c = provisioned(workflows[2.0], 128)
+    add("fig5", "2deg/128p total $ (< 8)", 8.0, c.total, 0.0, kind="le")
+    add("fig5", "2deg/128p time min (< 40)", 40.0, r.makespan / MINUTE,
+        0.0, kind="le")
+    r, c = provisioned(workflows[4.0], 1)
+    add("fig6", "4deg/1p total $", 9.0, c.total, 0.04)
+    add("fig6", "4deg/1p time h", 85.0, r.makespan / HOUR, 0.02)
+    r, c = provisioned(workflows[4.0], 16)
+    add("fig6", "4deg/16p total $", 9.25, c.total, 0.12)
+    add("fig6", "4deg/16p time h", 5.5, r.makespan / HOUR, 0.10)
+    r, c = provisioned(workflows[4.0], 128)
+    add("fig6", "4deg/128p total $", 13.92, c.total, 0.30)
+    add("fig6", "4deg/128p time h", 1.0, r.makespan / HOUR, 0.35)
+
+    # ------------------------------------------------ Figure 10 (Q2a)
+    def on_demand(wf):
+        p = max_parallelism(wf)
+        r = simulate(wf, p, "regular", record_trace=False)
+        return compute_cost(r, pricing, ExecutionPlan.on_demand(p))
+
+    costs = {d: on_demand(workflows[d]) for d in (1.0, 2.0, 4.0)}
+    add("fig10", "1deg CPU $", 0.56, costs[1.0].cpu_cost, 0.01)
+    add("fig10", "2deg CPU $", 2.03, costs[2.0].cpu_cost, 0.01)
+    add("fig10", "4deg CPU $", 8.40, costs[4.0].cpu_cost, 0.01)
+    add("fig10", "2deg staged $", 2.22, costs[2.0].total, 0.02)
+    add("fig10", "2deg pre-staged $", 2.12,
+        costs[2.0].total - costs[2.0].transfer_in_cost, 0.015)
+    add("fig10", "4deg staged $", 8.88, costs[4.0].total, 0.04)
+    add("fig10", "4deg pre-staged $", 8.75,
+        costs[4.0].total - costs[4.0].transfer_in_cost, 0.01)
+
+    # ------------------------------------------------------- Q2b / Q3
+    q2b = run_question2b(workflows[2.0], pricing=pricing)
+    add("q2b", "archive monthly $", 1800.0, q2b.monthly_storage_cost, 1e-9)
+    add("q2b", "archive upload $", 1200.0,
+        q2b.economics.initial_transfer_cost, 1e-9)
+    add("q2b", "break-even mosaics/mo", 18000.0,
+        q2b.break_even_requests_per_month, 0.20)
+    q3 = run_question3(pricing=pricing)
+    add("q3", "plates for the sky", 3900, q3.n_plates, 0.0)
+    add("q3", "whole sky staged $", 34632.0, q3.total_staged, 0.04)
+    add("q3", "whole sky pre-staged $", 34145.0, q3.total_prestaged, 0.02)
+    months = {row.degree: row.months for row in q3.store_rows}
+    add("q3", "1deg storable months", 21.52, months[1.0], 0.01)
+    add("q3", "2deg storable months", 24.25, months[2.0], 0.01)
+    add("q3", "4deg storable months", 25.12, months[4.0], 0.01)
+    return rows
+
+
+def comparison_table(rows: list[ComparisonRow]) -> str:
+    """Render the verification as the runner's closing table."""
+    def fmt(v: float) -> str:
+        return f"{v:,.4g}"
+
+    return format_table(
+        ("exp", "quantity", "paper", "measured", "dev", "ok"),
+        [
+            (
+                r.experiment,
+                r.quantity,
+                fmt(r.paper_value),
+                fmt(r.measured_value),
+                ("<=" if r.kind == "le" else f"{r.deviation:+.1%}"),
+                "yes" if r.ok else "NO",
+            )
+            for r in rows
+        ],
+        title="Paper vs measured (every row must say yes)",
+    )

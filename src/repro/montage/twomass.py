@@ -1,0 +1,61 @@
+"""The 2MASS archive model (paper Questions 2b and 3).
+
+The Two Micron All Sky Survey dataset "contains images of the entire sky in
+three different bands.  The size of the entire data set is 12 Terabytes."
+The whole sky can be covered by "about 3,900 4-degree-square mosaics or
+about 1,734 6-degrees-square mosaics" — i.e. ~62,400 square degrees of
+plate coverage (the celestial sphere is 41,253 sq deg; the excess is the
+overlap the paper requires between neighbouring mosaics).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.units import TB
+
+__all__ = ["TwoMassArchive", "TWO_MASS", "SKY_COVERAGE_SQ_DEG"]
+
+#: Total plate coverage needed for a full-sky mosaic set, in square degrees.
+#: Chosen so that ceil(coverage / d^2) reproduces the paper's plate counts:
+#: 3,900 at 4 degrees and 1,734 at 6 degrees.
+SKY_COVERAGE_SQ_DEG = 62_400.0
+
+
+@dataclass(frozen=True)
+class TwoMassArchive:
+    """A sky-survey image archive.
+
+    Attributes
+    ----------
+    size_bytes:
+        Total archive size (12 TB for 2MASS).
+    n_bands:
+        Number of frequency bands imaged (3 for 2MASS: J, H, K).
+    sky_coverage_sq_deg:
+        Total mosaic plate coverage, per band, for the full sky including
+        the paper's inter-plate overlap.
+    """
+
+    name: str = "2MASS"
+    size_bytes: float = 12.0 * TB
+    n_bands: int = 3
+    sky_coverage_sq_deg: float = SKY_COVERAGE_SQ_DEG
+
+    def plates_for_full_sky(self, degree: float) -> int:
+        """Number of ``degree``-square mosaics covering the whole sky.
+
+        Matches the paper: 3,900 at 4 degrees, 1,734 at 6 degrees.  This is
+        the count across all sky positions for one band; the paper's Q3
+        cost multiplies the per-mosaic cost by this count (its "3,900
+        plates ... in three frequency bands" are produced by 3,900
+        workflow runs, each mosaicking the three bands of one position).
+        """
+        if degree <= 0:
+            raise ValueError(f"mosaic degree must be positive, got {degree}")
+        return math.ceil(self.sky_coverage_sq_deg / (degree * degree))
+
+
+#: The paper's archive instance.
+TWO_MASS = TwoMassArchive()

@@ -1,0 +1,43 @@
+"""Resource-provisioning decision support.
+
+The paper's Question 1 ends with exactly this decision: "a user who is
+also concerned about the execution time faces a trade-off between
+minimizing the execution cost and minimizing the execution time", and
+illustrates it by picking 16 processors for the 4° workflow (≈5.5 h at
+$9.25 instead of 85 h at $9 or 1 h at $14).  This subpackage automates the
+choice:
+
+* :mod:`repro.provisioning.provisioner` — enumerate and price candidate
+  pool sizes for a workflow;
+* :mod:`repro.provisioning.optimizer` — pick the cheapest plan meeting a
+  deadline, the fastest plan within a budget, or a weighted compromise.
+"""
+
+from repro.provisioning.provisioner import ProvisioningCandidate, candidate_plans
+from repro.provisioning.optimizer import (
+    ProvisioningDecision,
+    cheapest_within_deadline,
+    fastest_within_budget,
+    best_weighted,
+)
+from repro.provisioning.bursting import (
+    BurstDecision,
+    BurstingOutcome,
+    simulate_bursting,
+)
+from repro.provisioning.advisor import PlanOption, Recommendation, advise_plan
+
+__all__ = [
+    "ProvisioningCandidate",
+    "candidate_plans",
+    "ProvisioningDecision",
+    "cheapest_within_deadline",
+    "fastest_within_budget",
+    "best_weighted",
+    "BurstDecision",
+    "BurstingOutcome",
+    "simulate_bursting",
+    "PlanOption",
+    "Recommendation",
+    "advise_plan",
+]

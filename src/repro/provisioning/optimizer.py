@@ -1,0 +1,111 @@
+"""Choosing a provisioning plan under deadline / budget constraints.
+
+These selectors operate on the candidate lists produced by
+:func:`repro.provisioning.provisioner.candidate_plans` and formalize the
+compromise the paper makes by hand ("if the application provisions 16
+processors ... the turnaround time for each will be approximately 5.5
+hours with a cost of $9.25").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.provisioning.provisioner import ProvisioningCandidate
+
+__all__ = [
+    "ProvisioningDecision",
+    "cheapest_within_deadline",
+    "fastest_within_budget",
+    "best_weighted",
+]
+
+
+@dataclass(frozen=True)
+class ProvisioningDecision:
+    """A chosen candidate plus why it was chosen."""
+
+    chosen: ProvisioningCandidate
+    criterion: str
+    feasible: bool
+
+    @property
+    def n_processors(self) -> int:
+        return self.chosen.n_processors
+
+
+def _require_candidates(candidates: list[ProvisioningCandidate]) -> None:
+    if not candidates:
+        raise ValueError("no provisioning candidates supplied")
+
+
+def cheapest_within_deadline(
+    candidates: list[ProvisioningCandidate], deadline_seconds: float
+) -> ProvisioningDecision:
+    """Cheapest plan whose makespan meets the deadline.
+
+    If no plan meets the deadline, returns the fastest plan with
+    ``feasible=False`` (best effort).
+    """
+    _require_candidates(candidates)
+    if deadline_seconds <= 0:
+        raise ValueError(f"deadline must be positive, got {deadline_seconds}")
+    feasible = [c for c in candidates if c.makespan <= deadline_seconds]
+    if feasible:
+        chosen = min(feasible, key=lambda c: (c.total_cost, c.makespan))
+        return ProvisioningDecision(
+            chosen, f"cheapest with makespan <= {deadline_seconds:g}s", True
+        )
+    chosen = min(candidates, key=lambda c: (c.makespan, c.total_cost))
+    return ProvisioningDecision(
+        chosen, f"deadline {deadline_seconds:g}s infeasible; fastest", False
+    )
+
+
+def fastest_within_budget(
+    candidates: list[ProvisioningCandidate], budget_dollars: float
+) -> ProvisioningDecision:
+    """Fastest plan whose total cost fits the budget.
+
+    If nothing fits, returns the cheapest plan with ``feasible=False``.
+    """
+    _require_candidates(candidates)
+    if budget_dollars <= 0:
+        raise ValueError(f"budget must be positive, got {budget_dollars}")
+    feasible = [c for c in candidates if c.total_cost <= budget_dollars]
+    if feasible:
+        chosen = min(feasible, key=lambda c: (c.makespan, c.total_cost))
+        return ProvisioningDecision(
+            chosen, f"fastest with cost <= ${budget_dollars:g}", True
+        )
+    chosen = min(candidates, key=lambda c: (c.total_cost, c.makespan))
+    return ProvisioningDecision(
+        chosen, f"budget ${budget_dollars:g} infeasible; cheapest", False
+    )
+
+
+def best_weighted(
+    candidates: list[ProvisioningCandidate],
+    cost_weight: float = 0.5,
+) -> ProvisioningDecision:
+    """Minimize a normalized blend of cost and makespan.
+
+    Both dimensions are scaled by their minimum over the candidate set, so
+    the score is dimensionless: ``w * cost/cost_min + (1-w) * time/time_min``.
+    ``cost_weight=1`` reduces to cheapest; ``0`` to fastest.
+    """
+    _require_candidates(candidates)
+    if not 0.0 <= cost_weight <= 1.0:
+        raise ValueError(f"cost_weight must be in [0, 1], got {cost_weight}")
+    cost_min = min(c.total_cost for c in candidates)
+    time_min = min(c.makespan for c in candidates)
+
+    def score(c: ProvisioningCandidate) -> float:
+        cost_term = c.total_cost / cost_min if cost_min > 0 else 0.0
+        time_term = c.makespan / time_min if time_min > 0 else 0.0
+        return cost_weight * cost_term + (1.0 - cost_weight) * time_term
+
+    chosen = min(candidates, key=lambda c: (score(c), c.total_cost))
+    return ProvisioningDecision(
+        chosen, f"weighted cost/time blend (w={cost_weight:g})", True
+    )

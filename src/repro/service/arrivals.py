@@ -1,0 +1,107 @@
+"""Request arrival processes for the mosaic service.
+
+The paper motivates the service with "sporadic overloads of mosaic
+requests"; these generators produce the request streams the service
+simulator consumes.  Everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workflow.dag import Workflow
+
+__all__ = [
+    "ServiceRequest",
+    "poisson_arrivals",
+    "uniform_arrivals",
+    "request_stream",
+]
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One user request: a workflow arriving at a point in time."""
+
+    request_id: str
+    workflow: Workflow
+    arrival_time: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ValueError(
+                f"request {self.request_id!r} has negative arrival time"
+            )
+
+
+def poisson_arrivals(
+    rate_per_second: float, horizon_seconds: float, seed: int
+) -> list[float]:
+    """Poisson arrival times over ``[0, horizon)``.
+
+    Exponential inter-arrival gaps from a seeded generator; the number of
+    arrivals is whatever fits in the horizon.
+    """
+    if rate_per_second <= 0:
+        raise ValueError(f"rate must be positive, got {rate_per_second}")
+    if horizon_seconds <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon_seconds}")
+    rng = np.random.default_rng(seed)
+    times = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / rate_per_second))
+        if t >= horizon_seconds:
+            return times
+        times.append(t)
+
+
+def uniform_arrivals(n_requests: int, interval_seconds: float) -> list[float]:
+    """Evenly spaced arrivals: 0, interval, 2*interval, ..."""
+    if n_requests < 0:
+        raise ValueError(f"negative request count {n_requests}")
+    if interval_seconds < 0:
+        raise ValueError(f"negative interval {interval_seconds}")
+    return [i * interval_seconds for i in range(n_requests)]
+
+
+def request_stream(
+    arrival_times: Sequence[float],
+    workflow_choices: Sequence[Workflow],
+    seed: int = 0,
+    weights: Sequence[float] | None = None,
+) -> list[ServiceRequest]:
+    """Assign a workflow to each arrival (sampled with optional weights).
+
+    With a single choice the assignment is deterministic; with several,
+    the mix is drawn from a seeded generator so streams are reproducible.
+    """
+    if not workflow_choices:
+        raise ValueError("need at least one workflow choice")
+    if weights is not None:
+        if len(weights) != len(workflow_choices):
+            raise ValueError("weights and workflow_choices length mismatch")
+        w = np.asarray(weights, dtype=float)
+        if (w < 0).any() or w.sum() <= 0:
+            raise ValueError("weights must be non-negative and sum > 0")
+        probabilities = w / w.sum()
+    else:
+        probabilities = None
+    rng = np.random.default_rng(seed)
+    requests = []
+    for i, t in enumerate(sorted(arrival_times)):
+        if len(workflow_choices) == 1:
+            wf = workflow_choices[0]
+        else:
+            wf = workflow_choices[
+                int(rng.choice(len(workflow_choices), p=probabilities))
+            ]
+        requests.append(
+            ServiceRequest(
+                request_id=f"req-{i:05d}", workflow=wf, arrival_time=float(t)
+            )
+        )
+    return requests

@@ -1,0 +1,119 @@
+"""Pool sizing for the mosaic service.
+
+Given a request stream and a response-time objective, find the smallest
+shared pool that meets it, by simulation: double the pool until the
+objective holds, then binary-search the boundary.  The returned plan
+carries the economics of the chosen size and of the candidates examined,
+so the operator sees the cost of tightening the SLA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pricing import AWS_2008, PricingModel
+from repro.service.arrivals import ServiceRequest
+from repro.service.economics import ServiceEconomics, service_economics
+from repro.service.simulator import ServiceResult, ServiceSimulator
+from repro.sim.datamanager import DataMode
+
+__all__ = ["CapacityPlan", "plan_capacity"]
+
+
+@dataclass(frozen=True)
+class CandidateOutcome:
+    """One examined pool size."""
+
+    n_processors: int
+    meets_objective: bool
+    p95_response_time: float
+    economics: ServiceEconomics
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """The sizing decision."""
+
+    objective_p95_seconds: float
+    chosen: CandidateOutcome | None
+    candidates: list[CandidateOutcome]
+
+    @property
+    def feasible(self) -> bool:
+        return self.chosen is not None
+
+    @property
+    def n_processors(self) -> int:
+        if self.chosen is None:
+            raise ValueError("objective infeasible within the search cap")
+        return self.chosen.n_processors
+
+
+def plan_capacity(
+    requests: list[ServiceRequest],
+    objective_p95_seconds: float,
+    data_mode: DataMode | str = DataMode.CLEANUP,
+    pricing: PricingModel = AWS_2008,
+    max_processors: int = 4096,
+    period_seconds: float | None = None,
+) -> CapacityPlan:
+    """Smallest pool whose 95th-percentile response meets the objective.
+
+    The p95 response time is monotone non-increasing in pool size for a
+    fixed FCFS request stream (more processors never delay anyone), which
+    justifies the doubling + binary search.
+    """
+    if objective_p95_seconds <= 0:
+        raise ValueError("objective must be positive")
+    if not requests:
+        raise ValueError("no requests supplied")
+
+    examined: dict[int, CandidateOutcome] = {}
+
+    def evaluate(p: int) -> CandidateOutcome:
+        if p not in examined:
+            sim = ServiceSimulator(p, data_mode=data_mode)
+            result: ServiceResult = sim.run(requests)
+            p95 = result.percentile_response_time(95.0)
+            # An undersized pool builds a backlog past the nominal rental
+            # period; the pool must then be held until the work drains.
+            period = (
+                max(period_seconds, result.horizon)
+                if period_seconds is not None
+                else None
+            )
+            examined[p] = CandidateOutcome(
+                n_processors=p,
+                meets_objective=p95 <= objective_p95_seconds,
+                p95_response_time=p95,
+                economics=service_economics(
+                    result, pricing, period_seconds=period
+                ),
+            )
+        return examined[p]
+
+    # Doubling phase.
+    p = 1
+    while p <= max_processors and not evaluate(p).meets_objective:
+        p *= 2
+    if p > max_processors:
+        return CapacityPlan(
+            objective_p95_seconds=objective_p95_seconds,
+            chosen=None,
+            candidates=sorted(
+                examined.values(), key=lambda c: c.n_processors
+            ),
+        )
+    # Binary search in (p/2, p].
+    lo, hi = p // 2, p  # evaluate(lo) failed (or lo == 0), evaluate(hi) met
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if evaluate(mid).meets_objective:
+            hi = mid
+        else:
+            lo = mid
+    return CapacityPlan(
+        objective_p95_seconds=objective_p95_seconds,
+        chosen=evaluate(hi),
+        candidates=sorted(examined.values(), key=lambda c: c.n_processors),
+    )

@@ -1,0 +1,102 @@
+"""Service-level billing: the pool versus per-use accounting.
+
+The paper prices a single request two ways — a pool held for the run
+(Question 1) or charges for resources actually used (Question 2).  At the
+service level both views coexist: the operator pays Amazon for the
+provisioned pool over the whole period, while each request's imputed
+on-demand cost says what the operator should recover from users.  The gap
+between the two is idle-pool waste — the quantitative version of the
+paper's "CPU utilization can be low in the provisioned case".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.costs import CostBreakdown, compute_cost
+from repro.core.plans import ExecutionPlan
+from repro.core.pricing import AWS_2008, PricingModel
+from repro.service.simulator import ServiceResult
+
+__all__ = ["ServiceEconomics", "service_economics"]
+
+
+@dataclass(frozen=True)
+class ServiceEconomics:
+    """The service's bill over one simulated horizon."""
+
+    n_processors: int
+    horizon_seconds: float
+    n_requests: int
+    #: what Amazon bills for holding the pool the whole horizon
+    pool_cpu_cost: float
+    #: summed per-request costs under resources-used accounting
+    on_demand_total: CostBreakdown
+    pool_utilization: float
+    mean_response_time: float
+    p95_response_time: float
+
+    @property
+    def total_pool_bill(self) -> float:
+        """Pool CPU + the requests' data-management fees."""
+        return self.pool_cpu_cost + self.on_demand_total.data_management_cost
+
+    @property
+    def cost_per_request_pool(self) -> float:
+        """Operator's cost per request when paying for the pool."""
+        if self.n_requests == 0:
+            return 0.0
+        return self.total_pool_bill / self.n_requests
+
+    @property
+    def cost_per_request_on_demand(self) -> float:
+        """Imputed per-request cost under resources-used accounting."""
+        if self.n_requests == 0:
+            return 0.0
+        return self.on_demand_total.total / self.n_requests
+
+    @property
+    def idle_waste(self) -> float:
+        """Pool dollars spent on processors nobody was using."""
+        return self.pool_cpu_cost - self.on_demand_total.cpu_cost
+
+
+def service_economics(
+    result: ServiceResult,
+    pricing: PricingModel = AWS_2008,
+    period_seconds: float | None = None,
+) -> ServiceEconomics:
+    """Price one service run.
+
+    ``period_seconds`` is the provisioning period the pool was rented for;
+    it defaults to the simulated horizon (last request completion) and
+    must cover it.
+    """
+    horizon = result.horizon
+    if period_seconds is None:
+        period_seconds = horizon
+    if period_seconds < horizon:
+        raise ValueError(
+            f"period {period_seconds} shorter than the simulated horizon "
+            f"{horizon}"
+        )
+    plan = ExecutionPlan.on_demand(
+        result.n_processors, result.data_mode
+    )
+    totals = CostBreakdown(0.0, 0.0, 0.0, 0.0)
+    for outcome in result.outcomes:
+        totals = totals + compute_cost(outcome.result, pricing, plan)
+    pool_cpu = pricing.cpu_cost(
+        result.n_processors * period_seconds,
+        n_instances=result.n_processors,
+    )
+    return ServiceEconomics(
+        n_processors=result.n_processors,
+        horizon_seconds=period_seconds,
+        n_requests=result.n_requests,
+        pool_cpu_cost=pool_cpu,
+        on_demand_total=totals,
+        pool_utilization=result.pool_utilization(),
+        mean_response_time=result.mean_response_time(),
+        p95_response_time=result.percentile_response_time(95.0),
+    )

@@ -1,0 +1,116 @@
+"""Measured outputs of one simulated workflow execution.
+
+The paper's metrics of interest (Section 5):
+
+1. the workflow execution time,
+2. total data transferred from the user to the storage resource,
+3. total data transferred from the storage resource to the user,
+4. storage used at the resource as the area under the occupancy curve
+   (GB-hours; we record byte-seconds and convert in the pricing layer).
+
+We additionally keep per-task and per-transfer records plus the raw
+occupancy curves, which the extension analyses (utilization, failure
+impact) and the tests consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.curve import StepCurve
+from repro.util.units import GB, HOUR
+
+__all__ = ["TaskRecord", "TransferRecord", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One task execution (re-executions after failure get own records)."""
+
+    task_id: str
+    transformation: str
+    start: float
+    end: float
+    attempt: int = 1
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One file movement over the user<->storage link."""
+
+    file_name: str
+    size_bytes: float
+    direction: str  # "in" (user -> storage) or "out" (storage -> user)
+    start: float
+    end: float
+    #: which task triggered it; None for workflow-level stage-in/out
+    task_id: str | None = None
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured during one workflow execution."""
+
+    workflow_name: str
+    n_processors: int
+    data_mode: str
+    makespan: float
+    bytes_in: float
+    bytes_out: float
+    storage_byte_seconds: float
+    peak_storage_bytes: float
+    #: processor-seconds during which a processor was held (includes the
+    #: remote-I/O stage-in wait; feeds the utilization metric)
+    cpu_busy_seconds: float
+    #: pure computation seconds summed over executed attempts; this is what
+    #: the on-demand ("charged only for the resources used") CPU fee bills,
+    #: and it is invariant across data-management modes as in Figure 10
+    compute_seconds: float
+    n_transfers_in: int
+    n_transfers_out: int
+    n_task_executions: int
+    n_task_failures: int = 0
+    task_records: list[TaskRecord] = field(default_factory=list)
+    transfer_records: list[TransferRecord] = field(default_factory=list)
+    storage_curve: StepCurve | None = None
+    busy_curve: StepCurve | None = None
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def storage_gb_hours(self) -> float:
+        """The paper's space-time storage metric."""
+        return self.storage_byte_seconds / GB / HOUR
+
+    @property
+    def provisioned_cpu_seconds(self) -> float:
+        """Processor-seconds held under fixed provisioning (P x makespan)."""
+        return self.n_processors * self.makespan
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the provisioned processors over the run."""
+        total = self.provisioned_cpu_seconds
+        return self.cpu_busy_seconds / total if total > 0 else 0.0
+
+    def tasks_by_transformation(self) -> dict[str, list[TaskRecord]]:
+        """Group task records by transformation name."""
+        groups: dict[str, list[TaskRecord]] = {}
+        for rec in self.task_records:
+            groups.setdefault(rec.transformation, []).append(rec)
+        return groups
+
+    def summary(self) -> str:
+        """One-paragraph human-readable digest."""
+        return (
+            f"{self.workflow_name} on {self.n_processors} proc(s), "
+            f"{self.data_mode} mode: makespan {self.makespan:.1f} s, "
+            f"in {self.bytes_in / GB:.3f} GB, out {self.bytes_out / GB:.3f} GB, "
+            f"storage {self.storage_gb_hours:.3f} GB-h, "
+            f"utilization {self.utilization:.1%}"
+        )

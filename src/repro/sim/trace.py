@@ -1,0 +1,201 @@
+"""Execution-trace analysis and rendering.
+
+Post-processing over a :class:`~repro.sim.results.SimulationResult`'s task
+and transfer records:
+
+* per-transformation timing/level statistics (what the paper's Section 2
+  describes qualitatively: wave tasks are short, mAdd is long);
+* a text Gantt chart of processor occupancy — handy for eyeballing why a
+  provisioning choice wastes money;
+* CSV export of the task records, the transfer records and the storage
+  occupancy curve, so the figures can be re-plotted with any tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.sim.results import SimulationResult
+
+__all__ = [
+    "TransformationStats",
+    "transformation_stats",
+    "gantt_chart",
+    "task_records_csv",
+    "transfer_records_csv",
+    "storage_curve_csv",
+    "write_trace_files",
+]
+
+
+@dataclass(frozen=True)
+class TransformationStats:
+    """Aggregate timing for one transformation (e.g. all mProject tasks)."""
+
+    transformation: str
+    count: int
+    total_seconds: float
+    mean_seconds: float
+    min_seconds: float
+    max_seconds: float
+    first_start: float
+    last_end: float
+
+
+def transformation_stats(
+    result: SimulationResult,
+) -> dict[str, TransformationStats]:
+    """Per-transformation statistics from the task records.
+
+    Requires the simulation to have been run with ``record_trace=True``.
+    """
+    _require_trace(result)
+    out: dict[str, TransformationStats] = {}
+    for name, records in sorted(result.tasks_by_transformation().items()):
+        durations = np.array([r.duration for r in records], dtype=float)
+        out[name] = TransformationStats(
+            transformation=name,
+            count=len(records),
+            total_seconds=float(durations.sum()),
+            mean_seconds=float(durations.mean()),
+            min_seconds=float(durations.min()),
+            max_seconds=float(durations.max()),
+            first_start=min(r.start for r in records),
+            last_end=max(r.end for r in records),
+        )
+    return out
+
+
+def gantt_chart(
+    result: SimulationResult,
+    width: int = 72,
+    max_lanes: int = 32,
+) -> str:
+    """Render processor occupancy as a text Gantt chart.
+
+    Task records are packed greedily into lanes (a lane is one processor's
+    timeline under the executor's dispatch order); each lane prints one
+    row of ``width`` columns, with a letter per transformation and ``.``
+    for idle time.  Lanes beyond ``max_lanes`` are summarized.
+    """
+    _require_trace(result)
+    if not result.task_records:
+        return "(no tasks executed)"
+    makespan = result.makespan or max(r.end for r in result.task_records)
+    if makespan <= 0:
+        return "(zero-length execution)"
+
+    # Assign records to lanes: earliest-finishing lane that is free.
+    lanes: list[list] = []
+    lane_free_at: list[float] = []
+    for rec in sorted(result.task_records, key=lambda r: (r.start, r.end)):
+        placed = False
+        for i, free_at in enumerate(lane_free_at):
+            if free_at <= rec.start + 1e-12:
+                lanes[i].append(rec)
+                lane_free_at[i] = rec.end
+                placed = True
+                break
+        if not placed:
+            lanes.append([rec])
+            lane_free_at.append(rec.end)
+
+    # Letter per transformation, in first-appearance order.
+    letters: dict[str, str] = {}
+    alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+    for rec in result.task_records:
+        if rec.transformation not in letters:
+            letters[rec.transformation] = alphabet[
+                len(letters) % len(alphabet)
+            ]
+
+    rows = []
+    for i, lane in enumerate(lanes[:max_lanes]):
+        cells = ["."] * width
+        for rec in lane:
+            lo = int(rec.start / makespan * width)
+            hi = max(lo + 1, int(np.ceil(rec.end / makespan * width)))
+            for c in range(lo, min(hi, width)):
+                cells[c] = letters[rec.transformation]
+        rows.append(f"p{i:03d} |{''.join(cells)}|")
+    if len(lanes) > max_lanes:
+        rows.append(f"... {len(lanes) - max_lanes} more lanes ...")
+    legend = "  ".join(f"{v}={k}" for k, v in letters.items())
+    header = (
+        f"{result.workflow_name}: {len(result.task_records)} executions on "
+        f"{len(lanes)} lanes over {makespan:.1f} s"
+    )
+    return "\n".join([header, legend, *rows])
+
+
+def task_records_csv(result: SimulationResult) -> str:
+    """Task records as CSV text (task_id, transformation, start, end, attempt)."""
+    _require_trace(result)
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["task_id", "transformation", "start", "end", "attempt"])
+    for r in result.task_records:
+        writer.writerow([r.task_id, r.transformation, r.start, r.end, r.attempt])
+    return buf.getvalue()
+
+
+def transfer_records_csv(result: SimulationResult) -> str:
+    """Transfer records as CSV text."""
+    _require_trace(result)
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        ["file_name", "size_bytes", "direction", "start", "end", "task_id"]
+    )
+    for t in result.transfer_records:
+        writer.writerow(
+            [t.file_name, t.size_bytes, t.direction, t.start, t.end,
+             t.task_id or ""]
+        )
+    return buf.getvalue()
+
+
+def storage_curve_csv(result: SimulationResult) -> str:
+    """The storage occupancy step curve as (time, bytes) CSV text.
+
+    This is the curve whose area the paper integrates into GB-hours.
+    """
+    if result.storage_curve is None:
+        raise ValueError(
+            "no storage curve recorded; rerun with record_trace=True"
+        )
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["time", "bytes"])
+    writer.writerow([0.0, result.storage_curve.initial])
+    for t, v in result.storage_curve.change_points():
+        writer.writerow([t, v])
+    return buf.getvalue()
+
+
+def write_trace_files(result: SimulationResult, directory: str | Path) -> list[Path]:
+    """Dump tasks/transfers/storage CSVs into a directory; returns paths."""
+    d = Path(directory)
+    d.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, text in (
+        ("tasks.csv", task_records_csv(result)),
+        ("transfers.csv", transfer_records_csv(result)),
+        ("storage.csv", storage_curve_csv(result)),
+    ):
+        path = d / name
+        path.write_text(text, encoding="utf-8")
+        written.append(path)
+    return written
+
+
+def _require_trace(result: SimulationResult) -> None:
+    if not result.task_records and result.n_task_executions > 0:
+        raise ValueError(
+            "no task records on this result; rerun with record_trace=True"
+        )

@@ -1,0 +1,56 @@
+"""Shared utilities: unit conversions, step-function curves, formatting.
+
+These are the low-level building blocks used throughout the simulator and
+the cost model.  Everything here is deliberately dependency-free (stdlib +
+numpy only) so the rest of the package can import it without cycles.
+"""
+
+from repro.util.units import (
+    KB,
+    MB,
+    GB,
+    TB,
+    MBPS,
+    GBPS,
+    SECOND,
+    MINUTE,
+    HOUR,
+    DAY,
+    MONTH,
+    bytes_to_gb,
+    bytes_to_mb,
+    gb_to_bytes,
+    mb_to_bytes,
+    mbps_to_bytes_per_sec,
+    seconds_to_hours,
+    hours_to_seconds,
+    format_bytes,
+    format_duration,
+    format_money,
+)
+from repro.util.curve import StepCurve
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "MBPS",
+    "GBPS",
+    "SECOND",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "MONTH",
+    "bytes_to_gb",
+    "bytes_to_mb",
+    "gb_to_bytes",
+    "mb_to_bytes",
+    "mbps_to_bytes_per_sec",
+    "seconds_to_hours",
+    "hours_to_seconds",
+    "format_bytes",
+    "format_duration",
+    "format_money",
+    "StepCurve",
+]

@@ -1,0 +1,122 @@
+"""Right-continuous step functions over time.
+
+The paper measures storage consumption as "the area under the curve" of
+storage-in-use versus time (GB-hours).  :class:`StepCurve` is that curve: a
+piecewise-constant function built from timestamped increments, with exact
+integration.  It is also reused for processor occupancy traces.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["StepCurve"]
+
+
+class StepCurve:
+    """A right-continuous piecewise-constant function of time.
+
+    The curve starts at ``initial`` for all times before the first change
+    point.  Changes are recorded with :meth:`add` (a delta at a timestamp)
+    or :meth:`set_value`.  Out-of-order updates are permitted; points are
+    kept sorted.
+
+    The main consumer is storage accounting: ``curve.integral(t0, t1)``
+    over a byte-valued curve yields byte-seconds, which the pricing model
+    converts to GB-months.
+    """
+
+    def __init__(self, initial: float = 0.0) -> None:
+        self._initial = float(initial)
+        self._times: list[float] = []
+        #: value of the function on ``[times[i], times[i+1})``
+        self._values: list[float] = []
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add(self, time: float, delta: float) -> None:
+        """Add ``delta`` to the curve's value from ``time`` onwards."""
+        if delta == 0.0:
+            return
+        time = float(time)
+        idx = bisect_right(self._times, time)
+        if idx > 0 and self._times[idx - 1] == time:
+            # Coalesce with an existing change point.
+            for j in range(idx - 1, len(self._values)):
+                self._values[j] += delta
+            return
+        prev = self._values[idx - 1] if idx > 0 else self._initial
+        self._times.insert(idx, time)
+        self._values.insert(idx, prev + delta)
+        for j in range(idx + 1, len(self._values)):
+            self._values[j] += delta
+
+    def set_value(self, time: float, value: float) -> None:
+        """Force the curve to ``value`` from ``time`` onwards."""
+        current = self.value_at(time)
+        self.add(time, float(value) - current)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def initial(self) -> float:
+        """Value of the curve before the first change point."""
+        return self._initial
+
+    def value_at(self, time: float) -> float:
+        """Value of the (right-continuous) curve at ``time``."""
+        idx = bisect_right(self._times, float(time))
+        if idx == 0:
+            return self._initial
+        return self._values[idx - 1]
+
+    def final_value(self) -> float:
+        """Value after the last change point."""
+        return self._values[-1] if self._values else self._initial
+
+    def max_value(self, t0: float | None = None, t1: float | None = None) -> float:
+        """Maximum of the curve over ``[t0, t1]`` (whole domain by default)."""
+        if not self._times:
+            return self._initial
+        lo = float(t0) if t0 is not None else self._times[0]
+        hi = float(t1) if t1 is not None else self._times[-1]
+        best = self.value_at(lo)
+        for t, v in zip(self._times, self._values):
+            if lo <= t <= hi:
+                best = max(best, v)
+        return best
+
+    def integral(self, t0: float, t1: float) -> float:
+        """Exact integral of the curve over ``[t0, t1]``."""
+        t0, t1 = float(t0), float(t1)
+        if t1 < t0:
+            raise ValueError(f"integral bounds reversed: {t0} > {t1}")
+        if t1 == t0:
+            return 0.0
+        # Breakpoints clipped to the window, plus the window edges.
+        pts = [t0]
+        pts.extend(t for t in self._times if t0 < t < t1)
+        pts.append(t1)
+        total = 0.0
+        for a, b in zip(pts[:-1], pts[1:]):
+            total += self.value_at(a) * (b - a)
+        return total
+
+    def change_points(self) -> Iterator[tuple[float, float]]:
+        """Yield ``(time, value)`` pairs, one per change point."""
+        yield from zip(self._times, self._values)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(times, values)`` as numpy arrays (for plotting)."""
+        return np.asarray(self._times, dtype=float), np.asarray(self._values, dtype=float)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"StepCurve(initial={self._initial}, points={len(self._times)})"

@@ -1,0 +1,113 @@
+"""Unit constants and conversions.
+
+Internal conventions used everywhere in :mod:`repro`:
+
+* data sizes are **bytes** (floats are allowed; the simulator does not
+  require integral sizes),
+* time is **seconds**,
+* bandwidth is **bytes per second**,
+* money is **US dollars**.
+
+The paper quotes Amazon's 2008 rates per GB-month, per GB and per CPU-hour
+and then normalizes them to per-second / per-byte granularity; the
+constants below are the conversion factors used for that normalization.
+Decimal (SI) multiples are used for storage/transfer sizes, matching how
+cloud providers bill (1 GB = 10**9 bytes).
+"""
+
+from __future__ import annotations
+
+#: Decimal data-size multiples, in bytes.
+KB = 1_000.0
+MB = 1_000_000.0
+GB = 1_000_000_000.0
+TB = 1_000_000_000_000.0
+
+#: Bandwidth multiples, in bytes/second.  10 Mbps — the paper's fixed
+#: user<->storage bandwidth — is ``10 * MBPS`` = 1.25e6 B/s.
+MBPS = 1_000_000.0 / 8.0
+GBPS = 1_000_000_000.0 / 8.0
+
+#: Time multiples, in seconds.  ``MONTH`` is the 30-day billing month used
+#: to normalize Amazon's $/GB-month storage rate.
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3_600.0
+DAY = 24.0 * HOUR
+MONTH = 30.0 * DAY
+
+
+def bytes_to_gb(n_bytes: float) -> float:
+    """Convert bytes to decimal gigabytes."""
+    return n_bytes / GB
+
+
+def bytes_to_mb(n_bytes: float) -> float:
+    """Convert bytes to decimal megabytes."""
+    return n_bytes / MB
+
+
+def gb_to_bytes(n_gb: float) -> float:
+    """Convert decimal gigabytes to bytes."""
+    return n_gb * GB
+
+
+def mb_to_bytes(n_mb: float) -> float:
+    """Convert decimal megabytes to bytes."""
+    return n_mb * MB
+
+
+def mbps_to_bytes_per_sec(n_mbps: float) -> float:
+    """Convert megabits/second to bytes/second."""
+    return n_mbps * MBPS
+
+
+def seconds_to_hours(n_seconds: float) -> float:
+    """Convert seconds to hours."""
+    return n_seconds / HOUR
+
+
+def hours_to_seconds(n_hours: float) -> float:
+    """Convert hours to seconds."""
+    return n_hours * HOUR
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Render a byte count with a human-friendly decimal unit.
+
+    >>> format_bytes(173_460_000.0)
+    '173.46 MB'
+    """
+    magnitude = abs(n_bytes)
+    for unit, name in ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if magnitude >= unit:
+            return f"{n_bytes / unit:.2f} {name}"
+    return f"{n_bytes:.0f} B"
+
+
+def format_duration(n_seconds: float) -> str:
+    """Render a duration the way the paper quotes them (h/min/s).
+
+    >>> format_duration(19800.0)
+    '5.50 h'
+    >>> format_duration(1080.0)
+    '18.0 min'
+    """
+    if abs(n_seconds) >= HOUR:
+        return f"{n_seconds / HOUR:.2f} h"
+    if abs(n_seconds) >= MINUTE:
+        return f"{n_seconds / MINUTE:.1f} min"
+    return f"{n_seconds:.1f} s"
+
+
+def format_money(dollars: float) -> str:
+    """Render a dollar amount; sub-dollar amounts get cent precision.
+
+    >>> format_money(0.563)
+    '$0.563'
+    >>> format_money(34632.0)
+    '$34,632.00'
+    """
+    if abs(dollars) < 10.0:
+        return f"${dollars:.3f}"
+    return f"${dollars:,.2f}"

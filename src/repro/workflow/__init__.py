@@ -1,0 +1,82 @@
+"""Workflow (DAG) substrate.
+
+The paper models an application run as a workflow: a DAG whose vertices are
+tasks and whose edges are data dependencies carried by files (Figure 1 and
+Figure 3 of the paper).  This subpackage provides:
+
+* :mod:`repro.workflow.dag` — the core :class:`Workflow` / :class:`Task` /
+  :class:`FileSpec` model with validation, levels, and traversals;
+* :mod:`repro.workflow.analysis` — derived quantities the paper reports:
+  communication-to-computation ratio (CCR), data footprint, critical path,
+  maximum parallelism;
+* :mod:`repro.workflow.scaling` — CCR rescaling of file sizes (Section 6,
+  "Impact of the Communication to Computation Ratio");
+* :mod:`repro.workflow.cleanup` — Pegasus-style dynamic-cleanup analysis:
+  the earliest point each file may be deleted;
+* :mod:`repro.workflow.dax` — XML serialization compatible in spirit with
+  the mDAG/DAX descriptions the paper parses;
+* :mod:`repro.workflow.generators` — synthetic DAG shapes (chains,
+  fork-joins, random layered DAGs) used in tests and sensitivity studies.
+"""
+
+from repro.workflow.dag import FileSpec, Task, Workflow, WorkflowValidationError
+from repro.workflow.analysis import (
+    WorkflowStats,
+    communication_to_computation_ratio,
+    critical_path,
+    critical_path_length,
+    data_footprint,
+    level_widths,
+    max_parallelism,
+    workflow_stats,
+)
+from repro.workflow.scaling import scale_file_sizes, scale_to_ccr
+from repro.workflow.dataflow import (
+    TransferPrediction,
+    level_data_volumes,
+    predict_transfers,
+    reuse_factor,
+    transfer_multiplicity,
+)
+from repro.workflow.cleanup import CleanupPlan, cleanup_plan
+from repro.workflow.clustering import cluster_workflow
+from repro.workflow.dax import parse_dax, to_dax, read_dax_file, write_dax_file
+from repro.workflow.generators import (
+    chain_workflow,
+    diamond_workflow,
+    fork_join_workflow,
+    random_layered_workflow,
+)
+
+__all__ = [
+    "FileSpec",
+    "Task",
+    "Workflow",
+    "WorkflowValidationError",
+    "WorkflowStats",
+    "communication_to_computation_ratio",
+    "critical_path",
+    "critical_path_length",
+    "data_footprint",
+    "level_widths",
+    "max_parallelism",
+    "workflow_stats",
+    "scale_file_sizes",
+    "scale_to_ccr",
+    "TransferPrediction",
+    "level_data_volumes",
+    "predict_transfers",
+    "reuse_factor",
+    "transfer_multiplicity",
+    "CleanupPlan",
+    "cleanup_plan",
+    "cluster_workflow",
+    "parse_dax",
+    "to_dax",
+    "read_dax_file",
+    "write_dax_file",
+    "chain_workflow",
+    "diamond_workflow",
+    "fork_join_workflow",
+    "random_layered_workflow",
+]

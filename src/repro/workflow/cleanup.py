@@ -1,0 +1,97 @@
+"""Dynamic-cleanup analysis (Pegasus-style).
+
+Section 3 of the paper: in *dynamic cleanup* mode, "we delete files from the
+storage resource when they are no longer required.  This is done by Pegasus
+by performing an analysis of data use at the workflow level" (refs [15,16]).
+For the example of Figure 3: file *a* can be deleted after task 0 completes,
+file *b* only after task 6 completes.
+
+:func:`cleanup_plan` computes, for every file, the set of tasks whose
+completion releases it — i.e. the file may be removed once **all** tasks in
+its release set have finished.  The simulator's cleanup data manager
+consults this plan at run time; computing it statically keeps the run-time
+check O(consumers) per completion.
+
+Rules:
+
+* an **intermediate or input** file is released by the set of its consumers
+  (if an input file has no consumers it is never staged in, so the question
+  does not arise);
+* a **net output** file is never released by task completions — it must
+  survive until staged out to the user, after which the stage-out itself
+  deletes it (handled by the data manager);
+* a file consumed by no task but produced by one (an unmarked terminal
+  product) is treated as an output by :meth:`Workflow.output_files` and so
+  is also retained until stage-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workflow.dag import Workflow
+
+__all__ = ["CleanupPlan", "cleanup_plan"]
+
+
+@dataclass(frozen=True)
+class CleanupPlan:
+    """Static file-release analysis for one workflow.
+
+    Attributes
+    ----------
+    release_after:
+        file name -> frozenset of task ids; once every task in the set has
+        completed, the file is no longer needed on cloud storage.  Files
+        absent from this mapping (net outputs) must be kept until staged
+        out.
+    protected:
+        net output files, kept until final stage-out.
+    """
+
+    release_after: dict[str, frozenset[str]]
+    protected: frozenset[str]
+
+    def releasable_on(self, task_id: str, completed: set[str]) -> list[str]:
+        """Files that become deletable when ``task_id`` completes.
+
+        ``completed`` must already include ``task_id``.
+        """
+        out = []
+        for fname, releasers in self.release_after.items():
+            if task_id in releasers and releasers <= completed:
+                out.append(fname)
+        return out
+
+
+def cleanup_plan(workflow: Workflow) -> CleanupPlan:
+    """Compute the earliest-deletion plan for a workflow."""
+    outputs = frozenset(workflow.output_files())
+    release: dict[str, frozenset[str]] = {}
+    for fname in workflow.files:
+        if fname in outputs:
+            continue
+        consumers = workflow.consumers_of(fname)
+        if consumers:
+            release[fname] = consumers
+        else:
+            # Produced but never consumed and not an output: deletable as
+            # soon as its producer finishes.  (Unreferenced input files are
+            # rejected by Workflow.validate.)
+            producer = workflow.producer_of(fname)
+            if producer is not None:
+                release[fname] = frozenset((producer,))
+    return CleanupPlan(release_after=release, protected=outputs)
+
+
+def releasers_index(plan: CleanupPlan) -> dict[str, list[str]]:
+    """Invert a plan: task id -> files whose release set contains it.
+
+    Used by the simulator so each task completion only inspects its own
+    candidate files instead of scanning the whole plan.
+    """
+    index: dict[str, list[str]] = {}
+    for fname, releasers in plan.release_after.items():
+        for tid in releasers:
+            index.setdefault(tid, []).append(fname)
+    return index

@@ -1,0 +1,80 @@
+"""Horizontal task clustering (the Pegasus optimization for Montage).
+
+Montage tasks "have a small runtime of at most a few minutes" (paper,
+Section 2).  On a real grid every job submission pays scheduling latency,
+so Pegasus clusters Montage's wide waves — several same-type tasks of the
+same level are merged into one job that runs them back-to-back.  With the
+simulator's ``task_overhead_seconds`` knob this trade-off is visible here
+too: clustering divides the total overhead by the cluster factor while
+reducing the wave's parallelism.
+
+:func:`cluster_workflow` merges tasks grouped by (level, transformation)
+into chunks of at most ``factor`` members.  Tasks on the same level never
+depend on one another, so the merged task simply consumes the union of
+the members' inputs and produces the union of their outputs; runtimes
+add.  Files, and therefore every data-flow quantity (footprint, CCR,
+regular-mode transfers), are unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.workflow.dag import Task, Workflow
+
+__all__ = ["cluster_workflow"]
+
+
+def cluster_workflow(
+    workflow: Workflow, factor: int, name: str | None = None
+) -> Workflow:
+    """Merge same-level, same-transformation tasks into ``factor``-chunks.
+
+    ``factor=1`` returns an equivalent copy.  Chunks follow topological
+    (insertion) order within each group; clusters of one keep the original
+    task id so single tasks are untouched.
+    """
+    if factor < 1:
+        raise ValueError(f"cluster factor must be >= 1, got {factor}")
+    clustered = Workflow(name or f"{workflow.name}-c{factor}")
+    for f in workflow.files.values():
+        clustered.add_file(f)
+
+    levels = workflow.levels()
+    groups: dict[tuple[int, str], list[Task]] = {}
+    for tid in workflow.topological_order():
+        task = workflow.task(tid)
+        groups.setdefault((levels[tid], task.transformation), []).append(task)
+
+    # Rebuild in level order so add_task always sees producers first.
+    for (level, transformation), members in sorted(
+        groups.items(), key=lambda item: item[0][0]
+    ):
+        for i in range(0, len(members), factor):
+            chunk = members[i : i + factor]
+            if len(chunk) == 1:
+                clustered.add_task(chunk[0])
+                continue
+            inputs: list[str] = []
+            outputs: list[str] = []
+            seen_in: set[str] = set()
+            for member in chunk:
+                for fname in member.inputs:
+                    if fname not in seen_in:
+                        seen_in.add(fname)
+                        inputs.append(fname)
+                outputs.extend(member.outputs)  # producers are unique
+            clustered.add_task(
+                Task(
+                    task_id=(
+                        f"cluster_{transformation}_l{level}_"
+                        f"{i // factor:04d}"
+                    ),
+                    runtime=sum(m.runtime for m in chunk),
+                    inputs=tuple(inputs),
+                    outputs=tuple(outputs),
+                    transformation=transformation,
+                )
+            )
+    for fname in workflow.output_files():
+        clustered.mark_output(fname)
+    clustered.validate()
+    return clustered

@@ -1,0 +1,211 @@
+"""Synthetic workflow generators.
+
+These shapes (chains, diamonds, fork-joins, random layered DAGs) are not
+Montage; they exist so the simulator, the data-management strategies and
+the cost model can be exercised and property-tested on structures with
+known analytic answers, and so the CCR sensitivity study can be repeated on
+non-Montage applications (the paper notes Montage "is only one of a number
+of scientific applications" that could use clouds).
+
+All generators are deterministic given their arguments (random ones take an
+explicit seed) and produce validated workflows where every task reads one
+or more files and writes at least one, so every dependency carries data —
+matching the paper's model in which edges *are* file flows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workflow.dag import FileSpec, Task, Workflow
+
+__all__ = [
+    "chain_workflow",
+    "diamond_workflow",
+    "fork_join_workflow",
+    "random_layered_workflow",
+    "example_figure3_workflow",
+]
+
+
+def chain_workflow(
+    n_tasks: int,
+    runtime: float = 100.0,
+    file_size: float = 1_000_000.0,
+    name: str = "chain",
+) -> Workflow:
+    """A linear pipeline: t0 -> t1 -> ... -> t(n-1).
+
+    Task *i* reads ``f_i`` and writes ``f_{i+1}``; ``f_0`` is the workflow
+    input and ``f_n`` the output.
+    """
+    if n_tasks < 1:
+        raise ValueError("chain needs at least one task")
+    wf = Workflow(name)
+    for i in range(n_tasks + 1):
+        wf.add_file(FileSpec(f"f{i}", file_size))
+    for i in range(n_tasks):
+        wf.add_task(
+            Task(
+                task_id=f"t{i}",
+                runtime=runtime,
+                inputs=(f"f{i}",),
+                outputs=(f"f{i + 1}",),
+                transformation="stage",
+            )
+        )
+    wf.validate()
+    return wf
+
+
+def diamond_workflow(
+    runtime: float = 100.0,
+    file_size: float = 1_000_000.0,
+    name: str = "diamond",
+) -> Workflow:
+    """The classic 4-task diamond: split -> (left, right) -> join."""
+    wf = Workflow(name)
+    for fname in ("in", "l_in", "r_in", "l_out", "r_out", "out"):
+        wf.add_file(FileSpec(fname, file_size))
+    wf.add_task(
+        Task("split", runtime, inputs=("in",), outputs=("l_in", "r_in"))
+    )
+    wf.add_task(Task("left", runtime, inputs=("l_in",), outputs=("l_out",)))
+    wf.add_task(Task("right", runtime, inputs=("r_in",), outputs=("r_out",)))
+    wf.add_task(
+        Task("join", runtime, inputs=("l_out", "r_out"), outputs=("out",))
+    )
+    wf.validate()
+    return wf
+
+
+def fork_join_workflow(
+    width: int,
+    runtime: float = 100.0,
+    file_size: float = 1_000_000.0,
+    name: str = "fork-join",
+) -> Workflow:
+    """One fan-out stage of ``width`` parallel tasks feeding a join task.
+
+    Each worker reads its own input file (all staged in) and writes one
+    intermediate; the join reads all intermediates and writes the output.
+    Maximum parallelism is exactly ``width``.
+    """
+    if width < 1:
+        raise ValueError("fork-join needs width >= 1")
+    wf = Workflow(name)
+    for i in range(width):
+        wf.add_file(FileSpec(f"in{i}", file_size))
+        wf.add_file(FileSpec(f"mid{i}", file_size))
+    wf.add_file(FileSpec("out", file_size))
+    for i in range(width):
+        wf.add_task(
+            Task(
+                task_id=f"w{i}",
+                runtime=runtime,
+                inputs=(f"in{i}",),
+                outputs=(f"mid{i}",),
+                transformation="worker",
+            )
+        )
+    wf.add_task(
+        Task(
+            task_id="join",
+            runtime=runtime,
+            inputs=tuple(f"mid{i}" for i in range(width)),
+            outputs=("out",),
+            transformation="join",
+        )
+    )
+    wf.validate()
+    return wf
+
+
+def random_layered_workflow(
+    n_layers: int,
+    width: int,
+    seed: int,
+    mean_runtime: float = 100.0,
+    mean_file_size: float = 1_000_000.0,
+    edge_density: float = 0.5,
+    name: str | None = None,
+) -> Workflow:
+    """A random layered DAG (each task reads from the previous layer).
+
+    Layer 0 tasks read fresh input files; each later task reads the outputs
+    of a random nonempty subset of the previous layer (expected fraction
+    ``edge_density``).  Runtimes and sizes are exponential with the given
+    means, mirroring the heavy-tailed mixes in real workflows.  Fully
+    deterministic for a given ``seed``.
+    """
+    if n_layers < 1 or width < 1:
+        raise ValueError("need n_layers >= 1 and width >= 1")
+    if not 0.0 < edge_density <= 1.0:
+        raise ValueError(f"edge_density must be in (0, 1], got {edge_density}")
+    rng = np.random.default_rng(seed)
+    wf = Workflow(name or f"random-l{n_layers}w{width}s{seed}")
+
+    def rsize() -> float:
+        return float(rng.exponential(mean_file_size)) + 1.0
+
+    def rtime() -> float:
+        return float(rng.exponential(mean_runtime)) + 1e-3
+
+    prev_outputs: list[str] = []
+    for layer in range(n_layers):
+        new_outputs: list[str] = []
+        for i in range(width):
+            tid = f"t{layer}_{i}"
+            out = f"f{layer}_{i}"
+            wf.add_file(FileSpec(out, rsize()))
+            if layer == 0:
+                fin = f"in_{i}"
+                wf.add_file(FileSpec(fin, rsize()))
+                inputs: tuple[str, ...] = (fin,)
+            else:
+                mask = rng.random(len(prev_outputs)) < edge_density
+                chosen = [f for f, m in zip(prev_outputs, mask) if m]
+                if not chosen:  # every task must depend on the prior layer
+                    chosen = [
+                        prev_outputs[int(rng.integers(len(prev_outputs)))]
+                    ]
+                inputs = tuple(chosen)
+            wf.add_task(
+                Task(
+                    task_id=tid,
+                    runtime=rtime(),
+                    inputs=inputs,
+                    outputs=(out,),
+                    transformation=f"layer{layer}",
+                )
+            )
+            new_outputs.append(out)
+        prev_outputs = new_outputs
+    wf.validate()
+    return wf
+
+
+def example_figure3_workflow(
+    runtime: float = 100.0, file_size: float = 1_000_000.0
+) -> Workflow:
+    """The seven-task example workflow of Figure 3 in the paper.
+
+    Task 0 reads *a*, writes *b*; tasks 1 and 2 both read *b* and write
+    *c*/*d*; tasks 3, 4, 5 read *c*, *c*, *d* and write *e*, *f*, *h*;
+    task 6 reads *e*, *f*, *h* and writes *g*.  Net outputs are *g* and *h*
+    (the paper stages out both).
+    """
+    wf = Workflow("figure3")
+    for fname in "abcdefgh":
+        wf.add_file(FileSpec(fname, file_size))
+    wf.add_task(Task("task0", runtime, inputs=("a",), outputs=("b",)))
+    wf.add_task(Task("task1", runtime, inputs=("b",), outputs=("c",)))
+    wf.add_task(Task("task2", runtime, inputs=("b",), outputs=("d",)))
+    wf.add_task(Task("task3", runtime, inputs=("c",), outputs=("e",)))
+    wf.add_task(Task("task4", runtime, inputs=("c",), outputs=("f",)))
+    wf.add_task(Task("task5", runtime, inputs=("d",), outputs=("h",)))
+    wf.add_task(Task("task6", runtime, inputs=("e", "f", "h"), outputs=("g",)))
+    wf.mark_output("g")
+    wf.mark_output("h")
+    wf.validate()
+    return wf

@@ -1,0 +1,54 @@
+"""CCR rescaling of workflows.
+
+Section 6 of the paper ("Impact of the Communication to Computation Ratio
+on the Cost of the Request") artificially changes the data-intensiveness of
+the Montage workflows: *"let CCRd be the desired CCR and CCRr be the real
+CCR of the workflow.  Then we multiply each file size by CCRd/CCRr to get
+the desired CCR."*  These helpers implement exactly that.
+"""
+
+from __future__ import annotations
+
+from repro.workflow.analysis import (
+    REFERENCE_BANDWIDTH,
+    communication_to_computation_ratio,
+)
+from repro.workflow.dag import Workflow
+
+__all__ = ["scale_file_sizes", "scale_to_ccr"]
+
+
+def scale_file_sizes(
+    workflow: Workflow, factor: float, name: str | None = None
+) -> Workflow:
+    """Return a copy of ``workflow`` with every file size multiplied.
+
+    Runtimes are untouched, so CCR scales linearly with ``factor``.
+    """
+    if factor < 0:
+        raise ValueError(f"scale factor must be non-negative, got {factor}")
+    sizes = {f.name: f.size_bytes * factor for f in workflow.files.values()}
+    return workflow.with_file_sizes(
+        sizes, name=name or f"{workflow.name}-x{factor:g}"
+    )
+
+
+def scale_to_ccr(
+    workflow: Workflow,
+    desired_ccr: float,
+    bandwidth: float = REFERENCE_BANDWIDTH,
+    name: str | None = None,
+) -> Workflow:
+    """Return a copy whose CCR at ``bandwidth`` equals ``desired_ccr``.
+
+    Implements the paper's CCRd/CCRr multiplicative rescaling.
+    """
+    if desired_ccr <= 0:
+        raise ValueError(f"desired CCR must be positive, got {desired_ccr}")
+    real = communication_to_computation_ratio(workflow, bandwidth)
+    if real == 0:
+        raise ValueError("cannot rescale a workflow with zero CCR")
+    factor = desired_ccr / real
+    return scale_file_sizes(
+        workflow, factor, name=name or f"{workflow.name}-ccr{desired_ccr:g}"
+    )

@@ -1,0 +1,29 @@
+"""Shared fixtures: the three paper workloads, built once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.montage import (
+    montage_1_degree,
+    montage_2_degree,
+    montage_4_degree,
+)
+
+
+@pytest.fixture(scope="session")
+def montage1():
+    """The paper's Montage 1° workflow (203 tasks)."""
+    return montage_1_degree()
+
+
+@pytest.fixture(scope="session")
+def montage2():
+    """The paper's Montage 2° workflow (731 tasks)."""
+    return montage_2_degree()
+
+
+@pytest.fixture(scope="session")
+def montage4():
+    """The paper's Montage 4° workflow (3,027 tasks)."""
+    return montage_4_degree()

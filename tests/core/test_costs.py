@@ -1,0 +1,134 @@
+"""Cost-attribution tests (metrics x pricing x plan)."""
+
+import pytest
+
+from repro.core.costs import CostBreakdown, compute_cost
+from repro.core.plans import ExecutionPlan, VMOverhead
+from repro.core.pricing import AWS_2008
+from repro.sim.executor import simulate
+from repro.sim.results import SimulationResult
+from repro.util.units import GB, HOUR, MONTH
+from repro.workflow.generators import chain_workflow, fork_join_workflow
+
+
+def _result(**overrides) -> SimulationResult:
+    base = dict(
+        workflow_name="synthetic",
+        n_processors=4,
+        data_mode="regular",
+        makespan=HOUR,
+        bytes_in=2 * GB,
+        bytes_out=1 * GB,
+        storage_byte_seconds=10 * GB * MONTH,
+        peak_storage_bytes=GB,
+        cpu_busy_seconds=2 * HOUR,
+        compute_seconds=2 * HOUR,
+        n_transfers_in=2,
+        n_transfers_out=1,
+        n_task_executions=10,
+    )
+    base.update(overrides)
+    return SimulationResult(**base)
+
+
+class TestBreakdownArithmetic:
+    def test_components_and_total(self):
+        c = CostBreakdown(1.0, 0.5, 0.2, 0.3, vm_fixed_cost=0.1)
+        assert c.transfer_cost == pytest.approx(0.5)
+        assert c.data_management_cost == pytest.approx(1.0)
+        assert c.total == pytest.approx(2.1)
+
+    def test_add(self):
+        a = CostBreakdown(1.0, 2.0, 3.0, 4.0)
+        b = CostBreakdown(0.5, 0.5, 0.5, 0.5)
+        s = a + b
+        assert s.cpu_cost == 1.5
+        assert s.total == pytest.approx(a.total + b.total)
+
+    def test_scaled(self):
+        c = CostBreakdown(1.0, 2.0, 3.0, 4.0).scaled(3900.0)
+        assert c.cpu_cost == pytest.approx(3900.0)
+        assert c.total == pytest.approx(39000.0)
+
+
+class TestProvisionedAttribution:
+    def test_cpu_is_processors_times_makespan(self):
+        res = _result()
+        cost = compute_cost(res, AWS_2008, ExecutionPlan.provisioned(4))
+        # 4 procs x 1 h x $0.10
+        assert cost.cpu_cost == pytest.approx(0.40)
+
+    def test_other_components(self):
+        res = _result()
+        cost = compute_cost(res, AWS_2008, ExecutionPlan.provisioned(4))
+        assert cost.storage_cost == pytest.approx(10 * 0.15)
+        assert cost.transfer_in_cost == pytest.approx(0.20)
+        assert cost.transfer_out_cost == pytest.approx(0.16)
+
+    def test_vm_overhead_extends_billing(self):
+        res = _result()
+        ov = VMOverhead(
+            startup_seconds=HOUR / 2, teardown_seconds=HOUR / 2,
+            fixed_cost_per_vm=0.05,
+        )
+        cost = compute_cost(
+            res, AWS_2008, ExecutionPlan.provisioned(4, vm_overhead=ov)
+        )
+        # (1 h makespan + 1 h overhead) x 4 procs x $0.10 + 4 x $0.05
+        assert cost.cpu_cost == pytest.approx(0.80)
+        assert cost.vm_fixed_cost == pytest.approx(0.20)
+        assert cost.total == pytest.approx(
+            0.80 + 1.5 + 0.20 + 0.16 + 0.20
+        )
+
+
+class TestOnDemandAttribution:
+    def test_cpu_bills_compute_seconds_only(self):
+        res = _result()
+        cost = compute_cost(res, AWS_2008, ExecutionPlan.on_demand(4))
+        # 2 CPU-hours of actual work regardless of pool width or makespan.
+        assert cost.cpu_cost == pytest.approx(0.20)
+        assert cost.vm_fixed_cost == 0.0
+
+    def test_on_demand_cpu_invariant_across_modes(self, montage1):
+        """Figure 10: 'The CPU cost is invariant between the three
+        execution modes.'"""
+        costs = []
+        for mode in ("remote-io", "regular", "cleanup"):
+            r = simulate(montage1, 158, mode, record_trace=False)
+            c = compute_cost(r, AWS_2008, ExecutionPlan.on_demand(158, mode))
+            costs.append(c.cpu_cost)
+        assert costs[0] == pytest.approx(costs[1])
+        assert costs[1] == pytest.approx(costs[2])
+
+    def test_provisioned_at_least_on_demand(self):
+        """Holding P processors can never bill less CPU than Σ runtimes."""
+        wf = fork_join_workflow(7, runtime=50.0)
+        for p in (1, 2, 4, 8):
+            r = simulate(wf, p, record_trace=False)
+            prov = compute_cost(r, AWS_2008, ExecutionPlan.provisioned(p))
+            ond = compute_cost(r, AWS_2008, ExecutionPlan.on_demand(p))
+            assert prov.cpu_cost >= ond.cpu_cost - 1e-9
+
+    def test_paper_headline_provisioned_gap(self, montage4):
+        """The paper: 4° costs $13.92 provisioned on 128 but $8.89
+        on-demand — the provisioned premium is large at high P."""
+        r = simulate(montage4, 128, record_trace=False)
+        prov = compute_cost(r, AWS_2008, ExecutionPlan.provisioned(128))
+        ond = compute_cost(r, AWS_2008, ExecutionPlan.on_demand(128))
+        assert prov.total > 1.5 * ond.total
+
+
+class TestEndToEnd:
+    def test_chain_cost_by_hand(self):
+        # chain(2): runtime 200 s total; 1.25 MB in, 1.25 MB out;
+        # storage 303 file-seconds (see test_datamanager).
+        wf = chain_workflow(2, runtime=100.0, file_size=1.25e6)
+        r = simulate(wf, 1, bandwidth_bytes_per_sec=1.25e6)
+        cost = compute_cost(r, AWS_2008, ExecutionPlan.provisioned(1))
+        assert cost.cpu_cost == pytest.approx(202.0 / 3600 * 0.10)
+        assert cost.transfer_in_cost == pytest.approx(1.25e6 / 1e9 * 0.10)
+        assert cost.transfer_out_cost == pytest.approx(1.25e6 / 1e9 * 0.16)
+        assert cost.storage_cost == pytest.approx(
+            303 * 1.25e6 / 1e9 / (30 * 24 * 3600) * 0.15
+        )

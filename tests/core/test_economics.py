@@ -1,0 +1,86 @@
+"""Closed-form economics tests (Questions 2b and 3 arithmetic)."""
+
+import math
+
+import pytest
+
+from repro.core.costs import CostBreakdown
+from repro.core.economics import (
+    archive_economics,
+    full_sky_cost,
+    store_vs_recompute_months,
+)
+from repro.core.pricing import AWS_2008
+from repro.util.units import GB, MB, TB
+
+
+class TestArchiveEconomics:
+    def test_paper_worked_example(self):
+        """$1,800 / ($2.22 - $2.12) = 18,000 mosaics per month."""
+        e = archive_economics(
+            archive_bytes=12 * TB,
+            cost_per_request_staged=2.22,
+            cost_per_request_prestaged=2.12,
+            pricing=AWS_2008,
+        )
+        assert e.monthly_storage_cost == pytest.approx(1800.0)
+        assert e.initial_transfer_cost == pytest.approx(1200.0)
+        assert e.saving_per_request == pytest.approx(0.10)
+        assert e.break_even_requests_per_month == pytest.approx(18000.0)
+
+    def test_no_saving_means_never_breaks_even(self):
+        e = archive_economics(1 * TB, 2.0, 2.0, AWS_2008)
+        assert math.isinf(e.break_even_requests_per_month)
+        assert math.isinf(e.amortization_months(1e9))
+
+    def test_amortization(self):
+        e = archive_economics(12 * TB, 2.22, 2.12, AWS_2008)
+        # At 36,000 requests/month: net saving $1,800/mo; $1,200 upload
+        # pays back in 2/3 month.
+        assert e.amortization_months(36000.0) == pytest.approx(2.0 / 3.0)
+        # Below break-even, never.
+        assert math.isinf(e.amortization_months(17000.0))
+
+    def test_amortization_rejects_negative_volume(self):
+        e = archive_economics(1 * TB, 2.0, 1.0, AWS_2008)
+        with pytest.raises(ValueError):
+            e.amortization_months(-1.0)
+
+    def test_negative_archive_rejected(self):
+        with pytest.raises(ValueError):
+            archive_economics(-1.0, 2.0, 1.0, AWS_2008)
+
+
+class TestStoreVsRecompute:
+    @pytest.mark.parametrize(
+        "cpu_cost,size_mb,months",
+        [
+            # The paper's three worked examples (Section 6, Question 3).
+            (0.56, 173.46, 21.52),
+            (2.03, 557.9, 24.25),
+            (8.40, 2229.0, 25.12),
+        ],
+    )
+    def test_paper_horizons(self, cpu_cost, size_mb, months):
+        ours = store_vs_recompute_months(cpu_cost, size_mb * MB, AWS_2008)
+        assert ours == pytest.approx(months, rel=0.01)
+
+    def test_zero_size_is_forever(self):
+        assert math.isinf(store_vs_recompute_months(1.0, 0.0, AWS_2008))
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            store_vs_recompute_months(-1.0, GB, AWS_2008)
+
+
+class TestFullSky:
+    def test_paper_total(self):
+        """3,900 x $8.88 = $34,632."""
+        per_plate = CostBreakdown(8.40, 0.03, 0.10, 0.35)
+        sky = full_sky_cost(3900, per_plate)
+        assert sky.total.total == pytest.approx(3900 * per_plate.total)
+        assert sky.total.total == pytest.approx(34632.0, rel=0.01)
+
+    def test_negative_plates_rejected(self):
+        with pytest.raises(ValueError):
+            full_sky_cost(-1, CostBreakdown(1, 0, 0, 0))

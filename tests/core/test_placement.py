@@ -1,0 +1,95 @@
+"""Data-placement optimization tests."""
+
+import math
+
+import pytest
+
+from repro.core.placement import DatasetProfile, optimize_placement
+from repro.core.pricing import AWS_2008
+from repro.util.units import GB, MB, TB
+
+
+def _decide(datasets, **kw):
+    return {
+        d.dataset.name: d for d in optimize_placement(datasets, **kw)
+    }
+
+
+class TestThresholdRule:
+    def test_paper_2mass_example(self):
+        """Hosting 2MASS pays above ~21k 2-degree mosaics/month (the
+        unrounded form of the paper's 18,000)."""
+        mass = DatasetProfile(
+            name="2mass",
+            dataset_bytes=12 * TB,
+            bytes_per_request=854.9 * MB,  # the 2-degree input volume
+            requests_per_month=25_000.0,
+        )
+        d = _decide([mass])["2mass"]
+        assert d.host
+        assert d.monthly_storage_cost == pytest.approx(1800.0)
+        assert d.break_even_requests_per_month == pytest.approx(
+            21_054, rel=0.01
+        )
+
+    def test_below_break_even_not_hosted(self):
+        mass = DatasetProfile("2mass", 12 * TB, 854.9 * MB, 10_000.0)
+        assert not _decide([mass])["2mass"].host
+
+    def test_popular_small_dataset_hosted(self):
+        # 100 GB dataset, 1 GB per request, 1,000 requests/month:
+        # storage $15/mo vs $100/mo transfer saving.
+        ds = DatasetProfile("popular", 100 * GB, GB, 1000.0)
+        d = _decide([ds])["popular"]
+        assert d.host
+        assert d.monthly_net_saving == pytest.approx(100.0 - 15.0)
+        assert d.payback_months == pytest.approx(10.0 / 85.0)
+
+    def test_unpopular_large_dataset_rejected(self):
+        ds = DatasetProfile("cold", 10 * TB, GB, 5.0)
+        d = _decide([ds])["cold"]
+        assert not d.host
+        assert math.isinf(d.payback_months)
+
+    def test_decisions_independent(self):
+        hot = DatasetProfile("hot", 100 * GB, GB, 1000.0)
+        cold = DatasetProfile("cold", 10 * TB, GB, 5.0)
+        decisions = _decide([hot, cold])
+        assert decisions["hot"].host
+        assert not decisions["cold"].host
+
+
+class TestAmortizationHorizon:
+    def test_horizon_blocks_slow_payback(self):
+        # Net saving $85/mo; upload $10 -> payback 0.12 mo: hosted even
+        # under a tight horizon.
+        fast = DatasetProfile("fast", 100 * GB, GB, 1000.0)
+        # Net saving $1/mo; upload $100 -> payback 100 months.
+        slow = DatasetProfile("slow", 1 * TB, GB, 1510.0)
+        no_horizon = _decide([fast, slow])
+        assert no_horizon["fast"].host and no_horizon["slow"].host
+        with_horizon = _decide(
+            [fast, slow], amortization_horizon_months=12.0
+        )
+        assert with_horizon["fast"].host
+        assert not with_horizon["slow"].host
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            optimize_placement([], amortization_horizon_months=0.0)
+
+
+class TestValidation:
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetProfile("x", -1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            DatasetProfile("x", 1.0, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            DatasetProfile("x", 1.0, 1.0, -1.0)
+
+    def test_zero_demand_never_hosted(self):
+        ds = DatasetProfile("idle", GB, GB, 0.0)
+        d = _decide([ds])["idle"]
+        assert not d.host
+        assert d.monthly_transfer_saving == 0.0

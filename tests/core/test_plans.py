@@ -1,0 +1,44 @@
+"""Execution-plan tests."""
+
+import pytest
+
+from repro.core.plans import ExecutionPlan, ProvisioningMode, VMOverhead
+from repro.sim.datamanager import DataMode
+
+
+class TestPlans:
+    def test_provisioned_factory(self):
+        plan = ExecutionPlan.provisioned(16, "cleanup")
+        assert plan.provisioning is ProvisioningMode.PROVISIONED
+        assert plan.data_mode is DataMode.CLEANUP
+        assert plan.n_processors == 16
+
+    def test_on_demand_factory(self):
+        plan = ExecutionPlan.on_demand(610, DataMode.REMOTE_IO)
+        assert plan.provisioning is ProvisioningMode.ON_DEMAND
+        assert plan.data_mode is DataMode.REMOTE_IO
+
+    def test_default_no_overhead(self):
+        plan = ExecutionPlan.provisioned(1)
+        assert plan.vm_overhead.total_seconds == 0.0
+        assert plan.vm_overhead.fixed_cost_per_vm == 0.0
+
+    def test_invalid_processor_count(self):
+        with pytest.raises(ValueError):
+            ExecutionPlan.provisioned(0)
+
+    def test_invalid_mode_string(self):
+        with pytest.raises(ValueError):
+            ExecutionPlan.provisioned(1, "warp-drive")
+
+
+class TestVMOverhead:
+    def test_total(self):
+        ov = VMOverhead(startup_seconds=120.0, teardown_seconds=30.0)
+        assert ov.total_seconds == 150.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VMOverhead(startup_seconds=-1.0)
+        with pytest.raises(ValueError):
+            VMOverhead(fixed_cost_per_vm=-0.01)

@@ -1,0 +1,119 @@
+"""Fee-structure tests pinned to the paper's Section 3 rates."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.pricing import (
+    AWS_2008,
+    FREE_TRANSFERS,
+    PricingModel,
+    STORAGE_HEAVY,
+    TRANSFER_HEAVY,
+)
+from repro.util.units import GB, HOUR, MONTH, TB
+
+
+class TestAws2008Rates:
+    def test_headline_rates(self):
+        assert AWS_2008.storage_per_gb_month == 0.15
+        assert AWS_2008.transfer_in_per_gb == 0.10
+        assert AWS_2008.transfer_out_per_gb == 0.16
+        assert AWS_2008.cpu_per_hour == 0.10
+
+    def test_normalized_rates(self):
+        # "$ per CPU-second" etc. — the paper's least-granularity units.
+        assert AWS_2008.cpu_per_second == pytest.approx(0.10 / 3600)
+        assert AWS_2008.transfer_in_per_byte == pytest.approx(0.10 / GB)
+        assert AWS_2008.storage_per_byte_second == pytest.approx(
+            0.15 / GB / MONTH
+        )
+
+    def test_cpu_hour_costs_ten_cents(self):
+        assert AWS_2008.cpu_cost(HOUR) == pytest.approx(0.10)
+
+    def test_gb_transfers(self):
+        assert AWS_2008.transfer_in_cost(GB) == pytest.approx(0.10)
+        assert AWS_2008.transfer_out_cost(GB) == pytest.approx(0.16)
+
+    def test_gb_month_storage(self):
+        assert AWS_2008.storage_cost(GB * MONTH) == pytest.approx(0.15)
+
+    def test_2mass_monthly_bill(self):
+        # The paper's Q2b: 12 TB -> $1,800/month.
+        assert AWS_2008.monthly_storage_cost(12 * TB) == pytest.approx(1800.0)
+
+
+class TestValidation:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PricingModel("bad", -0.1, 0.1, 0.1, 0.1)
+
+    def test_negative_quantities_rejected(self):
+        with pytest.raises(ValueError):
+            AWS_2008.cpu_cost(-1.0)
+        with pytest.raises(ValueError):
+            AWS_2008.storage_cost(-1.0)
+        with pytest.raises(ValueError):
+            AWS_2008.transfer_in_cost(-1.0)
+        with pytest.raises(ValueError):
+            AWS_2008.transfer_out_cost(-1.0)
+        with pytest.raises(ValueError):
+            AWS_2008.monthly_storage_cost(-1.0)
+        with pytest.raises(ValueError):
+            AWS_2008.cpu_cost(1.0, n_instances=0)
+
+
+class TestBillingGranularity:
+    def test_hourly_quantum_rounds_up(self):
+        hourly = AWS_2008.with_quantum(cpu_quantum_seconds=3600.0)
+        # 90 minutes on one instance bills 2 hours.
+        assert hourly.cpu_cost(90 * 60) == pytest.approx(0.20)
+        # Exactly one hour bills one hour.
+        assert hourly.cpu_cost(3600.0) == pytest.approx(0.10)
+
+    def test_per_instance_rounding(self):
+        hourly = AWS_2008.with_quantum(cpu_quantum_seconds=3600.0)
+        # 4 instances x 30 min each = 2 CPU-hours of work, billed as 4.
+        assert hourly.cpu_cost(4 * 1800.0, n_instances=4) == pytest.approx(
+            0.40
+        )
+
+    def test_quantized_never_cheaper(self):
+        hourly = AWS_2008.with_quantum(cpu_quantum_seconds=3600.0)
+        for seconds in (1.0, 1800.0, 3600.0, 5400.0, 7200.0):
+            assert hourly.cpu_cost(seconds) >= AWS_2008.cpu_cost(seconds) - 1e-12
+
+    def test_storage_quantum(self):
+        q = AWS_2008.with_quantum(storage_quantum_gb_months=1.0)
+        # Half a GB-month bills a full GB-month.
+        assert q.storage_cost(0.5 * GB * MONTH) == pytest.approx(0.15)
+
+
+class TestVariants:
+    def test_scaled_multipliers(self):
+        p = AWS_2008.scaled(storage=2.0, transfer=0.5, cpu=3.0)
+        assert p.storage_per_gb_month == pytest.approx(0.30)
+        assert p.transfer_in_per_gb == pytest.approx(0.05)
+        assert p.transfer_out_per_gb == pytest.approx(0.08)
+        assert p.cpu_per_hour == pytest.approx(0.30)
+
+    def test_presets_shape(self):
+        assert STORAGE_HEAVY.storage_per_gb_month > AWS_2008.storage_per_gb_month
+        assert STORAGE_HEAVY.transfer_in_per_gb < AWS_2008.transfer_in_per_gb
+        assert TRANSFER_HEAVY.storage_per_gb_month < AWS_2008.storage_per_gb_month
+        assert TRANSFER_HEAVY.transfer_out_per_gb > AWS_2008.transfer_out_per_gb
+        assert FREE_TRANSFERS.transfer_in_per_gb == 0.0
+
+
+@given(
+    seconds=st.floats(0.0, 1e7, allow_nan=False),
+    quantum=st.floats(1.0, 7200.0),
+    instances=st.integers(1, 16),
+)
+def test_quantized_cpu_cost_bounds(seconds, quantum, instances):
+    """Quantized billing is within one quantum per instance of continuous."""
+    q = AWS_2008.with_quantum(cpu_quantum_seconds=quantum)
+    billed = q.cpu_cost(seconds, n_instances=instances)
+    continuous = AWS_2008.cpu_cost(seconds)
+    assert billed >= continuous - 1e-9
+    assert billed <= continuous + instances * quantum * AWS_2008.cpu_per_second + 1e-9

@@ -1,0 +1,122 @@
+"""Tiered fee-schedule tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.costs import compute_cost
+from repro.core.plans import ExecutionPlan
+from repro.core.pricing import AWS_2008
+from repro.core.tiered import (
+    AWS_2008_TIERED_EGRESS,
+    TieredPricingModel,
+    TieredRate,
+)
+from repro.sim.executor import simulate
+from repro.util.units import GB, HOUR, MONTH, TB
+
+
+class TestTieredRate:
+    def test_bracket_arithmetic(self):
+        rate = TieredRate([(10.0, 0.18), (40.0, 0.16)], 0.13)
+        assert rate.cost(0.0) == 0.0
+        assert rate.cost(5.0) == pytest.approx(0.90)
+        assert rate.cost(10.0) == pytest.approx(1.80)
+        assert rate.cost(50.0) == pytest.approx(1.80 + 6.40)
+        assert rate.cost(100.0) == pytest.approx(1.80 + 6.40 + 6.50)
+
+    def test_marginal_price(self):
+        rate = TieredRate([(10.0, 0.18), (40.0, 0.16)], 0.13)
+        assert rate.marginal_price(0.0) == 0.18
+        assert rate.marginal_price(9.999) == 0.18
+        assert rate.marginal_price(10.0) == 0.16
+        assert rate.marginal_price(50.0) == 0.13
+
+    def test_flat_schedule(self):
+        rate = TieredRate.flat(0.10)
+        assert rate.cost(123.0) == pytest.approx(12.3)
+        assert rate.marginal_price(1e9) == 0.10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TieredRate([(0.0, 0.1)], 0.1)
+        with pytest.raises(ValueError):
+            TieredRate([(1.0, -0.1)], 0.1)
+        with pytest.raises(ValueError):
+            TieredRate([], -0.1)
+        with pytest.raises(ValueError):
+            TieredRate([], 0.1).cost(-1.0)
+
+    @given(
+        q=st.floats(0.0, 1e6, allow_subnormal=False),
+        q2=st.floats(0.0, 1e6, allow_subnormal=False),
+    )
+    def test_monotone_and_concave_marginals(self, q, q2):
+        rate = TieredRate([(10.0, 0.18), (40.0, 0.16)], 0.13)
+        lo, hi = sorted((q, q2))
+        assert rate.cost(hi) >= rate.cost(lo) - 1e-12
+        # Declining marginal prices: average unit price never increases
+        # (relative tolerance absorbs division rounding at tiny volumes).
+        if lo > 1e-9 and hi > 1e-9:
+            assert rate.cost(hi) / hi <= (rate.cost(lo) / lo) * (1 + 1e-9)
+
+
+class TestTieredPricingModel:
+    def test_untouched_components_fall_through(self):
+        model = AWS_2008_TIERED_EGRESS
+        assert model.transfer_in_cost(GB) == AWS_2008.transfer_in_cost(GB)
+        assert model.storage_cost(GB * MONTH) == AWS_2008.storage_cost(
+            GB * MONTH
+        )
+        assert model.cpu_cost(HOUR) == AWS_2008.cpu_cost(HOUR)
+        assert model.monthly_storage_cost(TB) == pytest.approx(150.0)
+
+    def test_tiered_egress_first_bracket(self):
+        # Small volumes pay the 2008 first-bracket $0.18/GB, above the
+        # paper's flat $0.16.
+        assert AWS_2008_TIERED_EGRESS.transfer_out_cost(GB) == pytest.approx(
+            0.18
+        )
+
+    def test_tiered_egress_bulk_discount(self):
+        # 100 TB mostly rides the $0.13 bracket.
+        bulk = AWS_2008_TIERED_EGRESS.transfer_out_cost(100_000 * GB)
+        flat = AWS_2008.transfer_out_cost(100_000 * GB)
+        assert bulk == pytest.approx(1800 + 6400 + 6500)
+        assert bulk < flat
+
+    def test_all_components_tierable(self):
+        model = TieredPricingModel(
+            AWS_2008,
+            transfer_in=TieredRate.flat(0.05),
+            storage=TieredRate.flat(0.30),
+            cpu=TieredRate([(100.0, 0.10)], 0.05),
+        )
+        assert model.transfer_in_cost(GB) == pytest.approx(0.05)
+        assert model.monthly_storage_cost(GB) == pytest.approx(0.30)
+        assert model.cpu_cost(200 * HOUR) == pytest.approx(10.0 + 5.0)
+
+    def test_negative_quantities_rejected(self):
+        with pytest.raises(ValueError):
+            AWS_2008_TIERED_EGRESS.transfer_out_cost(-1.0)
+
+    def test_works_with_compute_cost(self, montage1):
+        """TieredPricingModel plugs into the existing cost attribution."""
+        result = simulate(montage1, 8, record_trace=False)
+        plan = ExecutionPlan.provisioned(8)
+        flat = compute_cost(result, AWS_2008, plan)
+        tiered = compute_cost(result, AWS_2008_TIERED_EGRESS, plan)
+        # Only the egress component differs (first bracket: 0.18 vs 0.16).
+        assert tiered.cpu_cost == pytest.approx(flat.cpu_cost)
+        assert tiered.transfer_in_cost == pytest.approx(flat.transfer_in_cost)
+        assert tiered.transfer_out_cost == pytest.approx(
+            flat.transfer_out_cost * 0.18 / 0.16
+        )
+
+    def test_whole_sky_under_real_egress(self):
+        """The paper's Q3 egress volume (3,900 x 2.25 GB ≈ 8.8 TB/run)
+        stays in the 2008 first bracket — the flat $0.16 understated the
+        outbound bill by ~12.5%."""
+        outbound = 3900 * 2.2513 * GB
+        tiered = AWS_2008_TIERED_EGRESS.transfer_out_cost(outbound)
+        flat = AWS_2008.transfer_out_cost(outbound)
+        assert tiered / flat == pytest.approx(0.18 / 0.16)

@@ -1,0 +1,73 @@
+"""Processor-sweep and Pareto-frontier tests."""
+
+import pytest
+
+from repro.core.pricing import AWS_2008
+from repro.core.tradeoff import (
+    geometric_processors,
+    pareto_frontier,
+    processor_sweep,
+)
+from repro.workflow.generators import fork_join_workflow
+
+
+class TestGeometricProcessors:
+    def test_paper_ladder(self):
+        assert geometric_processors(128) == [1, 2, 4, 8, 16, 32, 64, 128]
+
+    def test_non_power_cap(self):
+        assert geometric_processors(100) == [1, 2, 4, 8, 16, 32, 64]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            geometric_processors(0)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        wf = fork_join_workflow(16, runtime=100.0, file_size=2e6)
+        return processor_sweep(wf, [1, 2, 4, 8, 16])
+
+    def test_one_point_per_processor_count(self, points):
+        assert [p.n_processors for p in points] == [1, 2, 4, 8, 16]
+
+    def test_makespan_monotone_for_forkjoin(self, points):
+        spans = [p.makespan for p in points]
+        assert spans == sorted(spans, reverse=True)
+
+    def test_transfer_cost_constant(self, points):
+        xfers = {round(p.cost.transfer_cost, 9) for p in points}
+        assert len(xfers) == 1
+
+    def test_costs_priced_with_given_model(self, points):
+        for p in points:
+            assert p.total_cost == pytest.approx(p.cost.total)
+            expected_cpu = AWS_2008.cpu_cost(p.n_processors * p.makespan)
+            assert p.cost.cpu_cost == pytest.approx(expected_cpu)
+
+
+class TestPareto:
+    def test_frontier_members_are_nondominated(self):
+        wf = fork_join_workflow(16, runtime=100.0, file_size=2e6)
+        points = processor_sweep(wf, [1, 2, 4, 8, 16])
+        frontier = pareto_frontier(points)
+        assert frontier  # never empty for a non-empty sweep
+        for f in frontier:
+            dominated = any(
+                (o.total_cost <= f.total_cost and o.makespan < f.makespan)
+                or (o.total_cost < f.total_cost and o.makespan <= f.makespan)
+                for o in points
+            )
+            assert not dominated
+
+    def test_frontier_sorted_and_strictly_improving(self):
+        wf = fork_join_workflow(16, runtime=100.0, file_size=2e6)
+        frontier = pareto_frontier(processor_sweep(wf, [1, 2, 4, 8, 16]))
+        costs = [f.total_cost for f in frontier]
+        spans = [f.makespan for f in frontier]
+        assert costs == sorted(costs)
+        assert spans == sorted(spans, reverse=True)
+
+    def test_empty_input(self):
+        assert pareto_frontier([]) == []

@@ -1,0 +1,55 @@
+"""Direct tests for the ablation-study API."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    all_studies,
+    billing_granularity_study,
+    clustering_study,
+    failure_study,
+    fee_sensitivity_study,
+    link_contention_study,
+    scheduler_study,
+    storage_capacity_study,
+    vm_overhead_study,
+)
+from repro.workflow.generators import fork_join_workflow
+
+
+@pytest.fixture(scope="module")
+def small():
+    return fork_join_workflow(6, runtime=50.0, file_size=2e6)
+
+
+class TestStudyShapes:
+    def test_each_study_renders_and_carries_raw(self, small):
+        studies = [
+            billing_granularity_study(small, processors=(1, 4)),
+            vm_overhead_study(small, processors=(1, 4)),
+            fee_sensitivity_study(small),
+            link_contention_study(small, processors=(1, 4)),
+            failure_study(small, probabilities=(0.0, 0.2), n_processors=2),
+            scheduler_study(small, n_processors=2),
+            clustering_study(small, factors=(1, 3), overheads=(0.0, 5.0),
+                             n_processors=2),
+        ]
+        for study in studies:
+            assert study.raw
+            text = study.as_table()
+            assert study.title.split(" — ")[0] in text
+            assert len(text.splitlines()) >= 2 + len(study.rows)
+
+    def test_capacity_study_on_cleanup_safe_workflow(self, small):
+        study = storage_capacity_study(
+            small, fractions=(None, 1.0), processors=(2,)
+        )
+        assert len(study.raw) == 2
+        assert study.raw[0][3] == pytest.approx(study.raw[1][3])
+
+    def test_all_studies_count(self, montage1):
+        studies = all_studies(montage1)
+        assert [s.name for s in studies] == [
+            "billing-granularity", "vm-overhead", "fee-sensitivity",
+            "link-contention", "failures", "scheduler",
+            "storage-capacity", "clustering",
+        ]

@@ -1,0 +1,117 @@
+"""ASCII chart tests."""
+
+import pytest
+
+from repro.experiments.plots import ascii_bars, ascii_chart
+
+
+class TestChart:
+    def test_basic_layout(self):
+        text = ascii_chart(
+            [1, 2, 4], {"a": [1.0, 2.0, 3.0]}, height=4, title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert text.count("|") == 4  # one per row
+        assert "* a" in lines[-1]
+        # extremes land on the top and bottom rows
+        assert "*" in lines[1]
+        assert "*" in lines[4]
+
+    def test_multiple_series_get_distinct_markers(self):
+        text = ascii_chart(
+            [1, 2], {"up": [1.0, 2.0], "down": [2.0, 1.0]}, height=4
+        )
+        assert "* up" in text
+        assert "o down" in text
+
+    def test_collisions_marked_plus(self):
+        text = ascii_chart(
+            [1], {"a": [1.0], "b": [1.0]}, height=3
+        )
+        # both series at the same point -> '+'
+        assert "+" in text.splitlines()[2]
+
+    def test_log_scale_spreads_small_values(self):
+        series = {"v": [0.001, 1.0, 1000.0]}
+        linear = ascii_chart([1, 2, 3], series, height=9)
+        log = ascii_chart([1, 2, 3], series, height=9, log_y=True)
+        # On a linear axis the two small values collapse onto one row;
+        # on the log axis the middle value sits mid-chart.
+        def row_of(text):
+            for i, line in enumerate(text.splitlines()):
+                if "|" in line and "*" in line:  # plot body only
+                    yield i
+        linear_rows = sorted(set(row_of(linear)))
+        log_rows = sorted(set(row_of(log)))
+        assert len(log_rows) == 3
+        assert len(linear_rows) == 2
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"a": [1.0]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1], {})
+
+    def test_log_needs_positive_value(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"a": [0.0]}, log_y=True)
+
+    def test_min_height(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"a": [1.0]}, height=1)
+
+    def test_constant_series(self):
+        text = ascii_chart([1, 2, 3], {"flat": [5.0, 5.0, 5.0]}, height=3)
+        body = [l for l in text.splitlines() if "|" in l]
+        assert sum(l.count("*") for l in body) == 3
+
+
+class TestBars:
+    def test_proportional_bars(self):
+        text = ascii_bars([("a", 1.0), ("b", 2.0)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_labels_aligned_and_values_printed(self):
+        text = ascii_bars([("short", 1.0), ("longer-name", 0.5)], width=4)
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+        assert "1.00" in lines[0]
+
+    def test_unit_suffix(self):
+        text = ascii_bars([("a", 2.0)], unit=" GB-h")
+        assert "GB-h" in text
+
+    def test_zero_peak(self):
+        text = ascii_bars([("a", 0.0)], width=5)
+        assert "#" not in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bars([])
+        with pytest.raises(ValueError):
+            ascii_bars([("a", -1.0)])
+        with pytest.raises(ValueError):
+            ascii_bars([("a", 1.0)], width=0)
+
+
+class TestCLIPlot:
+    def test_q1_figure(self, capsys):
+        from repro.cli import main
+
+        assert main(["plot", "--degree", "1", "--figure", "q1"]) == 0
+        out = capsys.readouterr().out
+        assert "total $" in out
+        assert "makespan (h)" in out
+
+    def test_modes_figure(self, capsys):
+        from repro.cli import main
+
+        assert main(["plot", "--degree", "1", "--figure", "modes"]) == 0
+        out = capsys.readouterr().out
+        assert "Storage used" in out
+        assert "remote-io" in out

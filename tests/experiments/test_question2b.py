@@ -1,0 +1,47 @@
+"""Question 2b (archive hosting) experiment tests."""
+
+import pytest
+
+from repro.experiments.question2b import run_question2b
+
+
+@pytest.fixture(scope="module")
+def q2b(montage2):
+    return run_question2b(montage2)
+
+
+class TestQuestion2b:
+    def test_monthly_storage_is_1800(self, q2b):
+        assert q2b.monthly_storage_cost == pytest.approx(1800.0)
+
+    def test_staged_request_cost_near_paper(self, q2b):
+        # Paper: $2.22.
+        assert q2b.cost_staged == pytest.approx(2.22, abs=0.04)
+
+    def test_prestaged_request_cost_near_paper(self, q2b):
+        # Paper: $2.12.
+        assert q2b.cost_prestaged == pytest.approx(2.12, abs=0.03)
+
+    def test_break_even_same_order_as_paper(self, q2b):
+        # Paper: 18,000 mosaics/month (with its rounded $0.10 saving);
+        # our unrounded saving of ~$0.0855 gives ~21,000.
+        assert 15_000 < q2b.break_even_requests_per_month < 25_000
+
+    def test_upload_cost(self, q2b):
+        assert q2b.economics.initial_transfer_cost == pytest.approx(1200.0)
+
+    def test_prestaging_only_sheds_input_transfer(self, q2b):
+        saving = q2b.cost_staged - q2b.cost_prestaged
+        assert saving == pytest.approx(q2b.economics.saving_per_request)
+        assert saving > 0
+
+    def test_table_renders(self, q2b):
+        text = q2b.as_table()
+        assert "break-even" in text
+        assert "12 TB" in text
+
+    def test_accepts_degree(self):
+        res = run_question2b(1.0)
+        assert res.workflow_name == "montage-1deg"
+        # Smaller request -> smaller saving -> higher break-even volume.
+        assert res.break_even_requests_per_month > 50_000

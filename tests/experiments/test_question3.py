@@ -1,0 +1,64 @@
+"""Question 3 (whole sky, store-vs-recompute) experiment tests."""
+
+import pytest
+
+from repro.experiments.question3 import run_question3
+
+
+@pytest.fixture(scope="module")
+def q3():
+    return run_question3()
+
+
+class TestWholeSky:
+    def test_plate_count(self, q3):
+        assert q3.n_plates == 3900
+
+    def test_staged_total_near_paper(self, q3):
+        # Paper: 3,900 x $8.88 = $34,632; ours lands within a few percent.
+        assert q3.total_staged == pytest.approx(34632.0, rel=0.04)
+
+    def test_prestaged_total_near_paper(self, q3):
+        # Paper: 3,900 x $8.75 = $34,145 (paper text says $34,145).
+        assert q3.total_prestaged == pytest.approx(34145.0, rel=0.02)
+
+    def test_prestaged_cheaper(self, q3):
+        assert q3.total_prestaged < q3.total_staged
+
+    def test_scaling_consistency(self, q3):
+        assert q3.total_staged == pytest.approx(
+            q3.n_plates * q3.cost_per_plate_staged.total
+        )
+
+
+class TestStoreVsRecompute:
+    def test_horizons_match_paper(self, q3):
+        # Paper: 21.52 / 24.25 / 25.12 months.
+        months = {r.degree: r.months for r in q3.store_rows}
+        assert months[1.0] == pytest.approx(21.52, rel=0.01)
+        assert months[2.0] == pytest.approx(24.25, rel=0.01)
+        assert months[4.0] == pytest.approx(25.12, rel=0.01)
+
+    def test_roughly_two_years_rule(self, q3):
+        # "if it is likely that the same request would be repeated within
+        # the next two years ... store the generated mosaic"
+        for row in q3.store_rows:
+            assert 18.0 < row.months < 30.0
+
+    def test_cpu_costs_match_figure10(self, q3):
+        cpu = {r.degree: r.cpu_cost for r in q3.store_rows}
+        assert cpu[1.0] == pytest.approx(0.56, abs=0.01)
+        assert cpu[2.0] == pytest.approx(2.03, abs=0.01)
+        assert cpu[4.0] == pytest.approx(8.40, abs=0.01)
+
+    def test_table_renders(self, q3):
+        text = q3.as_table()
+        assert "3,900" in text or "3900" in text
+        assert "Store-vs-recompute" in text
+
+
+class TestAlternativeSky:
+    def test_six_degree_sky(self):
+        res = run_question3(sky_degree=6.0, store_degrees=(1.0,))
+        assert res.n_plates == 1734
+        assert res.total_staged > 0

@@ -1,0 +1,56 @@
+"""Table-rendering tests."""
+
+import pytest
+
+from repro.experiments.report import (
+    format_paper_comparison,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ("name", "value"),
+            [("alpha", 1.0), ("b", 23.5)],
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+        # numeric column is right-aligned: both values end the line
+        assert lines[2].endswith("1")
+        assert lines[3].endswith("23.5")
+
+    def test_title(self):
+        text = format_table(("a",), [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_empty_rows(self):
+        text = format_table(("col",), [])
+        assert "col" in text
+
+    def test_money_and_percent_treated_numeric(self):
+        text = format_table(
+            ("q", "v"), [("x", "$1.00"), ("y", "$234.56")]
+        )
+        lines = text.splitlines()
+        assert lines[2].endswith("$1.00")
+        assert lines[3].endswith("$234.56")
+
+    def test_large_floats_no_decimals(self):
+        text = format_table(("v",), [(34_632_000.0,)])
+        assert "34,632,000" in text
+
+
+class TestPaperComparison:
+    def test_headers(self):
+        text = format_paper_comparison(
+            [("cost", "$8.88", "$9.06")], title="t"
+        )
+        assert "paper" in text
+        assert "measured" in text
+        assert "$9.06" in text

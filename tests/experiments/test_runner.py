@@ -1,0 +1,47 @@
+"""Full-report runner smoke tests."""
+
+from repro.experiments.runner import main, run_all
+
+
+class TestRunner:
+    def test_fast_report_contains_all_sections(self):
+        report = run_all(fast=True)
+        for marker in (
+            "Figure 4",
+            "Figure 7",
+            "CCR table",
+            "Figure 11",
+            "Question 2b",
+            "Question 3",
+            "Paper-reported values",
+        ):
+            assert marker in report
+
+    def test_fast_report_has_key_numbers(self):
+        report = run_all(fast=True)
+        assert "0.0530" in report  # CCR table
+        assert "18,000" in report  # paper break-even row
+        assert "$1,800" in report  # monthly archive storage
+
+    def test_main_entrypoint(self, capsys):
+        assert main(["--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Reproduction report" in out
+
+
+class TestFullRunner:
+    def test_full_report_covers_all_figures(self):
+        """The non-fast report includes all three workloads (slower: runs
+        the whole evaluation, ~15 s)."""
+        report = run_all(fast=False)
+        for marker in ("Figure 5", "Figure 6", "Figure 8", "Figure 9"):
+            assert marker in report
+        assert "montage-4deg" in report
+
+
+class TestExtensionsFlag:
+    def test_extensions_section(self):
+        report = run_all(fast=True, extensions=True)
+        assert "Extension / ablation studies" in report
+        assert "Billing-granularity ablation" in report
+        assert "Task-clustering ablation" in report

@@ -1,0 +1,64 @@
+"""Programmatic paper-verification tests."""
+
+import pytest
+
+from repro.experiments.verification import (
+    ComparisonRow,
+    comparison_table,
+    verify_reproduction,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return verify_reproduction()
+
+
+class TestVerification:
+    def test_every_claim_reproduced(self, rows):
+        failed = [r for r in rows if not r.ok]
+        assert not failed, "\n".join(
+            f"{r.experiment}/{r.quantity}: paper={r.paper_value} "
+            f"measured={r.measured_value}"
+            for r in failed
+        )
+
+    def test_covers_every_experiment(self, rows):
+        experiments = {r.experiment for r in rows}
+        assert experiments == {
+            "workloads", "ccr-table", "fig4", "fig5", "fig6", "fig10",
+            "q2b", "q3",
+        }
+        assert len(rows) >= 30
+
+    def test_exact_rows_are_exact(self, rows):
+        exact = {
+            r.quantity: r for r in rows if r.rel_tol == 0.0
+            and r.kind == "approx"
+        }
+        assert exact["1deg task count"].measured_value == 203
+        assert exact["plates for the sky"].measured_value == 3900
+
+    def test_table_renders(self, rows):
+        text = comparison_table(rows)
+        assert "paper" in text and "measured" in text
+        assert text.count("yes") >= len(rows) - 2
+        assert " NO" not in text
+
+    def test_upper_bound_rows(self, rows):
+        le_rows = [r for r in rows if r.kind == "le"]
+        assert len(le_rows) == 2
+        for r in le_rows:
+            assert r.measured_value <= r.paper_value
+
+
+class TestComparisonRow:
+    def test_approx_semantics(self):
+        row = ComparisonRow("x", "q", 100.0, 104.0, 0.05)
+        assert row.ok
+        assert row.deviation == pytest.approx(0.04)
+        assert not ComparisonRow("x", "q", 100.0, 106.0, 0.05).ok
+
+    def test_le_semantics(self):
+        assert ComparisonRow("x", "q", 8.0, 5.9, 0.0, kind="le").ok
+        assert not ComparisonRow("x", "q", 8.0, 8.1, 0.0, kind="le").ok

@@ -1,0 +1,84 @@
+"""Multi-band (color mosaic) workflow tests."""
+
+import pytest
+
+from repro.core.pricing import AWS_2008
+from repro.montage.multiband import multiband_montage_workflow
+from repro.sim.executor import simulate
+from repro.workflow.analysis import max_parallelism
+
+
+class TestStructure:
+    @pytest.fixture(scope="class")
+    def color1(self):
+        return multiband_montage_workflow(1.0)
+
+    def test_task_count(self, color1):
+        assert len(color1) == 3 * 203 + 1
+
+    def test_band_namespaces(self, color1):
+        for band in ("j", "h", "k"):
+            assert f"{band}_mAdd" in color1
+            assert f"{band}_mosaic.fits" in color1.files
+
+    def test_combine_consumes_all_band_mosaics(self, color1):
+        combine = color1.task("mColorJPEG")
+        assert set(combine.inputs) == {
+            "j_mosaic.fits", "h_mosaic.fits", "k_mosaic.fits",
+        }
+
+    def test_outputs(self, color1):
+        outs = set(color1.output_files())
+        assert "color.jpg" in outs
+        # Band mosaics remain deliverables (marked per band).
+        assert "j_mosaic.fits" in outs
+        assert "k_mosaic_small.fits" in outs
+
+    def test_depth_unchanged(self, color1, montage1):
+        # mColorJPEG consumes the band mosaics (level 7 products), so it
+        # sits at level 8 alongside each band's mShrink.
+        assert color1.depth() == montage1.depth()
+        assert color1.levels()["mColorJPEG"] == 8
+
+    def test_bands_are_independent_waves(self, color1):
+        # The three bands triple the available parallelism.
+        assert max_parallelism(color1) == 3 * 118
+
+
+class TestCalibration:
+    def test_cpu_cost_three_times_single_band(self, montage1):
+        color = multiband_montage_workflow(1.0)
+        single_cpu = AWS_2008.cpu_cost(montage1.total_runtime())
+        color_cpu = AWS_2008.cpu_cost(color.total_runtime())
+        assert color_cpu == pytest.approx(3 * single_cpu, rel=0.01)
+
+    def test_footprint_three_times_single_band(self, montage1):
+        color = multiband_montage_workflow(1.0)
+        assert color.total_file_bytes() == pytest.approx(
+            3 * montage1.total_file_bytes(), rel=0.001
+        )
+
+
+class TestExecution:
+    def test_simulates_end_to_end(self):
+        color = multiband_montage_workflow(1.0)
+        r = simulate(color, 64, "cleanup", record_trace=False)
+        assert r.n_task_executions == 610
+        assert r.makespan > 0
+
+    def test_custom_bands(self):
+        two = multiband_montage_workflow(1.0, bands=("r", "b"))
+        assert len(two) == 2 * 203 + 1
+        assert "mColorJPEG" in two
+
+    def test_jitter_seeds_differ_per_band(self):
+        color = multiband_montage_workflow(1.0, jitter=0.2, seed=5)
+        j = color.task("j_mProject_0000").runtime
+        h = color.task("h_mProject_0000").runtime
+        assert j != h  # per-band seeds decorrelate the waves
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multiband_montage_workflow(1.0, bands=())
+        with pytest.raises(ValueError):
+            multiband_montage_workflow(1.0, bands=("j", "j"))

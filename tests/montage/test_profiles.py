@@ -1,0 +1,109 @@
+"""Calibration-profile tests: the published aggregates must pin exactly."""
+
+import pytest
+
+from repro.core.pricing import AWS_2008
+from repro.montage.profiles import (
+    CANONICAL_DEGREES,
+    MontageProfile,
+    RUNTIME_UNIT,
+    TASK_WEIGHTS,
+    profile_for_degree,
+)
+from repro.util.units import MB
+
+
+class TestCanonicalProfiles:
+    @pytest.mark.parametrize(
+        "degree,n_tasks", [(1.0, 203), (2.0, 731), (4.0, 3027)]
+    )
+    def test_task_counts_match_paper(self, degree, n_tasks):
+        assert profile_for_degree(degree).n_tasks == n_tasks
+
+    @pytest.mark.parametrize(
+        "degree,cpu_cost", [(1.0, 0.56), (2.0, 2.03), (4.0, 8.40)]
+    )
+    def test_cpu_cost_matches_paper(self, degree, cpu_cost):
+        prof = profile_for_degree(degree)
+        ours = AWS_2008.cpu_cost(prof.total_runtime())
+        assert ours == pytest.approx(cpu_cost, abs=0.01)
+
+    @pytest.mark.parametrize(
+        "degree,mosaic_mb", [(1.0, 173.46), (2.0, 557.9), (4.0, 2229.0)]
+    )
+    def test_mosaic_sizes_match_paper(self, degree, mosaic_mb):
+        prof = profile_for_degree(degree)
+        assert prof.mosaic_bytes == pytest.approx(mosaic_mb * MB)
+
+    @pytest.mark.parametrize("degree,ccr", [(1.0, 0.053), (2.0, 0.053), (4.0, 0.045)])
+    def test_closed_form_footprint_hits_ccr(self, degree, ccr):
+        prof = profile_for_degree(degree)
+        bandwidth = 1.25e6  # 10 Mbps
+        implied_ccr = prof.footprint_bytes() / (
+            bandwidth * prof.total_runtime()
+        )
+        assert implied_ccr == pytest.approx(ccr, rel=1e-9)
+
+    def test_4deg_wave_width_near_paper_parallelism(self):
+        # paper: "maximum parallelism of that workflow is 610"
+        assert profile_for_degree(4.0).n_images == 604
+
+    def test_image_sizes_plausible(self):
+        # Calibrated survey-image sizes should be a few MB (2MASS-like).
+        for degree in CANONICAL_DEGREES:
+            img = profile_for_degree(degree).image_bytes
+            assert 2 * MB < img < 10 * MB
+
+
+class TestProfileMechanics:
+    def test_runtime_lookup(self):
+        prof = profile_for_degree(1.0)
+        assert prof.runtime("mProject") == pytest.approx(1.3 * RUNTIME_UNIT)
+        with pytest.raises(KeyError, match="mUnknown"):
+            prof.runtime("mUnknown")
+
+    def test_total_runtime_closed_form(self):
+        prof = profile_for_degree(1.0)
+        n, m = prof.n_images, prof.n_overlaps
+        w = TASK_WEIGHTS
+        expected = (
+            n * w["mProject"]
+            + m * w["mDiffFit"]
+            + n * w["mBackground"]
+            + w["mConcatFit"]
+            + w["mBgModel"]
+            + w["mImgtbl"]
+            + w["mAdd"]
+            + w["mShrink"]
+        ) * RUNTIME_UNIT
+        assert prof.total_runtime() == pytest.approx(expected)
+
+    def test_rejects_nonpositive_degree(self):
+        with pytest.raises(ValueError):
+            profile_for_degree(0.0)
+        with pytest.raises(ValueError):
+            profile_for_degree(-1.0)
+
+
+class TestInterpolatedProfiles:
+    def test_non_canonical_degree_builds(self):
+        prof = profile_for_degree(3.0)
+        assert prof.n_images > profile_for_degree(2.0).n_images
+        assert prof.n_overlaps > 0
+        assert prof.image_bytes > 0
+
+    def test_ccr_interpolation(self):
+        assert profile_for_degree(0.5).ccr_target == pytest.approx(0.053)
+        assert profile_for_degree(3.0).ccr_target == pytest.approx(0.049)
+        assert profile_for_degree(6.0).ccr_target == pytest.approx(0.045)
+
+    def test_mosaic_power_law_monotone(self):
+        sizes = [
+            profile_for_degree(d).mosaic_bytes for d in (0.5, 1.5, 3.0, 6.0)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_tiny_degree_still_valid(self):
+        prof = profile_for_degree(0.25)
+        assert prof.n_images >= 1
+        assert prof.image_bytes > 0

@@ -1,0 +1,96 @@
+"""Tile-grid geometry tests."""
+
+import pytest
+
+from repro.montage.tiles import TileGrid, build_tile_grid
+
+
+def _is_connected(grid: TileGrid) -> bool:
+    if grid.n_images <= 1:
+        return True
+    adj = {i: set() for i in range(grid.n_images)}
+    for a, b in grid.overlaps:
+        adj[a].add(b)
+        adj[b].add(a)
+    seen = {0}
+    stack = [0]
+    while stack:
+        for nxt in adj[stack.pop()]:
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return len(seen) == grid.n_images
+
+
+class TestNaturalGrid:
+    def test_single_image(self):
+        grid = build_tile_grid(1)
+        assert grid.n_images == 1
+        assert grid.n_overlaps == 0
+
+    def test_2x2_grid(self):
+        grid = build_tile_grid(4, n_cols=2)
+        # 2 horizontal + 2 vertical + 2 diagonal pairs
+        assert grid.n_overlaps == 6
+        assert _is_connected(grid)
+
+    def test_pairs_are_ordered_and_unique(self):
+        grid = build_tile_grid(25)
+        assert all(a < b for a, b in grid.overlaps)
+        assert len(set(grid.overlaps)) == grid.n_overlaps
+
+    def test_position(self):
+        grid = build_tile_grid(10, n_cols=3)
+        assert grid.position(0) == (0, 0)
+        assert grid.position(4) == (1, 1)
+        with pytest.raises(IndexError):
+            grid.position(10)
+
+    def test_pairs_are_neighbours(self):
+        grid = build_tile_grid(30)
+        for a, b in grid.overlaps:
+            ra, ca = grid.position(a)
+            rb, cb = grid.position(b)
+            assert abs(ra - rb) <= 1 and abs(ca - cb) <= 1
+
+
+class TestExactOverlapCounts:
+    @pytest.mark.parametrize(
+        "n_images,n_overlaps",
+        [(40, 118), (145, 436), (604, 1814)],  # the paper's three sizes
+    )
+    def test_paper_sizes_exact(self, n_images, n_overlaps):
+        grid = build_tile_grid(n_images, n_overlaps)
+        assert grid.n_images == n_images
+        assert grid.n_overlaps == n_overlaps
+        assert _is_connected(grid)
+
+    def test_truncation_keeps_connectivity(self):
+        natural = build_tile_grid(36).n_overlaps
+        # Ask for notably fewer pairs than natural.
+        target = natural - 20
+        grid = build_tile_grid(36, target)
+        assert grid.n_overlaps == target
+        assert _is_connected(grid)
+
+    def test_extension_pairs_used_when_needed(self):
+        natural = build_tile_grid(36).n_overlaps
+        grid = build_tile_grid(36, natural + 10)
+        assert grid.n_overlaps == natural + 10
+        assert _is_connected(grid)
+
+    def test_too_few_overlaps_rejected(self):
+        with pytest.raises(ValueError, match="connected"):
+            build_tile_grid(10, 5)
+
+    def test_too_many_overlaps_rejected(self):
+        with pytest.raises(ValueError, match="cannot realize"):
+            build_tile_grid(4, 1000)
+
+    def test_single_image_rejects_overlaps(self):
+        with pytest.raises(ValueError):
+            build_tile_grid(1, 3)
+
+    def test_zero_images_rejected(self):
+        with pytest.raises(ValueError):
+            build_tile_grid(0)

@@ -1,0 +1,47 @@
+"""2MASS archive model tests."""
+
+import pytest
+
+from repro.core.pricing import AWS_2008
+from repro.montage.twomass import TWO_MASS, TwoMassArchive
+from repro.util.units import TB
+
+
+class TestArchive:
+    def test_paper_constants(self):
+        assert TWO_MASS.size_bytes == 12 * TB
+        assert TWO_MASS.n_bands == 3
+
+    def test_plate_counts_match_paper(self):
+        # "about 3,900 4-degree-square mosaics or about 1,734
+        #  6-degrees-square mosaics"
+        assert TWO_MASS.plates_for_full_sky(4.0) == 3900
+        assert TWO_MASS.plates_for_full_sky(6.0) == 1734
+
+    def test_monthly_storage_cost_is_1800(self):
+        # "12,000 x $0.15 = $1,800 per month"
+        assert AWS_2008.monthly_storage_cost(
+            TWO_MASS.size_bytes
+        ) == pytest.approx(1800.0)
+
+    def test_initial_upload_cost_is_1200(self):
+        # "an additional $1,200 at $0.1 per GB"
+        assert AWS_2008.transfer_in_cost(TWO_MASS.size_bytes) == pytest.approx(
+            1200.0
+        )
+
+    def test_smaller_plates_mean_more_of_them(self):
+        assert TWO_MASS.plates_for_full_sky(1.0) > TWO_MASS.plates_for_full_sky(
+            4.0
+        )
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            TWO_MASS.plates_for_full_sky(0.0)
+
+    def test_custom_archive(self):
+        small = TwoMassArchive(name="toy", size_bytes=1 * TB)
+        assert small.plates_for_full_sky(4.0) == 3900  # coverage unchanged
+        assert AWS_2008.monthly_storage_cost(small.size_bytes) == pytest.approx(
+            150.0
+        )

@@ -1,0 +1,88 @@
+"""Arrival-process tests."""
+
+import pytest
+
+from repro.service.arrivals import (
+    ServiceRequest,
+    poisson_arrivals,
+    request_stream,
+    uniform_arrivals,
+)
+from repro.workflow.generators import chain_workflow, fork_join_workflow
+
+
+class TestPoisson:
+    def test_deterministic_per_seed(self):
+        a = poisson_arrivals(0.01, 10_000.0, seed=5)
+        b = poisson_arrivals(0.01, 10_000.0, seed=5)
+        assert a == b
+
+    def test_rate_roughly_respected(self):
+        times = poisson_arrivals(0.01, 1_000_000.0, seed=1)
+        # expect ~10,000 arrivals; allow wide stochastic band
+        assert 9_000 < len(times) < 11_000
+
+    def test_sorted_within_horizon(self):
+        times = poisson_arrivals(0.05, 1_000.0, seed=2)
+        assert times == sorted(times)
+        assert all(0 < t < 1_000.0 for t in times)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 10.0, seed=0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(1.0, 0.0, seed=0)
+
+
+class TestUniform:
+    def test_spacing(self):
+        assert uniform_arrivals(4, 10.0) == [0.0, 10.0, 20.0, 30.0]
+
+    def test_empty(self):
+        assert uniform_arrivals(0, 10.0) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            uniform_arrivals(-1, 10.0)
+        with pytest.raises(ValueError):
+            uniform_arrivals(1, -10.0)
+
+
+class TestRequestStream:
+    def test_single_choice_is_deterministic(self):
+        wf = chain_workflow(2)
+        reqs = request_stream([5.0, 1.0, 3.0], [wf])
+        assert [r.arrival_time for r in reqs] == [1.0, 3.0, 5.0]
+        assert all(r.workflow is wf for r in reqs)
+        assert [r.request_id for r in reqs] == [
+            "req-00000", "req-00001", "req-00002",
+        ]
+
+    def test_mix_respects_weights(self):
+        small = chain_workflow(1, name="small")
+        big = fork_join_workflow(3, name="big")
+        reqs = request_stream(
+            uniform_arrivals(400, 1.0), [small, big], seed=3,
+            weights=[3.0, 1.0],
+        )
+        n_small = sum(1 for r in reqs if r.workflow is small)
+        assert 250 < n_small < 350  # ~300 expected
+
+    def test_mix_deterministic_per_seed(self):
+        choices = [chain_workflow(1, name="a"), chain_workflow(2, name="b")]
+        a = request_stream(uniform_arrivals(50, 1.0), choices, seed=9)
+        b = request_stream(uniform_arrivals(50, 1.0), choices, seed=9)
+        assert [r.workflow.name for r in a] == [r.workflow.name for r in b]
+
+    def test_invalid_weights(self):
+        wf = chain_workflow(1)
+        with pytest.raises(ValueError):
+            request_stream([0.0], [wf, wf], weights=[1.0])
+        with pytest.raises(ValueError):
+            request_stream([0.0], [wf, wf], weights=[-1.0, 1.0])
+        with pytest.raises(ValueError):
+            request_stream([0.0], [])
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceRequest("r", chain_workflow(1), -1.0)

@@ -1,0 +1,71 @@
+"""Capacity-planning tests."""
+
+import pytest
+
+from repro.service.arrivals import request_stream, uniform_arrivals
+from repro.service.capacity import plan_capacity
+from repro.service.simulator import ServiceSimulator
+from repro.util.units import HOUR
+from repro.workflow.generators import fork_join_workflow
+
+BW = 1.25e6
+
+
+@pytest.fixture(scope="module")
+def burst(montage1):
+    """Six 1-degree requests arriving a minute apart."""
+    return request_stream(uniform_arrivals(6, 60.0), [montage1])
+
+
+class TestPlanning:
+    def test_finds_minimal_pool(self, burst):
+        plan = plan_capacity(burst, objective_p95_seconds=2.0 * HOUR)
+        assert plan.feasible
+        p = plan.n_processors
+        # Minimality: the chosen pool meets the target, one less does not.
+        assert plan.chosen.p95_response_time <= 2.0 * HOUR
+        if p > 1:
+            worse = ServiceSimulator(p - 1, "cleanup").run(burst)
+            assert worse.percentile_response_time(95) > 2.0 * HOUR
+
+    def test_tighter_objective_needs_more_processors(self, burst):
+        loose = plan_capacity(burst, objective_p95_seconds=6.0 * HOUR)
+        tight = plan_capacity(burst, objective_p95_seconds=1.0 * HOUR)
+        assert tight.n_processors >= loose.n_processors
+
+    def test_candidates_carry_economics(self, burst):
+        plan = plan_capacity(burst, objective_p95_seconds=2.0 * HOUR)
+        assert plan.candidates
+        for cand in plan.candidates:
+            assert cand.economics.n_requests == 6
+            assert cand.p95_response_time > 0
+
+    def test_infeasible_objective(self, burst):
+        # No pool makes a 1-degree mosaic finish in one second.
+        plan = plan_capacity(
+            burst, objective_p95_seconds=1.0, max_processors=256
+        )
+        assert not plan.feasible
+        with pytest.raises(ValueError):
+            _ = plan.n_processors
+
+    def test_invalid_inputs(self, burst):
+        with pytest.raises(ValueError):
+            plan_capacity(burst, objective_p95_seconds=0.0)
+        with pytest.raises(ValueError):
+            plan_capacity([], objective_p95_seconds=10.0)
+
+    def test_synthetic_exact_boundary(self):
+        """20 simultaneous 100 s single-task requests, tiny files: a pool
+        of P serves them in ceil(20/P) waves; target 3 waves -> P = 7."""
+        wf = fork_join_workflow(1, runtime=100.0, file_size=1.0)
+        # fork_join_workflow(1) is worker+join = 2 chained tasks; use
+        # runtime 50 each -> 100 s per request, still serial per request.
+        from repro.service.arrivals import ServiceRequest
+
+        reqs = [ServiceRequest(f"r{i}", wf, 0.0) for i in range(20)]
+        plan = plan_capacity(
+            reqs, objective_p95_seconds=3 * 200.0 + 1.0, data_mode="regular"
+        )
+        assert plan.feasible
+        assert plan.chosen.p95_response_time <= 601.0

@@ -1,0 +1,114 @@
+"""Portal façade tests (Figure 2 end-to-end)."""
+
+import pytest
+
+from repro.service.portal import MontagePortal, MosaicRequest
+from repro.util.units import HOUR, MONTH
+
+
+@pytest.fixture(scope="module")
+def portal():
+    return MontagePortal(
+        n_processors=32, cache_retention_months=12.0
+    )
+
+
+class TestRequestConstruction:
+    def test_catalog_lookup(self, portal):
+        req = portal.request("m17", 1.0, arrival_time=5.0)
+        assert req.region.name == "M17"
+        assert req.product_key == ("M17", 1.0)
+
+    def test_validation(self, portal):
+        with pytest.raises(ValueError):
+            MosaicRequest(portal.request("m17", 1.0).region, 0.0, 0.0)
+        with pytest.raises(KeyError):
+            portal.request("Narnia", 1.0)
+        with pytest.raises(ValueError):
+            MontagePortal(4, cache_retention_months=-1.0)
+
+
+class TestServing:
+    def test_repeat_requests_hit_the_cache(self, portal):
+        reqs = [
+            portal.request("orion", 1.0, 0.0),
+            portal.request("orion", 1.0, 1.0 * MONTH),
+            portal.request("orion", 1.0, 2.0 * MONTH),
+        ]
+        report = portal.serve(reqs)
+        assert report.n_requests == 3
+        assert report.hit_rate == pytest.approx(2 / 3)
+        hits = [f for f in report.fulfillments if f.cache_hit]
+        miss = [f for f in report.fulfillments if not f.cache_hit][0]
+        # A hit serves the 173 MB mosaic: fast and cheap.
+        for h in hits:
+            assert h.response_time < miss.response_time
+            assert h.cost == pytest.approx(0.17346 * 0.16, rel=1e-3)
+        assert miss.cost == pytest.approx(0.615, abs=0.02)
+
+    def test_distinct_products_do_not_collide(self, portal):
+        reqs = [
+            portal.request("orion", 1.0, 0.0),
+            portal.request("m17", 1.0, 10.0),     # other region
+            portal.request("orion", 2.0, 20.0),   # other size
+        ]
+        report = portal.serve(reqs)
+        assert report.hit_rate == 0.0
+
+    def test_zero_retention_never_hits(self):
+        portal = MontagePortal(32, cache_retention_months=0.0)
+        reqs = [portal.request("orion", 1.0, float(i)) for i in range(3)]
+        report = portal.serve(reqs)
+        assert report.hit_rate == 0.0
+        assert report.cache_storage_cost == 0.0
+
+    def test_cache_expiry(self):
+        portal = MontagePortal(32, cache_retention_months=1.0)
+        reqs = [
+            portal.request("orion", 1.0, 0.0),
+            portal.request("orion", 1.0, 2.0 * MONTH),  # expired
+        ]
+        report = portal.serve(reqs)
+        assert report.hit_rate == 0.0
+        assert report.cache_storage_cost > 0  # TTL rent was still paid
+
+    def test_prestaged_inputs_shed_ingress_fee(self):
+        plain = MontagePortal(32)
+        staged = MontagePortal(32, prestage_inputs=True)
+        req = [MosaicRequest(plain.request("m17", 2.0).region, 2.0, 0.0)]
+        diff = (
+            plain.serve(req).total_cost - staged.serve(req).total_cost
+        )
+        # Exactly the 2-degree input transfer fee (~$0.085).
+        assert diff == pytest.approx(0.0855, abs=0.002)
+
+    def test_caching_pays_for_popular_traffic(self):
+        cached = MontagePortal(32, cache_retention_months=12.0)
+        uncached = MontagePortal(32)
+        reqs = [
+            MontagePortal.request(cached, "orion", 1.0, i * 7.0 * 24 * HOUR)
+            for i in range(10)
+        ]
+        assert cached.serve(reqs).total_cost < uncached.serve(reqs).total_cost
+
+    def test_report_aggregates(self, portal):
+        reqs = [
+            portal.request("m13", 1.0, 0.0),
+            portal.request("m13", 1.0, HOUR),
+        ]
+        report = portal.serve(reqs)
+        assert report.total_cost == pytest.approx(
+            sum(f.cost for f in report.fulfillments)
+            + report.cache_storage_cost
+        )
+        assert report.cost_per_request == pytest.approx(
+            report.total_cost / 2
+        )
+        assert 0.0 < report.pool_utilization <= 1.0
+        assert report.mean_response_time() > 0
+
+    def test_empty_period(self, portal):
+        report = portal.serve([])
+        assert report.n_requests == 0
+        assert report.total_cost == 0.0
+        assert report.mean_response_time() == 0.0

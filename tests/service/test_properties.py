@@ -1,0 +1,105 @@
+"""Property-based service-layer invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.service.arrivals import ServiceRequest
+from repro.service.economics import service_economics
+from repro.service.simulator import ServiceSimulator
+from repro.sim.executor import simulate
+from repro.workflow.generators import random_layered_workflow
+
+BW = 1.25e6
+
+streams = st.lists(
+    st.tuples(
+        st.floats(0.0, 5_000.0, allow_nan=False),  # arrival time
+        st.integers(0, 2),                         # workflow variant
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _workflows():
+    return [
+        random_layered_workflow(2, 2, seed=11, mean_runtime=40.0),
+        random_layered_workflow(3, 2, seed=23, mean_runtime=60.0),
+        random_layered_workflow(1, 3, seed=37, mean_runtime=30.0),
+    ]
+
+
+WORKFLOWS = _workflows()
+SOLO = {
+    (i, p): simulate(wf, p, "cleanup", bandwidth_bytes_per_sec=BW,
+                     record_trace=False).makespan
+    for i, wf in enumerate(WORKFLOWS)
+    for p in (1, 2, 3, 4)
+}
+
+
+def _requests(stream):
+    return [
+        ServiceRequest(f"r{i}", WORKFLOWS[variant], t)
+        for i, (t, variant) in enumerate(stream)
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(stream=streams, p=st.integers(1, 4))
+def test_every_request_completes_no_faster_than_solo(stream, p):
+    """Sharing a pool can only delay a request, never speed it up."""
+    result = ServiceSimulator(p, "cleanup", bandwidth_bytes_per_sec=BW).run(
+        _requests(stream)
+    )
+    assert result.n_requests == len(stream)
+    by_id = {o.request.request_id: o for o in result.outcomes}
+    for i, (t, variant) in enumerate(stream):
+        outcome = by_id[f"r{i}"]
+        assert outcome.response_time >= SOLO[(variant, p)] - 1e-6
+        assert outcome.finished_at >= t
+
+
+@settings(max_examples=30, deadline=None)
+@given(stream=streams, p=st.integers(1, 4))
+def test_compute_conservation(stream, p):
+    """The pool's busy time equals the requests' summed held time."""
+    result = ServiceSimulator(p, "cleanup", bandwidth_bytes_per_sec=BW).run(
+        _requests(stream)
+    )
+    expected = sum(
+        WORKFLOWS[variant].total_runtime() for _, variant in stream
+    )
+    assert result.total_compute_seconds() == pytest.approx(expected)
+    busy = result.pool_busy_curve.integral(0.0, result.horizon)
+    held = sum(o.result.cpu_busy_seconds for o in result.outcomes)
+    assert busy == pytest.approx(held, rel=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(stream=streams)
+def test_bigger_pool_never_slower(stream):
+    small = ServiceSimulator(1, "cleanup", bandwidth_bytes_per_sec=BW).run(
+        _requests(stream)
+    )
+    big = ServiceSimulator(8, "cleanup", bandwidth_bytes_per_sec=BW).run(
+        _requests(stream)
+    )
+    assert big.horizon <= small.horizon + 1e-6
+    assert big.percentile_response_time(95) <= (
+        small.percentile_response_time(95) + 1e-6
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(stream=streams, p=st.integers(1, 4))
+def test_economics_consistency(stream, p):
+    result = ServiceSimulator(p, "cleanup", bandwidth_bytes_per_sec=BW).run(
+        _requests(stream)
+    )
+    eco = service_economics(result)
+    assert eco.n_requests == len(stream)
+    # Idle waste is non-negative: the pool can't bill less than usage.
+    assert eco.idle_waste >= -1e-9
+    assert eco.pool_cpu_cost >= eco.on_demand_total.cpu_cost - 1e-9
+    assert 0.0 <= eco.pool_utilization <= 1.0 + 1e-9

@@ -1,0 +1,72 @@
+"""VM boot-delay (compute_ready_seconds) tests."""
+
+import pytest
+
+from repro.core.costs import compute_cost
+from repro.core.plans import ExecutionPlan, VMOverhead
+from repro.core.pricing import AWS_2008
+from repro.sim.executor import ExecutionEnvironment, simulate
+from repro.workflow.generators import chain_workflow, fork_join_workflow
+
+BW = 1.25e6
+F = 1.25e6
+
+
+class TestBootDelay:
+    def test_exact_timing(self):
+        wf = chain_workflow(2, runtime=100.0, file_size=F)
+        r = simulate(
+            wf, 1, bandwidth_bytes_per_sec=BW, compute_ready_seconds=120.0
+        )
+        # Stage-in [0,1] overlaps the boot; t0 [120,220]; t1 [220,320];
+        # stage-out [320,321].
+        assert r.makespan == pytest.approx(321.0)
+
+    def test_transfers_not_delayed(self):
+        wf = chain_workflow(1, runtime=10.0, file_size=F)
+        r = simulate(
+            wf, 1, bandwidth_bytes_per_sec=BW, compute_ready_seconds=50.0
+        )
+        stage_in = [t for t in r.transfer_records if t.direction == "in"][0]
+        assert stage_in.start == 0.0  # S3 is up while the VMs boot
+        assert stage_in.end == pytest.approx(1.0)
+        assert r.makespan == pytest.approx(50.0 + 10.0 + 1.0)
+
+    def test_zero_delay_is_default(self):
+        wf = fork_join_workflow(3, runtime=10.0, file_size=F)
+        a = simulate(wf, 3, bandwidth_bytes_per_sec=BW)
+        b = simulate(
+            wf, 3, bandwidth_bytes_per_sec=BW, compute_ready_seconds=0.0
+        )
+        assert a.makespan == pytest.approx(b.makespan)
+
+    def test_compute_unaffected_after_boot(self):
+        wf = fork_join_workflow(4, runtime=50.0, file_size=F)
+        base = simulate(wf, 4, bandwidth_bytes_per_sec=BW)
+        delayed = simulate(
+            wf, 4, bandwidth_bytes_per_sec=BW, compute_ready_seconds=30.0
+        )
+        # Transfers (1 s each) finish during the boot; afterwards the
+        # schedule replays exactly, shifted to the boot completion.
+        assert delayed.makespan == pytest.approx(30.0 + 50.0 + 50.0 + 1.0)
+        assert delayed.compute_seconds == pytest.approx(base.compute_seconds)
+        assert delayed.bytes_in == pytest.approx(base.bytes_in)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionEnvironment(n_processors=1, compute_ready_seconds=-1.0)
+
+    def test_paired_with_vm_overhead_billing(self, montage1):
+        """Timing (simulator) and billing (plan) sides agree on boot."""
+        boot = 120.0
+        r = simulate(
+            montage1, 8, compute_ready_seconds=boot, record_trace=False
+        )
+        plan = ExecutionPlan.provisioned(
+            8, vm_overhead=VMOverhead(startup_seconds=0.0)
+        )
+        cost = compute_cost(r, AWS_2008, plan)
+        # The boot already lengthened the billed makespan; no teardown.
+        baseline = simulate(montage1, 8, record_trace=False)
+        assert r.makespan == pytest.approx(baseline.makespan + boot, rel=0.01)
+        assert cost.cpu_cost > 0

@@ -1,0 +1,68 @@
+"""Event-engine tests."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        eng = SimulationEngine()
+        log = []
+        eng.schedule(5.0, lambda: log.append(("a", eng.now)))
+        eng.schedule(1.0, lambda: log.append(("b", eng.now)))
+        eng.schedule(3.0, lambda: log.append(("c", eng.now)))
+        eng.run()
+        assert log == [("b", 1.0), ("c", 3.0), ("a", 5.0)]
+
+    def test_ties_break_in_insertion_order(self):
+        eng = SimulationEngine()
+        log = []
+        for name in "abc":
+            eng.schedule(1.0, lambda n=name: log.append(n))
+        eng.run()
+        assert log == ["a", "b", "c"]
+
+    def test_callbacks_can_schedule_more(self):
+        eng = SimulationEngine()
+        log = []
+
+        def first():
+            log.append(eng.now)
+            eng.schedule(2.0, lambda: log.append(eng.now))
+
+        eng.schedule(1.0, first)
+        final = eng.run()
+        assert log == [1.0, 3.0]
+        assert final == 3.0
+
+    def test_run_until_horizon(self):
+        eng = SimulationEngine()
+        log = []
+        eng.schedule(1.0, lambda: log.append(1))
+        eng.schedule(10.0, lambda: log.append(10))
+        assert eng.run(until=5.0) == 5.0
+        assert log == [1]
+        assert eng.pending() == 1
+        eng.run()
+        assert log == [1, 10]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationEngine().schedule(-1.0, lambda: None)
+
+    def test_past_scheduling_rejected(self):
+        eng = SimulationEngine()
+        eng.schedule(5.0, lambda: eng.schedule_at(1.0, lambda: None))
+        with pytest.raises(ValueError):
+            eng.run()
+
+    def test_events_processed_counter(self):
+        eng = SimulationEngine()
+        for _ in range(4):
+            eng.schedule(1.0, lambda: None)
+        eng.run()
+        assert eng.events_processed == 4
+
+    def test_empty_run(self):
+        assert SimulationEngine().run() == 0.0

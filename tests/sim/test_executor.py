@@ -1,0 +1,159 @@
+"""Executor-level tests: scheduling, records, environments, edge cases."""
+
+import pytest
+
+from repro.sim.executor import (
+    DEFAULT_BANDWIDTH,
+    ExecutionEnvironment,
+    WorkflowExecutor,
+    simulate,
+)
+from repro.util.units import MBPS
+from repro.workflow.dag import FileSpec, Task, Workflow
+from repro.workflow.generators import chain_workflow, fork_join_workflow
+
+BW = 1.25e6
+F = 1.25e6
+
+
+class TestBasics:
+    def test_empty_workflow(self):
+        r = simulate(Workflow("empty"), 1)
+        assert r.makespan == 0.0
+        assert r.bytes_in == 0.0
+        assert r.n_task_executions == 0
+
+    def test_default_bandwidth_is_papers(self):
+        assert DEFAULT_BANDWIDTH == 10 * MBPS
+
+    def test_compute_seconds_equals_total_runtime(self):
+        wf = fork_join_workflow(5, runtime=7.0)
+        r = simulate(wf, 3)
+        assert r.compute_seconds == pytest.approx(wf.total_runtime())
+
+    def test_task_records_cover_every_task(self):
+        wf = fork_join_workflow(3)
+        r = simulate(wf, 2)
+        assert {rec.task_id for rec in r.task_records} == set(wf.tasks)
+        for rec in r.task_records:
+            assert rec.end - rec.start == pytest.approx(
+                wf.task(rec.task_id).runtime
+            )
+            assert rec.attempt == 1
+
+    def test_record_trace_off_drops_records(self):
+        r = simulate(chain_workflow(3), 1, record_trace=False)
+        assert r.task_records == []
+        assert r.transfer_records == []
+        assert r.storage_curve is None
+        # ...but the scalar metrics are still measured.
+        assert r.makespan > 0
+        assert r.storage_byte_seconds > 0
+
+    def test_transfer_records(self):
+        wf = chain_workflow(1, runtime=10.0, file_size=F)
+        r = simulate(wf, 1, bandwidth_bytes_per_sec=BW)
+        recs = {(t.file_name, t.direction) for t in r.transfer_records}
+        assert recs == {("f0", "in"), ("f1", "out")}
+        for t in r.transfer_records:
+            assert t.end - t.start == pytest.approx(1.0)
+
+    def test_dependencies_always_respected(self):
+        wf = chain_workflow(5)
+        r = simulate(wf, 4)
+        ends = {rec.task_id: rec.end for rec in r.task_records}
+        starts = {rec.task_id: rec.start for rec in r.task_records}
+        for i in range(1, 5):
+            assert starts[f"t{i}"] >= ends[f"t{i-1}"] - 1e-9
+
+    def test_tasks_by_transformation(self):
+        wf = fork_join_workflow(4)
+        r = simulate(wf, 2)
+        groups = r.tasks_by_transformation()
+        assert len(groups["worker"]) == 4
+        assert len(groups["join"]) == 1
+
+    def test_summary_mentions_key_numbers(self):
+        r = simulate(chain_workflow(2), 1)
+        text = r.summary()
+        assert "chain" in text
+        assert "regular" in text
+
+
+class TestEnvironments:
+    def test_bandwidth_scales_transfer_time(self):
+        wf = chain_workflow(1, runtime=10.0, file_size=F)
+        slow = simulate(wf, 1, bandwidth_bytes_per_sec=BW)
+        fast = simulate(wf, 1, bandwidth_bytes_per_sec=10 * BW)
+        # makespan: 1 + 10 + 1 = 12 vs 0.1 + 10 + 0.1 = 10.2
+        assert slow.makespan == pytest.approx(12.0)
+        assert fast.makespan == pytest.approx(10.2)
+
+    def test_separate_links_never_slower(self):
+        wf = fork_join_workflow(6, runtime=5.0, file_size=10 * F)
+        shared = simulate(wf, 6, bandwidth_bytes_per_sec=BW)
+        split = simulate(
+            wf, 6, bandwidth_bytes_per_sec=BW, separate_links=True
+        )
+        assert split.bytes_in == pytest.approx(shared.bytes_in)
+        assert split.bytes_out == pytest.approx(shared.bytes_out)
+        assert split.makespan <= shared.makespan + 1e-9
+
+    def test_invalid_processor_count(self):
+        with pytest.raises(ValueError):
+            simulate(chain_workflow(1), 0)
+
+
+class TestUtilization:
+    def test_single_processor_nearly_fully_busy(self):
+        r = simulate(chain_workflow(10, runtime=100.0, file_size=F), 1,
+                     bandwidth_bytes_per_sec=BW)
+        # busy 1000 s of a 1002 s makespan
+        assert r.utilization == pytest.approx(1000.0 / 1002.0)
+
+    def test_overprovisioning_wastes_processors(self):
+        wf = chain_workflow(4, runtime=100.0, file_size=F)
+        r = simulate(wf, 8, bandwidth_bytes_per_sec=BW)
+        # chain only ever uses one processor
+        assert r.utilization == pytest.approx(400.0 / (8 * r.makespan))
+
+
+class TestProgrammaticUse:
+    def test_executor_object_api(self):
+        env = ExecutionEnvironment(n_processors=2, bandwidth_bytes_per_sec=BW)
+        ex = WorkflowExecutor(chain_workflow(2, file_size=F), env, "cleanup")
+        result = ex.run()
+        assert result.data_mode == "cleanup"
+        assert result.n_processors == 2
+
+    def test_invalid_workflow_rejected_up_front(self):
+        wf = Workflow("bad")
+        wf.add_file(FileSpec("orphan", 1.0))
+        env = ExecutionEnvironment(n_processors=1)
+        with pytest.raises(Exception, match="neither"):
+            WorkflowExecutor(wf, env)
+
+    def test_task_without_inputs_runs_immediately(self):
+        wf = Workflow("noin")
+        wf.add_file(FileSpec("out", F))
+        wf.add_task(Task("gen", 10.0, inputs=(), outputs=("out",)))
+        r = simulate(wf, 1, bandwidth_bytes_per_sec=BW)
+        # run [0,10], stage-out [10,11]
+        assert r.makespan == pytest.approx(11.0)
+        assert r.bytes_in == 0.0
+
+    def test_task_without_outputs(self):
+        wf = Workflow("noout")
+        wf.add_file(FileSpec("in", F))
+        wf.add_task(Task("sink", 10.0, inputs=("in",), outputs=()))
+        r = simulate(wf, 1, bandwidth_bytes_per_sec=BW)
+        # stage-in [0,1], run [1,11]; nothing to stage out
+        assert r.makespan == pytest.approx(11.0)
+        assert r.bytes_out == 0.0
+
+    def test_remote_io_task_without_outputs_finishes(self):
+        wf = Workflow("noout")
+        wf.add_file(FileSpec("in", F))
+        wf.add_task(Task("sink", 10.0, inputs=("in",), outputs=()))
+        r = simulate(wf, 1, "remote-io", bandwidth_bytes_per_sec=BW)
+        assert r.makespan == pytest.approx(11.0)

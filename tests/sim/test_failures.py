@@ -1,0 +1,77 @@
+"""Failure-injection tests."""
+
+import pytest
+
+from repro.sim.executor import simulate
+from repro.sim.failures import FailureModel, WorkflowAbortedError
+from repro.workflow.generators import chain_workflow, fork_join_workflow
+
+
+class TestFailureModel:
+    def test_zero_probability_never_fails(self):
+        fm = FailureModel(0.0)
+        assert not any(fm.attempt_fails("t", 1) for _ in range(100))
+
+    def test_deterministic_given_seed(self):
+        a = [FailureModel(0.5, seed=7).attempt_fails("t", 1) for _ in range(1)]
+        b = [FailureModel(0.5, seed=7).attempt_fails("t", 1) for _ in range(1)]
+        assert a == b
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            FailureModel(1.0)
+        with pytest.raises(ValueError):
+            FailureModel(-0.1)
+
+    def test_retry_budget_exhaustion_aborts(self):
+        fm = FailureModel(0.999999999, seed=1, max_retries=2)
+        assert fm.attempt_fails("t", 1)  # within budget
+        with pytest.raises(WorkflowAbortedError):
+            fm.attempt_fails("t", 3)  # attempt > max_retries and fails
+
+
+class TestSimulationWithFailures:
+    def test_reexecutions_counted_and_billed(self):
+        wf = fork_join_workflow(20, runtime=10.0)
+        fm = FailureModel(0.3, seed=42, max_retries=50)
+        r = simulate(wf, 4, failures=fm)
+        assert r.n_task_failures > 0
+        assert r.n_task_executions == len(wf.tasks) + r.n_task_failures
+        # Failed attempts burn (and bill) compute time.
+        assert r.compute_seconds == pytest.approx(
+            wf.total_runtime() + 10.0 * r.n_task_failures
+        )
+
+    def test_failures_slow_the_run(self):
+        wf = chain_workflow(20, runtime=10.0)
+        clean = simulate(wf, 1)
+        faulty = simulate(
+            wf, 1, failures=FailureModel(0.4, seed=3, max_retries=50)
+        )
+        assert faulty.makespan > clean.makespan
+
+    def test_results_deterministic(self):
+        wf = fork_join_workflow(10, runtime=5.0)
+        r1 = simulate(wf, 2, failures=FailureModel(0.2, seed=9))
+        r2 = simulate(wf, 2, failures=FailureModel(0.2, seed=9))
+        assert r1.makespan == r2.makespan
+        assert r1.n_task_failures == r2.n_task_failures
+
+    def test_attempt_numbers_recorded(self):
+        wf = chain_workflow(5, runtime=10.0)
+        r = simulate(wf, 1, failures=FailureModel(0.5, seed=11, max_retries=50))
+        attempts = [rec.attempt for rec in r.task_records]
+        assert max(attempts) >= 2  # at least one retry happened at p=0.5
+        # Attempts per task are consecutive starting at 1.
+        by_task = {}
+        for rec in r.task_records:
+            by_task.setdefault(rec.task_id, []).append(rec.attempt)
+        for task_attempts in by_task.values():
+            assert sorted(task_attempts) == list(
+                range(1, len(task_attempts) + 1)
+            )
+
+    def test_workflow_abort_propagates(self):
+        wf = chain_workflow(50, runtime=1.0)
+        with pytest.raises(WorkflowAbortedError):
+            simulate(wf, 1, failures=FailureModel(0.9, seed=1, max_retries=0))

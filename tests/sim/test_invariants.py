@@ -1,0 +1,134 @@
+"""Property-based simulator invariants over random layered workflows.
+
+These are the guarantees the paper's analysis relies on:
+
+* the regular and cleanup modes move identical bytes and finish at the
+  same time; cleanup only ever shrinks the storage integral;
+* remote I/O moves at least as many bytes in each direction as regular
+  (files re-cross the link once per consumer; intermediates flow out);
+* makespan is bounded below by the critical path and by total-work/P;
+* storage drains to zero and the measured byte totals match the workflow's
+  static file accounting.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.executor import simulate
+from repro.workflow.analysis import critical_path_length
+from repro.workflow.generators import random_layered_workflow
+
+BW = 1.25e6
+
+workflow_params = st.tuples(
+    st.integers(1, 4),      # layers
+    st.integers(1, 5),      # width
+    st.integers(0, 10_000),  # seed
+    st.floats(0.2, 1.0),    # edge density
+)
+processors = st.integers(1, 8)
+
+
+def _build(params):
+    layers, width, seed, density = params
+    return random_layered_workflow(
+        layers, width, seed=seed, edge_density=density,
+        mean_runtime=50.0, mean_file_size=2e6,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=workflow_params, p=processors)
+def test_regular_vs_cleanup(params, p):
+    wf = _build(params)
+    reg = simulate(wf, p, "regular", bandwidth_bytes_per_sec=BW)
+    cln = simulate(wf, p, "cleanup", bandwidth_bytes_per_sec=BW)
+    # Identical timing and transfers (paper, Section 6 / Figure 7 middle).
+    assert cln.makespan == pytest.approx(reg.makespan, rel=1e-9)
+    assert cln.bytes_in == pytest.approx(reg.bytes_in)
+    assert cln.bytes_out == pytest.approx(reg.bytes_out)
+    # Cleanup can only reduce occupancy.
+    assert cln.storage_byte_seconds <= reg.storage_byte_seconds + 1e-6
+    assert cln.peak_storage_bytes <= reg.peak_storage_bytes + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=workflow_params, p=processors)
+def test_remote_moves_at_least_as_much(params, p):
+    wf = _build(params)
+    reg = simulate(wf, p, "regular", bandwidth_bytes_per_sec=BW)
+    rem = simulate(wf, p, "remote-io", bandwidth_bytes_per_sec=BW)
+    assert rem.bytes_in >= reg.bytes_in - 1e-6
+    assert rem.bytes_out >= reg.bytes_out - 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=workflow_params, p=processors)
+def test_makespan_lower_bounds(params, p):
+    wf = _build(params)
+    for mode in ("regular", "cleanup", "remote-io"):
+        r = simulate(wf, p, mode, bandwidth_bytes_per_sec=BW)
+        assert r.makespan >= critical_path_length(wf) - 1e-9
+        assert r.makespan >= wf.total_runtime() / p - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=workflow_params, p=processors)
+def test_static_byte_accounting(params, p):
+    wf = _build(params)
+    reg = simulate(wf, p, "regular", bandwidth_bytes_per_sec=BW)
+    # Regular mode stages in exactly the initial inputs and stages out
+    # exactly the net outputs, each once.
+    assert reg.bytes_in == pytest.approx(wf.input_bytes())
+    assert reg.bytes_out == pytest.approx(wf.output_bytes())
+
+    rem = simulate(wf, p, "remote-io", bandwidth_bytes_per_sec=BW)
+    expected_in = sum(
+        wf.file(f).size_bytes for t in wf.tasks.values() for f in t.inputs
+    )
+    expected_out = sum(
+        wf.file(f).size_bytes for t in wf.tasks.values() for f in t.outputs
+    )
+    assert rem.bytes_in == pytest.approx(expected_in)
+    assert rem.bytes_out == pytest.approx(expected_out)
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=workflow_params, p=processors)
+def test_storage_drains_and_utilization_bounded(params, p):
+    wf = _build(params)
+    for mode in ("regular", "cleanup", "remote-io"):
+        r = simulate(wf, p, mode, bandwidth_bytes_per_sec=BW)
+        assert r.storage_curve.final_value() == pytest.approx(0.0, abs=1e-6)
+        assert 0.0 <= r.utilization <= 1.0 + 1e-9
+        assert r.compute_seconds == pytest.approx(wf.total_runtime())
+        # Storage never holds more than one copy of every file (remote
+        # I/O reference-counts shared residency).
+        assert r.peak_storage_bytes <= wf.total_file_bytes() * (1 + 1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(params=workflow_params)
+def test_enough_processors_saturate(params):
+    """Beyond n_tasks processors, adding more cannot change anything."""
+    wf = _build(params)
+    n = len(wf.tasks)
+    a = simulate(wf, n, "regular", bandwidth_bytes_per_sec=BW)
+    b = simulate(wf, n + 7, "regular", bandwidth_bytes_per_sec=BW)
+    assert a.makespan == pytest.approx(b.makespan, rel=1e-12)
+    assert a.storage_byte_seconds == pytest.approx(
+        b.storage_byte_seconds, rel=1e-12
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(params=workflow_params, p=processors)
+def test_determinism(params, p):
+    wf = _build(params)
+    a = simulate(wf, p, "remote-io", bandwidth_bytes_per_sec=BW)
+    b = simulate(wf, p, "remote-io", bandwidth_bytes_per_sec=BW)
+    assert a.makespan == b.makespan
+    assert a.storage_byte_seconds == b.storage_byte_seconds
+    assert [r.task_id for r in a.task_records] == [
+        r.task_id for r in b.task_records
+    ]

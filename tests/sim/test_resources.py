@@ -1,0 +1,114 @@
+"""Resource tests: processor pool, storage accounting, network link."""
+
+import pytest
+
+from repro.sim.resources import NetworkLink, ProcessorPool, Storage
+
+
+class TestProcessorPool:
+    def test_acquire_release_accounting(self):
+        pool = ProcessorPool(2)
+        assert pool.available == 2
+        pool.acquire(0.0)
+        pool.acquire(1.0)
+        assert pool.available == 0
+        pool.release(3.0)
+        assert pool.busy == 1
+        pool.release(5.0)
+        # busy-seconds: [0,1): 1 proc, [1,3): 2, [3,5): 1
+        assert pool.busy_processor_seconds(0.0, 5.0) == pytest.approx(
+            1 + 4 + 2
+        )
+
+    def test_over_acquire_raises(self):
+        pool = ProcessorPool(1)
+        pool.acquire(0.0)
+        with pytest.raises(RuntimeError):
+            pool.acquire(0.0)
+
+    def test_over_release_raises(self):
+        with pytest.raises(RuntimeError):
+            ProcessorPool(1).release(0.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ProcessorPool(0)
+
+
+class TestStorage:
+    def test_add_remove_and_integral(self):
+        s = Storage()
+        s.add("a", 100.0, 0.0)
+        s.add("b", 50.0, 2.0)
+        s.remove("a", 4.0)
+        s.remove("b", 6.0)
+        # [0,2): 100, [2,4): 150, [4,6): 50
+        assert s.byte_seconds(0.0, 6.0) == pytest.approx(200 + 300 + 100)
+        assert s.peak_bytes() == 150.0
+        assert s.n_objects == 0
+
+    def test_duplicate_key_rejected(self):
+        s = Storage()
+        s.add("a", 1.0, 0.0)
+        with pytest.raises(RuntimeError):
+            s.add("a", 1.0, 1.0)
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(RuntimeError):
+            Storage().remove("ghost", 0.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Storage().add("a", -1.0, 0.0)
+
+    def test_tuple_keys_for_copies(self):
+        s = Storage()
+        s.add(("t1", "f"), 10.0, 0.0)
+        s.add(("t2", "f"), 10.0, 0.0)
+        assert s.bytes_used == 20.0
+        assert ("t1", "f") in s
+
+
+class TestNetworkLink:
+    def test_dedicated_transfers_do_not_queue(self):
+        link = NetworkLink(100.0)  # 100 B/s, GridSim-style default
+        t1 = link.request(200.0, now=0.0, direction="in")
+        t2 = link.request(100.0, now=0.0, direction="in")
+        assert t1 == pytest.approx(2.0)
+        assert t2 == pytest.approx(1.0)  # concurrent, full bandwidth
+        assert link.busy_until == pytest.approx(2.0)
+
+    def test_fifo_serialization_when_contended(self):
+        link = NetworkLink(100.0, contended=True)
+        t1 = link.request(200.0, now=0.0, direction="in")
+        t2 = link.request(100.0, now=0.0, direction="in")
+        assert t1 == pytest.approx(2.0)
+        assert t2 == pytest.approx(3.0)  # queued behind the first
+
+    def test_idle_gap_resets_clock(self):
+        link = NetworkLink(100.0, contended=True)
+        link.request(100.0, now=0.0, direction="in")
+        t = link.request(100.0, now=10.0, direction="out")
+        assert t == pytest.approx(11.0)
+
+    def test_byte_and_request_accounting(self):
+        link = NetworkLink(10.0)
+        link.request(5.0, 0.0, "in")
+        link.request(7.0, 0.0, "in")
+        link.request(3.0, 0.0, "out")
+        assert link.total_bytes("in") == 12.0
+        assert link.total_bytes("out") == 3.0
+        assert link.total_requests("in") == 2
+        assert link.total_requests("out") == 1
+
+    def test_zero_size_transfer_is_instant(self):
+        link = NetworkLink(10.0)
+        assert link.request(0.0, 5.0, "in") == 5.0
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            NetworkLink(0.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkLink(1.0).request(-1.0, 0.0, "in")

@@ -1,0 +1,118 @@
+"""Trace-analysis tests."""
+
+import pytest
+
+from repro.sim.executor import simulate
+from repro.sim.trace import (
+    gantt_chart,
+    storage_curve_csv,
+    task_records_csv,
+    transfer_records_csv,
+    transformation_stats,
+    write_trace_files,
+)
+from repro.workflow.generators import chain_workflow, fork_join_workflow
+
+BW = 1.25e6
+F = 1.25e6
+
+
+@pytest.fixture(scope="module")
+def result():
+    return simulate(
+        fork_join_workflow(4, runtime=100.0, file_size=F), 2,
+        bandwidth_bytes_per_sec=BW,
+    )
+
+
+class TestTransformationStats:
+    def test_counts_and_totals(self, result):
+        stats = transformation_stats(result)
+        assert stats["worker"].count == 4
+        assert stats["worker"].total_seconds == pytest.approx(400.0)
+        assert stats["worker"].mean_seconds == pytest.approx(100.0)
+        assert stats["join"].count == 1
+
+    def test_time_windows_ordered(self, result):
+        stats = transformation_stats(result)
+        # join starts after the last worker finishes
+        assert stats["join"].first_start >= stats["worker"].last_end - 1e-9
+
+    def test_montage_stats(self, montage1):
+        r = simulate(montage1, 16)
+        stats = transformation_stats(r)
+        assert stats["mProject"].count == 40
+        assert stats["mDiffFit"].count == 118
+        assert stats["mAdd"].count == 1
+        # mAdd runs last of the wave types
+        assert stats["mAdd"].first_start > stats["mProject"].last_end
+
+    def test_requires_trace(self, montage1):
+        r = simulate(montage1, 4, record_trace=False)
+        with pytest.raises(ValueError, match="record_trace"):
+            transformation_stats(r)
+
+
+class TestGantt:
+    def test_lane_count_matches_processors_used(self, result):
+        chart = gantt_chart(result)
+        # 2 processors -> exactly 2 lanes of work
+        assert "p000 |" in chart
+        assert "p001 |" in chart
+        assert "p002 |" not in chart
+
+    def test_legend_lists_transformations(self, result):
+        chart = gantt_chart(result)
+        assert "A=worker" in chart
+        assert "B=join" in chart
+
+    def test_chain_uses_single_lane(self):
+        r = simulate(chain_workflow(5, runtime=10.0, file_size=F), 3,
+                     bandwidth_bytes_per_sec=BW)
+        chart = gantt_chart(r)
+        assert "p001" not in chart
+
+    def test_max_lanes_summarized(self):
+        wf = fork_join_workflow(40, runtime=10.0, file_size=0.0)
+        r = simulate(wf, 40, bandwidth_bytes_per_sec=BW)
+        chart = gantt_chart(r, max_lanes=8)
+        assert "more lanes" in chart
+
+    def test_empty_workflow(self):
+        from repro.workflow.dag import Workflow
+
+        r = simulate(Workflow("empty"), 1)
+        assert "no tasks" in gantt_chart(r)
+
+
+class TestCSVExports:
+    def test_task_csv_rows(self, result):
+        lines = task_records_csv(result).strip().splitlines()
+        assert lines[0].startswith("task_id,")
+        assert len(lines) == 1 + 5  # header + 5 tasks
+
+    def test_transfer_csv_rows(self, result):
+        lines = transfer_records_csv(result).strip().splitlines()
+        # 4 stage-ins + 1 stage-out
+        assert len(lines) == 1 + 5
+        assert "in" in lines[1]
+
+    def test_storage_csv_parses(self, result):
+        lines = storage_curve_csv(result).strip().splitlines()
+        assert lines[0] == "time,bytes"
+        times = [float(row.split(",")[0]) for row in lines[1:]]
+        assert times == sorted(times)
+
+    def test_storage_csv_requires_curve(self, montage1):
+        r = simulate(montage1, 4, record_trace=False)
+        with pytest.raises(ValueError, match="storage curve"):
+            storage_curve_csv(r)
+
+    def test_write_trace_files(self, result, tmp_path):
+        paths = write_trace_files(result, tmp_path / "trace")
+        assert [p.name for p in paths] == [
+            "tasks.csv", "transfers.csv", "storage.csv",
+        ]
+        for p in paths:
+            assert p.exists()
+            assert p.read_text().strip()

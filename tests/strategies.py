@@ -1,0 +1,96 @@
+"""Hypothesis strategies for arbitrary workflow DAGs.
+
+The layered generator in :mod:`repro.workflow.generators` covers the
+common shapes; this strategy builds *arbitrary* DAGs — every task may read
+any mix of fresh input files and files produced by any earlier task, may
+produce several outputs, and outputs may be explicitly marked — so the
+property suites exercise corner shapes (multi-output tasks, long skinny
+chains crossing wide fans, files consumed by many levels at once).
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.workflow.dag import FileSpec, Task, Workflow
+
+__all__ = ["workflows"]
+
+
+@st.composite
+def workflows(
+    draw,
+    max_tasks: int = 12,
+    max_outputs_per_task: int = 3,
+    max_file_bytes: float = 5e6,
+    max_runtime: float = 200.0,
+) -> Workflow:
+    """Draw a random valid workflow.
+
+    Tasks are created in index order; task *i* may consume outputs of any
+    task *j < i* (guaranteeing acyclicity) and/or fresh initial inputs.
+    Every task consumes at least one file so the simulator's staging paths
+    are always exercised.
+    """
+    n_tasks = draw(st.integers(1, max_tasks))
+    wf = Workflow(f"hypo-{n_tasks}")
+    produced: list[str] = []
+    file_counter = 0
+
+    def new_file(prefix: str) -> str:
+        nonlocal file_counter
+        name = f"{prefix}{file_counter}"
+        file_counter += 1
+        size = draw(st.floats(0.0, max_file_bytes, allow_nan=False))
+        wf.add_file(FileSpec(name, size))
+        return name
+
+    for i in range(n_tasks):
+        inputs: list[str] = []
+        if produced:
+            k = draw(st.integers(0, min(3, len(produced))))
+            if k:
+                # sample distinct indices into `produced`
+                idxs = draw(
+                    st.lists(
+                        st.integers(0, len(produced) - 1),
+                        min_size=k,
+                        max_size=k,
+                        unique=True,
+                    )
+                )
+                inputs.extend(produced[j] for j in idxs)
+        n_fresh = draw(st.integers(0 if inputs else 1, 2))
+        inputs.extend(new_file("in") for _ in range(n_fresh))
+        n_out = draw(st.integers(0, max_outputs_per_task))
+        outputs = [new_file("f") for _ in range(n_out)]
+        wf.add_task(
+            Task(
+                task_id=f"t{i}",
+                runtime=draw(
+                    st.floats(0.001, max_runtime, allow_nan=False)
+                ),
+                inputs=tuple(inputs),
+                outputs=tuple(outputs),
+                transformation=f"kind{i % 3}",
+            )
+        )
+        produced.extend(outputs)
+
+    # Randomly promote a few consumed intermediates to explicit outputs.
+    consumed = [f for f in produced if wf.consumers_of(f)]
+    if consumed:
+        n_marks = draw(st.integers(0, min(2, len(consumed))))
+        if n_marks:
+            idxs = draw(
+                st.lists(
+                    st.integers(0, len(consumed) - 1),
+                    min_size=n_marks,
+                    max_size=n_marks,
+                    unique=True,
+                )
+            )
+            for j in idxs:
+                wf.mark_output(consumed[j])
+    wf.validate()
+    return wf

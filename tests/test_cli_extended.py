@@ -1,0 +1,77 @@
+"""CLI tests for the extension subcommands and flags."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDataflowCommand:
+    def test_dataflow_tables(self, capsys):
+        assert main(["dataflow", "--degree", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "reuse factor" in out
+        assert "remote-io" in out
+        assert "File fan-out" in out
+        assert "Data volume per workflow level" in out
+        # The template header feeds all 40 mProjects.
+        assert "40" in out
+
+
+class TestSimulateExtensionFlags:
+    def test_boot_seconds_lengthens_run(self, capsys):
+        main(["simulate", "--degree", "1", "--processors", "8"])
+        base = capsys.readouterr().out
+        main([
+            "simulate", "--degree", "1", "--processors", "8",
+            "--boot-seconds", "600",
+        ])
+        delayed = capsys.readouterr().out
+
+        def makespan(text):
+            for line in text.splitlines():
+                if line.startswith("makespan"):
+                    return line
+            raise AssertionError("no makespan line")
+
+        assert makespan(base) != makespan(delayed)
+
+    def test_storage_capacity_flag(self, capsys):
+        assert main([
+            "simulate", "--degree", "1", "--mode", "cleanup",
+            "--storage-capacity-gb", "0.7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out
+
+    def test_infeasible_capacity_errors(self):
+        with pytest.raises(RuntimeError, match="storage capacity"):
+            main([
+                "simulate", "--degree", "1", "--mode", "cleanup",
+                "--storage-capacity-gb", "0.1",
+            ])
+
+
+class TestServiceModeTrace:
+    def test_service_with_trace_records(self, montage1):
+        from repro.service.arrivals import ServiceRequest
+        from repro.service.simulator import ServiceSimulator
+
+        sim = ServiceSimulator(16, "cleanup", record_trace=True)
+        res = sim.run([ServiceRequest("r0", montage1, 0.0)])
+        records = res.outcomes[0].result.task_records
+        assert len(records) == 203
+        assert res.outcomes[0].result.storage_curve is not None
+
+    def test_service_contended_link(self, montage1):
+        from repro.service.arrivals import ServiceRequest
+        from repro.service.simulator import ServiceSimulator
+
+        free = ServiceSimulator(16).run(
+            [ServiceRequest("r0", montage1, 0.0)]
+        )
+        queued = ServiceSimulator(16, link_contention=True).run(
+            [ServiceRequest("r0", montage1, 0.0)]
+        )
+        assert queued.outcomes[0].response_time >= (
+            free.outcomes[0].response_time - 1e-9
+        )

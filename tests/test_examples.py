@@ -1,0 +1,32 @@
+"""Every example script must run cleanly and print its key findings."""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+#: script -> substrings its output must contain
+EXPECTED = {
+    "quickstart.py": ["montage-1deg", "TOTAL", "CPU utilization"],
+    "sporadic_overload.py": ["Pareto-efficient", "Deadline user", "Budget user"],
+    "service_provider.py": ["Best strategy", "break-even"],
+    "whole_sky.py": ["Store-vs-recompute", "3900"],
+    "custom_workflow.py": ["figure3-custom", "storage-heavy"],
+    "mosaic_service.py": ["Smallest pool", "Best policy"],
+    "figure2_portal.py": ["hit rate", "Fulfillment log"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED))
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    for marker in EXPECTED[script]:
+        assert marker in out, f"{script} output missing {marker!r}"
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(EXPECTED)

@@ -1,0 +1,180 @@
+"""The headline scoreboard: every number the paper reports, asserted.
+
+One test per published quantity, with the tolerance stating how closely the
+reproduction is expected to track the paper.  EXPERIMENTS.md mirrors this
+file in prose.
+"""
+
+import pytest
+
+from repro.core.costs import compute_cost
+from repro.core.plans import ExecutionPlan
+from repro.core.pricing import AWS_2008
+from repro.experiments.question2b import run_question2b
+from repro.experiments.question3 import run_question3
+from repro.sim.executor import simulate
+from repro.util.units import HOUR, MINUTE
+from repro.workflow.analysis import max_parallelism
+
+
+def _provisioned(wf, p):
+    r = simulate(wf, p, "regular", record_trace=False)
+    return r, compute_cost(r, AWS_2008, ExecutionPlan.provisioned(p))
+
+
+def _on_demand(wf, mode="regular"):
+    p = max_parallelism(wf)
+    r = simulate(wf, p, mode, record_trace=False)
+    return r, compute_cost(r, AWS_2008, ExecutionPlan.on_demand(p, mode))
+
+
+class TestSection5Workloads:
+    def test_task_counts(self, montage1, montage2, montage4):
+        """'203 / 731 / 3,027 application tasks.'"""
+        assert (len(montage1), len(montage2), len(montage4)) == (
+            203, 731, 3027,
+        )
+
+
+class TestFigure4:  # Montage 1 degree
+    def test_1proc_cost_60_cents(self, montage1):
+        _, cost = _provisioned(montage1, 1)
+        assert cost.total == pytest.approx(0.60, abs=0.03)
+
+    def test_1proc_time_5_5_hours(self, montage1):
+        r, _ = _provisioned(montage1, 1)
+        assert r.makespan == pytest.approx(5.5 * HOUR, rel=0.06)
+
+    def test_128proc_cost_almost_4_dollars(self, montage1):
+        _, cost = _provisioned(montage1, 128)
+        assert cost.total == pytest.approx(4.0, rel=0.2)
+
+    def test_128proc_time_18_minutes(self, montage1):
+        r, _ = _provisioned(montage1, 128)
+        assert r.makespan == pytest.approx(18 * MINUTE, rel=0.2)
+
+
+class TestFigure5:  # Montage 2 degrees
+    def test_1proc_cost_2_25(self, montage2):
+        _, cost = _provisioned(montage2, 1)
+        assert cost.total == pytest.approx(2.25, abs=0.05)
+
+    def test_1proc_time_20_5_hours(self, montage2):
+        r, _ = _provisioned(montage2, 1)
+        assert r.makespan == pytest.approx(20.5 * HOUR, rel=0.03)
+
+    def test_128proc_cost_below_8(self, montage2):
+        _, cost = _provisioned(montage2, 128)
+        assert cost.total < 8.0
+
+    def test_128proc_time_below_40_minutes(self, montage2):
+        r, _ = _provisioned(montage2, 128)
+        assert r.makespan < 40 * MINUTE
+
+
+class TestFigure6:  # Montage 4 degrees
+    def test_1proc_cost_9_dollars(self, montage4):
+        _, cost = _provisioned(montage4, 1)
+        assert cost.total == pytest.approx(9.0, rel=0.04)
+
+    def test_1proc_time_85_hours(self, montage4):
+        r, _ = _provisioned(montage4, 1)
+        assert r.makespan == pytest.approx(85 * HOUR, rel=0.02)
+
+    def test_16proc_compromise_9_25(self, montage4):
+        """'16 processors ... approximately 5.5 hours with a cost of
+        $9.25' (we land at ~5.9 h / ~$10.1)."""
+        r, cost = _provisioned(montage4, 16)
+        assert r.makespan == pytest.approx(5.5 * HOUR, rel=0.1)
+        assert cost.total == pytest.approx(9.25, rel=0.12)
+
+    def test_128proc_cost_near_13_92(self, montage4):
+        """Paper: $13.92 / ~1 h.  Our measured ~$17.3 / 1.3 h — the
+        paper's figure is internally optimistic: staging out the 2.229 GB
+        mosaic alone takes 0.5 h at 10 Mbps on top of a 0.66 h compute
+        lower bound.  We assert the same order and the provisioned>on-demand
+        conclusion it supports."""
+        r, cost = _provisioned(montage4, 128)
+        assert cost.total == pytest.approx(13.92, rel=0.30)
+        assert r.makespan == pytest.approx(1.0 * HOUR, rel=0.35)
+
+
+class TestFigure10:  # CPU vs data-management cost, on-demand
+    @pytest.mark.parametrize(
+        "fixture,cpu", [("montage1", 0.56), ("montage2", 2.03), ("montage4", 8.40)]
+    )
+    def test_cpu_costs(self, fixture, cpu, request):
+        wf = request.getfixturevalue(fixture)
+        _, cost = _on_demand(wf)
+        assert cost.cpu_cost == pytest.approx(cpu, abs=0.01)
+
+    def test_2deg_staged_total_2_22(self, montage2):
+        _, cost = _on_demand(montage2)
+        assert cost.total == pytest.approx(2.22, abs=0.04)
+
+    def test_2deg_prestaged_total_2_12(self, montage2):
+        _, cost = _on_demand(montage2)
+        assert cost.total - cost.transfer_in_cost == pytest.approx(
+            2.12, abs=0.03
+        )
+
+    def test_4deg_staged_total_8_88(self, montage4):
+        _, cost = _on_demand(montage4)
+        # Ours $9.06: the paper's own $8.88 is inconsistent with its CCR
+        # table (see DESIGN.md §8); same order either way.
+        assert cost.total == pytest.approx(8.88, rel=0.04)
+
+    def test_4deg_prestaged_total_8_75(self, montage4):
+        _, cost = _on_demand(montage4)
+        assert cost.total - cost.transfer_in_cost == pytest.approx(
+            8.75, rel=0.01
+        )
+
+    def test_on_demand_cheaper_than_128_provisioned(self, montage4):
+        """'$13.92 in the provisioned case, whereas the workflow which is
+        charged only for the resources used is only $8.89.'"""
+        _, prov = _provisioned(montage4, 128)
+        _, ond = _on_demand(montage4)
+        assert ond.total < prov.total
+        assert ond.total == pytest.approx(8.89, rel=0.04)
+
+
+class TestCCRTable:
+    @pytest.mark.parametrize(
+        "fixture,ccr", [("montage1", 0.053), ("montage2", 0.053), ("montage4", 0.045)]
+    )
+    def test_ccr(self, fixture, ccr, request):
+        from repro.workflow.analysis import communication_to_computation_ratio
+
+        wf = request.getfixturevalue(fixture)
+        assert communication_to_computation_ratio(wf) == pytest.approx(
+            ccr, abs=1e-6
+        )
+
+
+class TestQuestion2b:
+    def test_archive_figures(self, montage2):
+        res = run_question2b(montage2)
+        assert res.monthly_storage_cost == pytest.approx(1800.0)
+        assert res.economics.initial_transfer_cost == pytest.approx(1200.0)
+        assert res.cost_staged == pytest.approx(2.22, abs=0.04)
+        assert res.cost_prestaged == pytest.approx(2.12, abs=0.03)
+        # Paper rounds the saving to $0.10 -> 18,000; exact -> ~21,000.
+        assert res.break_even_requests_per_month == pytest.approx(
+            18000, rel=0.20
+        )
+
+
+class TestQuestion3:
+    def test_whole_sky(self):
+        res = run_question3()
+        assert res.n_plates == 3900
+        assert res.total_staged == pytest.approx(34632.0, rel=0.04)
+        assert res.total_prestaged == pytest.approx(34145.0, rel=0.02)
+
+    def test_store_vs_recompute(self):
+        res = run_question3()
+        months = {r.degree: round(r.months, 2) for r in res.store_rows}
+        assert months[1.0] == pytest.approx(21.52, abs=0.2)
+        assert months[2.0] == pytest.approx(24.25, abs=0.2)
+        assert months[4.0] == pytest.approx(25.12, abs=0.2)

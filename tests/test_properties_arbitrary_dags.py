@@ -1,0 +1,110 @@
+"""Cross-cutting property tests over arbitrary random DAGs.
+
+These close the loop between independent implementations: the DAX
+serializer, the static data-flow predictions, the cleanup analysis, the
+analytic makespan bounds and the simulator must all agree on any valid
+workflow the strategy can produce — including multi-output tasks, files
+consumed across distant levels, zero-size files and explicit output marks.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.estimate import makespan_bounds
+from repro.sim.executor import simulate
+from repro.workflow.analysis import critical_path_length, max_parallelism
+from repro.workflow.cleanup import cleanup_plan
+from repro.workflow.dataflow import predict_transfers
+from repro.workflow.dax import parse_dax, to_dax
+
+from tests.strategies import workflows
+
+BW = 1.25e6
+
+
+@settings(max_examples=60, deadline=None)
+@given(wf=workflows())
+def test_dax_roundtrip_arbitrary(wf):
+    back = parse_dax(to_dax(wf))
+    assert set(back.tasks) == set(wf.tasks)
+    for tid, task in wf.tasks.items():
+        other = back.task(tid)
+        assert other.runtime == task.runtime  # repr round-trip is exact
+        assert other.inputs == task.inputs
+        assert other.outputs == task.outputs
+    for name, f in wf.files.items():
+        assert back.file(name).size_bytes == f.size_bytes
+    assert sorted(back.output_files()) == sorted(wf.output_files())
+
+
+@settings(max_examples=40, deadline=None)
+@given(wf=workflows(), p=st.integers(1, 6))
+def test_simulator_agrees_with_static_predictions(wf, p):
+    for mode in ("regular", "cleanup", "remote-io"):
+        pred = predict_transfers(wf, mode)
+        r = simulate(wf, p, mode, bandwidth_bytes_per_sec=BW,
+                     record_trace=False)
+        assert r.bytes_in == pytest.approx(pred.bytes_in)
+        assert r.bytes_out == pytest.approx(pred.bytes_out)
+        assert r.n_transfers_in == pred.n_transfers_in
+        assert r.n_transfers_out == pred.n_transfers_out
+
+
+@settings(max_examples=40, deadline=None)
+@given(wf=workflows(), p=st.integers(1, 6))
+def test_makespan_bounds_hold_on_arbitrary_dags(wf, p):
+    lower, upper = makespan_bounds(wf, p, BW)
+    r = simulate(wf, p, "regular", bandwidth_bytes_per_sec=BW,
+                 record_trace=False)
+    assert lower - 1e-6 <= r.makespan <= upper + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(wf=workflows())
+def test_cleanup_plan_partitions_files(wf):
+    """Every file is either protected or has a release set of real tasks."""
+    plan = cleanup_plan(wf)
+    for fname in wf.files:
+        if fname in plan.protected:
+            assert fname not in plan.release_after
+        else:
+            releasers = plan.release_after[fname]
+            assert releasers
+            assert releasers <= set(wf.tasks)
+            consumers = wf.consumers_of(fname)
+            if consumers:
+                assert releasers == consumers
+    assert plan.protected == frozenset(wf.output_files())
+
+
+@settings(max_examples=40, deadline=None)
+@given(wf=workflows(), p=st.integers(1, 6))
+def test_cleanup_timing_equals_regular(wf, p):
+    reg = simulate(wf, p, "regular", bandwidth_bytes_per_sec=BW,
+                   record_trace=False)
+    cln = simulate(wf, p, "cleanup", bandwidth_bytes_per_sec=BW,
+                   record_trace=False)
+    assert cln.makespan == pytest.approx(reg.makespan)
+    assert cln.storage_byte_seconds <= reg.storage_byte_seconds + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(wf=workflows())
+def test_structure_invariants(wf):
+    levels = wf.levels()
+    # Levels strictly increase along every edge.
+    for parent, child in wf.edges():
+        assert levels[child] > levels[parent]
+    # Critical path is at most total work, at least the longest task.
+    cp = critical_path_length(wf)
+    assert cp <= wf.total_runtime() + 1e-9
+    assert cp >= max(t.runtime for t in wf.tasks.values()) - 1e-9
+    # Parallelism is within [1, n_tasks].
+    assert 1 <= max_parallelism(wf) <= len(wf)
+    # File partition: inputs, outputs and intermediates cover all files.
+    inputs = set(wf.input_files())
+    outputs = set(wf.output_files())
+    intermediates = set(wf.intermediate_files())
+    assert inputs | outputs | intermediates == set(wf.files)
+    assert not (inputs & intermediates)
+    assert not (outputs & intermediates)

@@ -1,0 +1,147 @@
+"""StepCurve tests, including a hypothesis check against a reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.curve import StepCurve
+
+
+class TestBasics:
+    def test_empty_curve_is_constant(self):
+        c = StepCurve(3.5)
+        assert c.value_at(-10) == 3.5
+        assert c.value_at(0) == 3.5
+        assert c.final_value() == 3.5
+        assert c.integral(0, 10) == pytest.approx(35.0)
+        assert len(c) == 0
+
+    def test_single_step(self):
+        c = StepCurve()
+        c.add(5.0, 2.0)
+        assert c.value_at(4.999) == 0.0
+        assert c.value_at(5.0) == 2.0  # right-continuous
+        assert c.integral(0, 10) == pytest.approx(10.0)
+
+    def test_add_zero_is_noop(self):
+        c = StepCurve()
+        c.add(1.0, 0.0)
+        assert len(c) == 0
+
+    def test_coalesces_same_timestamp(self):
+        c = StepCurve()
+        c.add(1.0, 2.0)
+        c.add(1.0, 3.0)
+        assert len(c) == 1
+        assert c.value_at(1.0) == 5.0
+
+    def test_out_of_order_updates(self):
+        c = StepCurve()
+        c.add(10.0, 1.0)
+        c.add(5.0, 2.0)  # inserted before the existing point
+        assert c.value_at(7.0) == 2.0
+        assert c.value_at(10.0) == 3.0
+        assert c.integral(0, 12) == pytest.approx(2 * 5 + 3 * 2)
+
+    def test_set_value(self):
+        c = StepCurve(1.0)
+        c.set_value(2.0, 10.0)
+        assert c.value_at(1.0) == 1.0
+        assert c.value_at(3.0) == 10.0
+
+    def test_max_value(self):
+        c = StepCurve()
+        c.add(1.0, 5.0)
+        c.add(2.0, -3.0)
+        c.add(3.0, 10.0)
+        assert c.max_value() == 12.0
+        assert c.max_value(1.5, 2.5) == 5.0  # still 5 on [1.5, 2)
+        assert c.max_value(2.0, 2.5) == 2.0
+
+    def test_integral_window_edges(self):
+        c = StepCurve()
+        c.add(1.0, 1.0)
+        c.add(2.0, 1.0)
+        assert c.integral(1.0, 1.0) == 0.0
+        assert c.integral(1.5, 2.5) == pytest.approx(0.5 * 1 + 0.5 * 2)
+
+    def test_integral_reversed_raises(self):
+        with pytest.raises(ValueError):
+            StepCurve().integral(2.0, 1.0)
+
+    def test_as_arrays(self):
+        c = StepCurve()
+        c.add(1.0, 2.0)
+        c.add(3.0, -1.0)
+        t, v = c.as_arrays()
+        assert t.tolist() == [1.0, 3.0]
+        assert v.tolist() == [2.0, 1.0]
+
+    def test_change_points(self):
+        c = StepCurve()
+        c.add(2.0, 4.0)
+        assert list(c.change_points()) == [(2.0, 4.0)]
+
+
+@given(
+    deltas=st.lists(
+        st.tuples(
+            st.floats(0.0, 100.0, allow_nan=False),
+            st.floats(-50.0, 50.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_integral_matches_dense_sampling(deltas):
+    """Exact integration agrees with a fine Riemann sum on a grid."""
+    c = StepCurve()
+    for t, d in deltas:
+        c.add(t, d)
+    t0, t1 = 0.0, 101.0
+    exact = c.integral(t0, t1)
+    # Riemann sum over all breakpoints (exact for step functions).
+    pts = sorted({t0, t1, *(t for t, _ in deltas if t0 < t < t1)})
+    riemann = sum(
+        c.value_at(a) * (b - a) for a, b in zip(pts[:-1], pts[1:])
+    )
+    assert exact == pytest.approx(riemann, rel=1e-9, abs=1e-9)
+
+
+@given(
+    deltas=st.lists(
+        st.tuples(
+            st.floats(0.0, 100.0, allow_nan=False),
+            st.floats(-50.0, 50.0, allow_nan=False),
+        ),
+        max_size=30,
+    ),
+    split=st.floats(0.0, 100.0, allow_nan=False),
+)
+def test_integral_additivity(deltas, split):
+    """integral(a, c) == integral(a, b) + integral(b, c)."""
+    c = StepCurve(1.0)
+    for t, d in deltas:
+        c.add(t, d)
+    total = c.integral(0.0, 100.0)
+    parts = c.integral(0.0, split) + c.integral(split, 100.0)
+    assert total == pytest.approx(parts, rel=1e-9, abs=1e-6)
+
+
+@given(
+    deltas=st.lists(
+        st.tuples(
+            st.floats(0.0, 100.0, allow_nan=False),
+            st.floats(0.0, 50.0, allow_nan=False),
+        ),
+        max_size=20,
+    )
+)
+def test_monotone_deltas_make_monotone_curve(deltas):
+    """Only-positive deltas yield a non-decreasing curve."""
+    c = StepCurve()
+    for t, d in deltas:
+        c.add(t, d)
+    samples = np.linspace(-1.0, 101.0, 57)
+    values = [c.value_at(s) for s in samples]
+    assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))

@@ -1,0 +1,55 @@
+"""Unit-conversion tests."""
+
+import pytest
+
+from repro.util import units as u
+
+
+class TestConstants:
+    def test_decimal_sizes(self):
+        assert u.KB == 1e3
+        assert u.MB == 1e6
+        assert u.GB == 1e9
+        assert u.TB == 1e12
+
+    def test_bandwidth_is_bits(self):
+        # 10 Mbps — the paper's link — moves 1.25 MB per second.
+        assert 10 * u.MBPS == 1.25e6
+
+    def test_month_is_30_days(self):
+        assert u.MONTH == 30 * 24 * 3600
+
+
+class TestConversions:
+    def test_bytes_gb_roundtrip(self):
+        assert u.gb_to_bytes(u.bytes_to_gb(123456789.0)) == pytest.approx(
+            123456789.0
+        )
+
+    def test_bytes_mb_roundtrip(self):
+        assert u.mb_to_bytes(u.bytes_to_mb(5.85e6)) == pytest.approx(5.85e6)
+
+    def test_mbps(self):
+        assert u.mbps_to_bytes_per_sec(10.0) == 1.25e6
+
+    def test_hours_seconds_roundtrip(self):
+        assert u.hours_to_seconds(u.seconds_to_hours(19800.0)) == pytest.approx(
+            19800.0
+        )
+
+
+class TestFormatting:
+    def test_format_bytes_picks_unit(self):
+        assert u.format_bytes(173.46 * u.MB) == "173.46 MB"
+        assert u.format_bytes(12 * u.TB) == "12.00 TB"
+        assert u.format_bytes(2.229 * u.GB) == "2.23 GB"
+        assert u.format_bytes(512.0) == "512 B"
+
+    def test_format_duration_picks_unit(self):
+        assert u.format_duration(5.5 * u.HOUR) == "5.50 h"
+        assert u.format_duration(18 * u.MINUTE) == "18.0 min"
+        assert u.format_duration(42.0) == "42.0 s"
+
+    def test_format_money(self):
+        assert u.format_money(0.56) == "$0.560"
+        assert u.format_money(34632.0) == "$34,632.00"

@@ -1,0 +1,87 @@
+"""Dynamic-cleanup analysis tests.
+
+The paper's worked example (Section 3): in Figure 3, "file a would be
+deleted after task 0 has completed, however file b would be deleted only
+when task 6 has completed" — wait, b's consumers are tasks 1 and 2; the
+paper's sentence refers to its own earlier example where b feeds the join.
+We assert the general rule: a file is releasable once *all* its consumers
+have completed, and net outputs are protected.
+"""
+
+import pytest
+
+from repro.workflow.cleanup import cleanup_plan, releasers_index
+from repro.workflow.dag import FileSpec, Task, Workflow
+from repro.workflow.generators import (
+    chain_workflow,
+    example_figure3_workflow,
+    fork_join_workflow,
+)
+
+
+class TestFigure3Plan:
+    @pytest.fixture()
+    def plan(self):
+        return cleanup_plan(example_figure3_workflow())
+
+    def test_input_released_by_its_consumer(self, plan):
+        # "file a would be deleted after task 0 has completed"
+        assert plan.release_after["a"] == {"task0"}
+
+    def test_shared_intermediate_released_by_all_consumers(self, plan):
+        assert plan.release_after["b"] == {"task1", "task2"}
+        assert plan.release_after["c"] == {"task3", "task4"}
+
+    def test_outputs_protected(self, plan):
+        assert plan.protected == {"g", "h"}
+        assert "g" not in plan.release_after
+        # h is consumed by task6 *and* is a net output: protected wins.
+        assert "h" not in plan.release_after
+
+    def test_releasable_on(self, plan):
+        assert plan.releasable_on("task0", {"task0"}) == ["a"]
+        # b needs both task1 and task2.
+        assert plan.releasable_on("task1", {"task0", "task1"}) == []
+        assert plan.releasable_on("task2", {"task0", "task1", "task2"}) == ["b"]
+
+
+class TestEdgeCases:
+    def test_unconsumed_intermediate_released_by_producer(self):
+        wf = Workflow("w")
+        for n in ("a", "b", "c"):
+            wf.add_file(FileSpec(n, 1.0))
+        wf.add_task(Task("t", 1.0, inputs=("a",), outputs=("b", "c")))
+        wf.add_task(Task("u", 1.0, inputs=("b",), outputs=()))
+        wf.mark_output("b")
+        # c is produced, unconsumed, NOT an explicit output -> it is a
+        # structural terminal product, so output_files() claims it and it
+        # is protected rather than released.
+        plan = cleanup_plan(wf)
+        assert "c" in plan.protected
+        assert plan.release_after["a"] == {"t"}
+
+    def test_chain_releases_everything_but_the_output(self):
+        wf = chain_workflow(4)
+        plan = cleanup_plan(wf)
+        assert plan.protected == {"f4"}
+        for i in range(4):
+            assert plan.release_after[f"f{i}"] == {f"t{i}"}
+
+    def test_releasers_index_inverts_plan(self):
+        wf = fork_join_workflow(3)
+        plan = cleanup_plan(wf)
+        idx = releasers_index(plan)
+        # each worker releases its own input; join releases the mids
+        for i in range(3):
+            assert f"in{i}" in idx[f"w{i}"]
+            assert f"mid{i}" in idx["join"]
+        # Every (file, releaser) pair appears exactly once.
+        pairs = {
+            (f, t) for t, files in idx.items() for f in files
+        }
+        expected = {
+            (f, t)
+            for f, releasers in plan.release_after.items()
+            for t in releasers
+        }
+        assert pairs == expected

@@ -1,0 +1,117 @@
+"""Horizontal task-clustering tests."""
+
+import pytest
+
+from repro.sim.executor import simulate
+from repro.workflow.analysis import (
+    communication_to_computation_ratio,
+    level_widths,
+    max_parallelism,
+)
+from repro.workflow.clustering import cluster_workflow
+from repro.workflow.dataflow import predict_transfers
+from repro.workflow.generators import chain_workflow, fork_join_workflow
+
+
+class TestStructure:
+    def test_montage_cluster_counts(self, montage1):
+        c8 = cluster_workflow(montage1, 8)
+        counts = c8.count_by_transformation()
+        assert counts["mProject"] == 5      # ceil(40 / 8)
+        assert counts["mDiffFit"] == 15     # ceil(118 / 8)
+        assert counts["mBackground"] == 5
+        # Singletons untouched, original ids preserved.
+        assert counts["mAdd"] == 1
+        assert "mAdd" in c8
+        assert len(c8) == 5 + 15 + 2 + 5 + 3
+
+    def test_factor_one_is_identity(self, montage1):
+        c1 = cluster_workflow(montage1, 1)
+        assert set(c1.tasks) == set(montage1.tasks)
+        assert c1.total_runtime() == pytest.approx(montage1.total_runtime())
+
+    def test_runtime_and_files_preserved(self, montage1):
+        c8 = cluster_workflow(montage1, 8)
+        assert c8.total_runtime() == pytest.approx(montage1.total_runtime())
+        assert set(c8.files) == set(montage1.files)
+        assert communication_to_computation_ratio(c8) == pytest.approx(
+            communication_to_computation_ratio(montage1)
+        )
+        assert sorted(c8.output_files()) == sorted(montage1.output_files())
+
+    def test_parallelism_shrinks(self, montage1):
+        c8 = cluster_workflow(montage1, 8)
+        assert max_parallelism(c8) == 15  # the diff wave's cluster count
+        assert c8.depth() == montage1.depth()
+
+    def test_regular_transfers_unchanged(self, montage1):
+        c8 = cluster_workflow(montage1, 8)
+        before = predict_transfers(montage1, "regular")
+        after = predict_transfers(c8, "regular")
+        assert after.bytes_in == pytest.approx(before.bytes_in)
+        assert after.bytes_out == pytest.approx(before.bytes_out)
+
+    def test_remote_transfers_shrink(self, montage1):
+        """Clustering dedups shared inputs within a cluster (e.g. the
+        template header is pulled once per mProject *cluster*)."""
+        c8 = cluster_workflow(montage1, 8)
+        before = predict_transfers(montage1, "remote-io")
+        after = predict_transfers(c8, "remote-io")
+        assert after.bytes_in < before.bytes_in
+        assert after.n_transfers_in < before.n_transfers_in
+
+    def test_shared_level_inputs_deduplicated(self, montage1):
+        c8 = cluster_workflow(montage1, 8)
+        cluster = c8.task("cluster_mProject_l1_0000")
+        assert cluster.inputs.count("template.hdr") == 1
+        assert len(cluster.outputs) == 16  # 8 members x 2 outputs
+
+    def test_chain_unchanged(self):
+        wf = chain_workflow(5)
+        c = cluster_workflow(wf, 4)
+        assert set(c.tasks) == set(wf.tasks)  # one task per level
+
+    def test_invalid_factor(self, montage1):
+        with pytest.raises(ValueError):
+            cluster_workflow(montage1, 0)
+
+
+class TestOverheadInteraction:
+    def test_clustering_amortizes_overhead(self, montage1):
+        """With 10 s/job overhead at 8 processors, clustering by 5 (which
+        packs the 40-wide waves perfectly onto 8 processors) wins; without
+        overhead it costs nothing; a mispacked factor of 8 (5 clusters on
+        8 processors) loses despite the overhead savings."""
+        c5 = cluster_workflow(montage1, 5)
+        plain_oh = simulate(
+            montage1, 8, task_overhead_seconds=10.0, record_trace=False
+        )
+        clustered_oh = simulate(
+            c5, 8, task_overhead_seconds=10.0, record_trace=False
+        )
+        assert clustered_oh.makespan < plain_oh.makespan
+        plain = simulate(montage1, 8, record_trace=False)
+        clustered = simulate(c5, 8, record_trace=False)
+        assert clustered.makespan == pytest.approx(plain.makespan)
+        mispacked = simulate(
+            cluster_workflow(montage1, 8), 8,
+            task_overhead_seconds=10.0, record_trace=False,
+        )
+        assert mispacked.makespan > plain_oh.makespan
+
+    def test_overhead_timing_exact(self):
+        wf = fork_join_workflow(4, runtime=10.0, file_size=1.25e6)
+        r = simulate(
+            wf, 4, bandwidth_bytes_per_sec=1.25e6,
+            task_overhead_seconds=5.0, record_trace=False,
+        )
+        # inputs at 1 s; workers [1, 16] (5 overhead + 10 run); join
+        # [16, 31]; stage-out 1 s.
+        assert r.makespan == pytest.approx(32.0)
+        # Overhead occupies processors but is not billed compute.
+        assert r.compute_seconds == pytest.approx(50.0)
+        assert r.cpu_busy_seconds == pytest.approx(50.0 + 5 * 5.0)
+
+    def test_negative_overhead_rejected(self, montage1):
+        with pytest.raises(ValueError):
+            simulate(montage1, 1, task_overhead_seconds=-1.0)

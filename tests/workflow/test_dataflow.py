@@ -1,0 +1,108 @@
+"""Static data-flow analysis tests, including the simulator oracle check."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.executor import simulate
+from repro.workflow.dataflow import (
+    level_data_volumes,
+    predict_transfers,
+    reuse_factor,
+    transfer_multiplicity,
+)
+from repro.workflow.generators import (
+    chain_workflow,
+    example_figure3_workflow,
+    fork_join_workflow,
+    random_layered_workflow,
+)
+
+
+class TestPredictions:
+    def test_figure3_by_hand(self):
+        wf = example_figure3_workflow(file_size=1.25e6)
+        reg = predict_transfers(wf, "regular")
+        assert reg.bytes_in == pytest.approx(1.25e6)  # file a
+        assert reg.bytes_out == pytest.approx(2 * 1.25e6)  # g, h
+        assert reg.n_transfers_in == 1
+        assert reg.n_transfers_out == 2
+        rem = predict_transfers(wf, "remote-io")
+        assert rem.bytes_in == pytest.approx(9 * 1.25e6)
+        assert rem.bytes_out == pytest.approx(7 * 1.25e6)
+
+    def test_regular_equals_cleanup(self):
+        wf = fork_join_workflow(5)
+        reg = predict_transfers(wf, "regular")
+        cln = predict_transfers(wf, "cleanup")
+        assert reg.bytes_in == cln.bytes_in
+        assert reg.bytes_out == cln.bytes_out
+
+    def test_enum_accepted(self):
+        from repro.sim.datamanager import DataMode
+
+        wf = chain_workflow(2)
+        assert predict_transfers(wf, DataMode.REMOTE_IO).mode == "remote-io"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown data mode"):
+            predict_transfers(chain_workflow(1), "warp")
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        layers=st.integers(1, 4),
+        width=st.integers(1, 5),
+        seed=st.integers(0, 5000),
+        p=st.integers(1, 6),
+    )
+    def test_predictions_match_simulator(self, layers, width, seed, p):
+        """The static analysis is an exact oracle for the simulator."""
+        wf = random_layered_workflow(layers, width, seed=seed)
+        for mode in ("regular", "cleanup", "remote-io"):
+            pred = predict_transfers(wf, mode)
+            r = simulate(wf, p, mode, record_trace=False)
+            assert r.bytes_in == pytest.approx(pred.bytes_in)
+            assert r.bytes_out == pytest.approx(pred.bytes_out)
+            assert r.n_transfers_in == pred.n_transfers_in
+            assert r.n_transfers_out == pred.n_transfers_out
+
+    def test_montage_prediction_matches_simulator(self, montage1):
+        for mode in ("regular", "remote-io"):
+            pred = predict_transfers(montage1, mode)
+            r = simulate(montage1, 32, mode, record_trace=False)
+            assert r.bytes_in == pytest.approx(pred.bytes_in)
+            assert r.bytes_out == pytest.approx(pred.bytes_out)
+
+
+class TestMultiplicityAndReuse:
+    def test_figure3_multiplicity(self):
+        hist = transfer_multiplicity(example_figure3_workflow())
+        # g unconsumed; a,d,e,f,h consumed once (h by task6);
+        # b,c consumed twice.
+        assert hist == {0: 1, 1: 5, 2: 2}
+
+    def test_chain_reuse_is_one(self):
+        assert reuse_factor(chain_workflow(5)) == pytest.approx(1.0)
+
+    def test_montage_reuse_plausible(self, montage1):
+        # Projected/corrected images feed several consumers.
+        assert 1.5 < reuse_factor(montage1) < 3.5
+
+    def test_reuse_grows_with_fanout(self):
+        narrow = fork_join_workflow(2)
+        # every mid file read once, inputs once: reuse 1
+        assert reuse_factor(narrow) == pytest.approx(1.0)
+
+
+class TestLevelVolumes:
+    def test_chain_levels(self):
+        wf = chain_workflow(3, file_size=2e6)
+        vols = level_data_volumes(wf)
+        assert vols == {0: 2e6, 1: 2e6, 2: 2e6, 3: 2e6}
+
+    def test_montage_wave_levels_dominate(self, montage1):
+        vols = level_data_volumes(montage1)
+        # level 1 (projected) and level 5 (corrected) carry ~2N images.
+        assert vols[1] > vols[2]
+        assert vols[5] > vols[4]
+        total = sum(vols.values())
+        assert total == pytest.approx(montage1.total_file_bytes())

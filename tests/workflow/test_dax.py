@@ -1,0 +1,110 @@
+"""DAX XML serialization tests."""
+
+import pytest
+
+from repro.workflow.dag import WorkflowValidationError
+from repro.workflow.dax import parse_dax, read_dax_file, to_dax, write_dax_file
+from repro.workflow.generators import (
+    example_figure3_workflow,
+    fork_join_workflow,
+    random_layered_workflow,
+)
+
+
+def _assert_equivalent(a, b):
+    assert a.name == b.name
+    assert set(a.tasks) == set(b.tasks)
+    for tid, task in a.tasks.items():
+        other = b.task(tid)
+        assert other.runtime == pytest.approx(task.runtime)
+        assert other.inputs == task.inputs
+        assert other.outputs == task.outputs
+        assert other.transformation == task.transformation
+    assert set(a.files) == set(b.files)
+    for name, f in a.files.items():
+        assert b.file(name).size_bytes == pytest.approx(f.size_bytes)
+    assert sorted(a.output_files()) == sorted(b.output_files())
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "wf_factory",
+        [
+            example_figure3_workflow,
+            lambda: fork_join_workflow(5),
+            lambda: random_layered_workflow(3, 4, seed=7),
+        ],
+    )
+    def test_roundtrip(self, wf_factory):
+        wf = wf_factory()
+        _assert_equivalent(wf, parse_dax(to_dax(wf)))
+
+    def test_explicit_output_marks_survive(self):
+        wf = example_figure3_workflow()
+        parsed = parse_dax(to_dax(wf))
+        # h is consumed by task6 yet must still be a net output.
+        assert "h" in parsed.output_files()
+
+    def test_file_roundtrip(self, tmp_path):
+        wf = fork_join_workflow(3)
+        path = write_dax_file(wf, tmp_path / "wf.xml")
+        _assert_equivalent(wf, read_dax_file(path))
+
+    def test_montage_roundtrip(self, montage1):
+        _assert_equivalent(montage1, parse_dax(to_dax(montage1)))
+
+    def test_exact_float_sizes_preserved(self):
+        wf = random_layered_workflow(2, 2, seed=3)
+        parsed = parse_dax(to_dax(wf))
+        for name, f in wf.files.items():
+            assert parsed.file(name).size_bytes == f.size_bytes  # bit-exact
+
+
+class TestMalformedInput:
+    def test_not_xml(self):
+        with pytest.raises(WorkflowValidationError, match="malformed"):
+            parse_dax("this is not xml")
+
+    def test_wrong_root(self):
+        with pytest.raises(WorkflowValidationError, match="adag"):
+            parse_dax("<workflow/>")
+
+    def test_job_missing_id(self):
+        with pytest.raises(WorkflowValidationError, match="missing id"):
+            parse_dax('<adag><job runtime="1"/></adag>')
+
+    def test_job_missing_runtime(self):
+        with pytest.raises(WorkflowValidationError, match="runtime"):
+            parse_dax('<adag><job id="t"/></adag>')
+
+    def test_uses_missing_size(self):
+        with pytest.raises(WorkflowValidationError, match="size"):
+            parse_dax(
+                '<adag><job id="t" runtime="1">'
+                '<uses file="a" link="input"/></job></adag>'
+            )
+
+    def test_uses_bad_link(self):
+        with pytest.raises(WorkflowValidationError, match="malformed"):
+            parse_dax(
+                '<adag><job id="t" runtime="1">'
+                '<uses file="a" link="sideways" size="1"/></job></adag>'
+            )
+
+    def test_output_missing_file(self):
+        with pytest.raises(WorkflowValidationError, match="output"):
+            parse_dax("<adag><output/></adag>")
+
+    def test_cyclic_dax_rejected(self):
+        text = (
+            "<adag>"
+            '<job id="t1" runtime="1">'
+            '<uses file="a" link="input" size="1"/>'
+            '<uses file="b" link="output" size="1"/></job>'
+            '<job id="t2" runtime="1">'
+            '<uses file="b" link="input" size="1"/>'
+            '<uses file="a" link="output" size="1"/></job>'
+            "</adag>"
+        )
+        with pytest.raises(WorkflowValidationError, match="cycle"):
+            parse_dax(text)

@@ -1,0 +1,91 @@
+"""Synthetic workflow generator tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workflow.analysis import max_parallelism
+from repro.workflow.generators import (
+    chain_workflow,
+    diamond_workflow,
+    fork_join_workflow,
+    random_layered_workflow,
+)
+
+
+class TestChain:
+    def test_structure(self):
+        wf = chain_workflow(4)
+        assert len(wf) == 4
+        assert wf.depth() == 4
+        assert wf.input_files() == ["f0"]
+        assert wf.output_files() == ["f4"]
+
+    def test_minimum_length(self):
+        with pytest.raises(ValueError):
+            chain_workflow(0)
+
+
+class TestDiamond:
+    def test_structure(self):
+        wf = diamond_workflow()
+        assert len(wf) == 4
+        assert wf.depth() == 3
+        assert wf.parents("join") == {"left", "right"}
+
+
+class TestForkJoin:
+    def test_structure(self):
+        wf = fork_join_workflow(6)
+        assert len(wf) == 7
+        assert max_parallelism(wf) == 6
+        assert len(wf.input_files()) == 6
+        assert wf.output_files() == ["out"]
+
+    def test_minimum_width(self):
+        with pytest.raises(ValueError):
+            fork_join_workflow(0)
+
+
+class TestRandomLayered:
+    def test_deterministic_given_seed(self):
+        a = random_layered_workflow(4, 5, seed=11)
+        b = random_layered_workflow(4, 5, seed=11)
+        assert set(a.tasks) == set(b.tasks)
+        for tid in a.tasks:
+            assert a.task(tid).runtime == b.task(tid).runtime
+            assert a.task(tid).inputs == b.task(tid).inputs
+        for name in a.files:
+            assert a.file(name).size_bytes == b.file(name).size_bytes
+
+    def test_different_seeds_differ(self):
+        a = random_layered_workflow(4, 5, seed=11)
+        b = random_layered_workflow(4, 5, seed=12)
+        runtimes_a = sorted(t.runtime for t in a.tasks.values())
+        runtimes_b = sorted(t.runtime for t in b.tasks.values())
+        assert runtimes_a != runtimes_b
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(ValueError):
+            random_layered_workflow(2, 2, seed=0, edge_density=0.0)
+        with pytest.raises(ValueError):
+            random_layered_workflow(2, 2, seed=0, edge_density=1.5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        layers=st.integers(1, 5),
+        width=st.integers(1, 6),
+        seed=st.integers(0, 10_000),
+        density=st.floats(0.1, 1.0),
+    )
+    def test_always_valid_and_layered(self, layers, width, seed, density):
+        wf = random_layered_workflow(
+            layers, width, seed=seed, edge_density=density
+        )
+        wf.validate()  # no cycles, consistent files
+        assert len(wf) == layers * width
+        assert wf.depth() == layers
+        # every non-root task depends only on the previous layer
+        levels = wf.levels()
+        for tid in wf.tasks:
+            layer = int(tid.split("_")[0][1:])
+            assert levels[tid] == layer + 1

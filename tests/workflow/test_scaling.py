@@ -1,0 +1,73 @@
+"""CCR rescaling tests (the paper's CCRd/CCRr multiplication)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.units import MBPS
+from repro.workflow.analysis import communication_to_computation_ratio
+from repro.workflow.generators import chain_workflow, fork_join_workflow
+from repro.workflow.scaling import scale_file_sizes, scale_to_ccr
+
+
+class TestScaleFileSizes:
+    def test_multiplies_every_file(self):
+        wf = chain_workflow(3, file_size=2e6)
+        scaled = scale_file_sizes(wf, 2.5)
+        assert all(
+            f.size_bytes == pytest.approx(5e6) for f in scaled.files.values()
+        )
+
+    def test_runtimes_untouched(self):
+        wf = chain_workflow(3, runtime=42.0)
+        scaled = scale_file_sizes(wf, 10.0)
+        assert scaled.total_runtime() == pytest.approx(wf.total_runtime())
+
+    def test_original_untouched(self):
+        wf = chain_workflow(2, file_size=1e6)
+        scale_file_sizes(wf, 3.0)
+        assert wf.file("f0").size_bytes == 1e6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            scale_file_sizes(chain_workflow(1), -1.0)
+
+    def test_zero_factor_allowed(self):
+        scaled = scale_file_sizes(chain_workflow(2), 0.0)
+        assert scaled.total_file_bytes() == 0.0
+
+
+class TestScaleToCCR:
+    def test_hits_target_exactly(self):
+        wf = fork_join_workflow(4)
+        for target in (0.01, 0.053, 1.0, 7.5):
+            scaled = scale_to_ccr(wf, target)
+            assert communication_to_computation_ratio(
+                scaled
+            ) == pytest.approx(target)
+
+    def test_respects_bandwidth_argument(self):
+        wf = fork_join_workflow(4)
+        bw = 100 * MBPS
+        scaled = scale_to_ccr(wf, 0.5, bandwidth=bw)
+        assert communication_to_computation_ratio(
+            scaled, bw
+        ) == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError):
+            scale_to_ccr(chain_workflow(1), 0.0)
+
+    def test_names_derived(self):
+        assert scale_to_ccr(chain_workflow(1), 0.5).name == "chain-ccr0.5"
+        assert scale_file_sizes(chain_workflow(1), 2.0).name == "chain-x2"
+
+
+@given(
+    factor=st.floats(0.01, 100.0, allow_nan=False),
+    n=st.integers(1, 8),
+)
+def test_ccr_scales_linearly_with_factor(factor, n):
+    wf = chain_workflow(n)
+    base = communication_to_computation_ratio(wf)
+    scaled = communication_to_computation_ratio(scale_file_sizes(wf, factor))
+    assert scaled == pytest.approx(base * factor, rel=1e-9)
