@@ -1,0 +1,209 @@
+"""Performance guard: simulator microbenchmarks + sweep-layer timings.
+
+Runs the ``group="perf"`` pytest-benchmark suite (engine event
+throughput, 4° end-to-end simulations) and then times the full report
+harness three ways:
+
+1. serial, cold cache — the baseline cost of every unique sweep point;
+2. serial, warm cache — the memoization payoff (everything is a hit);
+3. fan-out with ``REPRO_SWEEP_WORKERS`` workers, cold cache.
+
+Results land in ``BENCH_sweep.json`` next to this script: engine
+events/second, per-scenario ``run_all(fast=True)`` wall seconds,
+speedups, and the sweep cache hit statistics.  Machine facts
+(cpu count, python version) are recorded so numbers from a 1-core
+container are not mistaken for a parallel-scaling claim.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_guard.py [--workers N]
+    [--full]  # time run_all(fast=False) instead (slower, more points)
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+OUTPUT = BENCH_DIR / "BENCH_sweep.json"
+
+
+def run_perf_benchmark_suite() -> dict:
+    """Run the group="perf" pytest-benchmark suite; return its stats."""
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "perf.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                str(BENCH_DIR / "test_bench_simulator_perf.py"),
+                "--benchmark-only",
+                "--benchmark-min-rounds=3",
+                f"--benchmark-json={json_path}",
+                "-q",
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout + proc.stderr)
+            raise SystemExit("perf benchmark suite failed")
+        data = json.loads(json_path.read_text())
+
+    out = {}
+    for bench in data["benchmarks"]:
+        name = bench["name"]
+        mean = bench["stats"]["mean"]
+        entry = {"mean_seconds": mean, "rounds": bench["stats"]["rounds"]}
+        if name == "test_bench_perf_engine_event_throughput":
+            entry["events_per_second"] = 50_000 / mean
+        out[name] = entry
+    return out
+
+
+def _timed_run_all(fast: bool) -> tuple[float, str, dict]:
+    """One cold run_all() in this process; returns (secs, text, cache stats)."""
+    from repro.experiments.runner import run_all
+    from repro.sweep import clear_build_caches, default_cache, reset_default_cache
+
+    reset_default_cache()
+    clear_build_caches()
+    sink = io.StringIO()
+    start = time.perf_counter()
+    text = run_all(fast=fast, stream=sink)
+    elapsed = time.perf_counter() - start
+    cache = default_cache()
+    stats = {
+        "entries": len(cache),
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "hit_rate": cache.hit_rate,
+    }
+    return elapsed, text, stats
+
+
+def _timed_warm_rerun(fast: bool) -> tuple[float, str]:
+    """A second run_all() against the already-populated default cache."""
+    from repro.experiments.runner import run_all
+
+    sink = io.StringIO()
+    start = time.perf_counter()
+    text = run_all(fast=fast, stream=sink)
+    return time.perf_counter() - start, text
+
+
+def _subprocess_run_all(fast: bool, workers: int) -> float:
+    """Cold run_all() in a fresh interpreter with REPRO_SWEEP_WORKERS set."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_SWEEP_WORKERS"] = str(workers)
+    env.pop("REPRO_SWEEP_CACHE", None)
+    code = (
+        "import io, time\n"
+        "from repro.experiments.runner import run_all\n"
+        "t = time.perf_counter()\n"
+        f"run_all(fast={fast!r}, stream=io.StringIO())\n"
+        "print(time.perf_counter() - t)\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise SystemExit(f"run_all with {workers} workers failed")
+    return float(proc.stdout.strip().splitlines()[-1])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="worker count for the fan-out scenario (default 4)",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="time run_all(fast=False) instead of the fast subset",
+    )
+    parser.add_argument(
+        "--skip-pytest", action="store_true",
+        help="skip the pytest-benchmark suite (sweep timings only)",
+    )
+    args = parser.parse_args(argv)
+    fast = not args.full
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    os.environ.pop("REPRO_SWEEP_WORKERS", None)
+    os.environ.pop("REPRO_SWEEP_CACHE", None)
+
+    report: dict = {
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "run_all_fast": fast,
+    }
+
+    if not args.skip_pytest:
+        print("== pytest-benchmark group='perf' ==")
+        report["perf_suite"] = run_perf_benchmark_suite()
+        for name, entry in report["perf_suite"].items():
+            extra = (
+                f", {entry['events_per_second']:,.0f} events/s"
+                if "events_per_second" in entry
+                else ""
+            )
+            print(f"  {name}: {entry['mean_seconds']:.4f} s{extra}")
+
+    print("== run_all timings ==")
+    serial_s, serial_text, cold_stats = _timed_run_all(fast)
+    print(f"  serial cold:  {serial_s:.3f} s "
+          f"({cold_stats['misses']} simulations, "
+          f"{cold_stats['hits']} cache hits)")
+    warm_s, warm_text = _timed_warm_rerun(fast)
+    print(f"  serial warm:  {warm_s:.3f} s (all cache hits)")
+    if warm_text != serial_text:
+        raise SystemExit("warm rerun produced different report text")
+    parallel_s = _subprocess_run_all(fast, args.workers)
+    print(f"  {args.workers} workers:    {parallel_s:.3f} s "
+          f"(cold, cpu_count={os.cpu_count()})")
+
+    report["run_all"] = {
+        "serial_cold_seconds": serial_s,
+        "serial_warm_seconds": warm_s,
+        "parallel_cold_seconds": parallel_s,
+        "parallel_workers": args.workers,
+        "warm_speedup_vs_cold": serial_s / warm_s if warm_s else None,
+        "parallel_speedup_vs_serial": (
+            serial_s / parallel_s if parallel_s else None
+        ),
+        "warm_report_identical": warm_text == serial_text,
+    }
+    report["sweep_cache"] = cold_stats
+
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,9 +28,8 @@ from repro.core.plans import ExecutionPlan, VMOverhead
 from repro.core.pricing import AWS_2008, STORAGE_HEAVY, PricingModel
 from repro.experiments.question2a import MODES, run_question2a
 from repro.experiments.report import format_table
-from repro.sim.executor import simulate
-from repro.sim.failures import FailureModel
 from repro.sim.scheduler import ALL_ORDERINGS
+from repro.sweep import FailureSpec, SimJob, run_jobs
 from repro.util.units import (
     GB,
     format_bytes,
@@ -75,9 +74,9 @@ def billing_granularity_study(
 ) -> StudyResult:
     """Continuous vs instance-hour CPU billing across pool widths."""
     hourly = pricing.with_quantum(cpu_quantum_seconds=3600.0)
+    results = run_jobs([SimJob(workflow, p) for p in processors])
     raw = []
-    for p in processors:
-        result = simulate(workflow, p, record_trace=False)
+    for p, result in zip(processors, results):
         plan = ExecutionPlan.provisioned(p)
         raw.append(
             (
@@ -108,9 +107,9 @@ def vm_overhead_study(
     pricing: PricingModel = AWS_2008,
 ) -> StudyResult:
     """VM startup/teardown billing as a function of pool width."""
+    results = run_jobs([SimJob(workflow, p) for p in processors])
     raw = []
-    for p in processors:
-        result = simulate(workflow, p, record_trace=False)
+    for p, result in zip(processors, results):
         base = compute_cost(result, pricing, ExecutionPlan.provisioned(p))
         taxed = compute_cost(
             result, pricing, ExecutionPlan.provisioned(p, vm_overhead=overhead)
@@ -172,13 +171,17 @@ def link_contention_study(
     workflow: Workflow, processors: tuple[int, ...] = (1, 8, 128)
 ) -> StudyResult:
     """Dedicated (GridSim-faithful) vs FIFO-contended link."""
-    raw = []
-    for p in processors:
-        free = simulate(workflow, p, record_trace=False)
-        queued = simulate(
-            workflow, p, link_contention=True, record_trace=False
-        )
-        raw.append((p, free.makespan, queued.makespan))
+    results = run_jobs(
+        [
+            SimJob(workflow, p, link_contention=contended)
+            for p in processors
+            for contended in (False, True)
+        ]
+    )
+    raw = [
+        (p, results[2 * i].makespan, results[2 * i + 1].makespan)
+        for i, p in enumerate(processors)
+    ]
     return StudyResult(
         name="link-contention",
         title=f"Link-contention ablation — {workflow.name}, regular mode",
@@ -199,14 +202,22 @@ def failure_study(
     seed: int = 2008,
 ) -> StudyResult:
     """Cost and makespan impact of per-task failures with retry."""
+    results = run_jobs(
+        [
+            SimJob(
+                workflow,
+                n_processors,
+                failures=(
+                    FailureSpec(prob, seed=seed, max_retries=25)
+                    if prob > 0
+                    else None
+                ),
+            )
+            for prob in probabilities
+        ]
+    )
     raw = []
-    for prob in probabilities:
-        failures = (
-            FailureModel(prob, seed=seed, max_retries=25) if prob > 0 else None
-        )
-        result = simulate(
-            workflow, n_processors, failures=failures, record_trace=False
-        )
+    for prob, result in zip(probabilities, results):
         cost = compute_cost(
             result, pricing, ExecutionPlan.on_demand(n_processors)
         )
@@ -232,15 +243,16 @@ def scheduler_study(
     workflow: Workflow, n_processors: int = 16
 ) -> StudyResult:
     """Ready-queue ordering sensitivity."""
-    raw = []
-    for ordering in ALL_ORDERINGS:
-        result = simulate(
-            workflow, n_processors, "cleanup", ordering=ordering,
-            record_trace=False,
-        )
-        raw.append(
-            (ordering.name, result.makespan, result.storage_gb_hours)
-        )
+    results = run_jobs(
+        [
+            SimJob(workflow, n_processors, "cleanup", ordering=ordering.name)
+            for ordering in ALL_ORDERINGS
+        ]
+    )
+    raw = [
+        (ordering.name, result.makespan, result.storage_gb_hours)
+        for ordering, result in zip(ALL_ORDERINGS, results)
+    ]
     return StudyResult(
         name="scheduler",
         title=(
@@ -262,17 +274,21 @@ def storage_capacity_study(
 ) -> StudyResult:
     """Finite storage capacity (fractions of the workflow footprint)."""
     footprint = workflow.total_file_bytes()
-    raw = []
-    for p in processors:
-        for frac in fractions:
-            cap = None if frac is None else frac * footprint
-            result = simulate(
-                workflow, p, "cleanup",
-                storage_capacity_bytes=cap, record_trace=False,
-            )
-            raw.append(
-                (p, frac, cap, result.makespan, result.peak_storage_bytes)
-            )
+    grid = [
+        (p, frac, None if frac is None else frac * footprint)
+        for p in processors
+        for frac in fractions
+    ]
+    results = run_jobs(
+        [
+            SimJob(workflow, p, "cleanup", storage_capacity_bytes=cap)
+            for p, _, cap in grid
+        ]
+    )
+    raw = [
+        (p, frac, cap, result.makespan, result.peak_storage_bytes)
+        for (p, frac, cap), result in zip(grid, results)
+    ]
     return StudyResult(
         name="storage-capacity",
         title=(
@@ -305,16 +321,18 @@ def clustering_study(
         f: (workflow if f == 1 else cluster_workflow(workflow, f))
         for f in factors
     }
-    raw = []
-    for f in factors:
-        row = [f, len(variants[f])]
-        for oh in overheads:
-            result = simulate(
-                variants[f], n_processors, task_overhead_seconds=oh,
-                record_trace=False,
-            )
-            row.append(result.makespan)
-        raw.append(tuple(row))
+    results = run_jobs(
+        [
+            SimJob(variants[f], n_processors, task_overhead_seconds=oh)
+            for f in factors
+            for oh in overheads
+        ]
+    )
+    spans = iter(results)
+    raw = [
+        (f, len(variants[f]), *(next(spans).makespan for _ in overheads))
+        for f in factors
+    ]
     return StudyResult(
         name="clustering",
         title=(

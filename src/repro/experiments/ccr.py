@@ -17,11 +17,11 @@ from repro.core.costs import compute_cost
 from repro.core.plans import ExecutionPlan
 from repro.core.pricing import AWS_2008, PricingModel
 from repro.montage.generator import montage_workflow
-from repro.sim.executor import DEFAULT_BANDWIDTH, simulate
+from repro.sim.executor import DEFAULT_BANDWIDTH
+from repro.sweep import SimJob, run_jobs, scaled_ccr_workflow
 from repro.util.units import format_duration, format_money
 from repro.workflow.analysis import communication_to_computation_ratio
 from repro.workflow.dag import Workflow
-from repro.workflow.scaling import scale_to_ccr
 from repro.experiments.report import format_table
 
 __all__ = [
@@ -115,23 +115,26 @@ def run_ccr_sweep(
     """Compute Figure 11: provisioned costs across rescaled CCRs."""
     if not isinstance(workflow, Workflow):
         workflow = montage_workflow(float(workflow))
+    scaled_workflows = [
+        scaled_ccr_workflow(workflow, ccr, bandwidth_bytes_per_sec)
+        for ccr in ccr_values
+    ]
+    results = run_jobs(
+        [
+            SimJob(
+                scaled,
+                n_processors,
+                mode,
+                bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
+            )
+            for scaled in scaled_workflows
+            for mode in ("regular", "cleanup")
+        ]
+    )
     points = []
-    for ccr in ccr_values:
-        scaled = scale_to_ccr(workflow, ccr, bandwidth_bytes_per_sec)
-        regular = simulate(
-            scaled,
-            n_processors,
-            "regular",
-            bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
-            record_trace=False,
-        )
-        cleanup = simulate(
-            scaled,
-            n_processors,
-            "cleanup",
-            bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
-            record_trace=False,
-        )
+    for i, ccr in enumerate(ccr_values):
+        regular = results[2 * i]
+        cleanup = results[2 * i + 1]
         plan = ExecutionPlan.provisioned(n_processors, "regular")
         cost = compute_cost(regular, pricing, plan)
         points.append(

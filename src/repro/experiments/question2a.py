@@ -20,7 +20,8 @@ from repro.core.costs import compute_cost
 from repro.core.plans import ExecutionPlan
 from repro.core.pricing import AWS_2008, PricingModel
 from repro.montage.generator import montage_workflow
-from repro.sim.executor import DEFAULT_BANDWIDTH, simulate
+from repro.sim.executor import DEFAULT_BANDWIDTH
+from repro.sweep import SimJob, run_jobs
 from repro.util.units import MB, format_money
 from repro.workflow.analysis import max_parallelism
 from repro.workflow.dag import Workflow
@@ -140,15 +141,19 @@ def run_question2a(
         workflow = montage_workflow(float(workflow))
     if n_processors is None:
         n_processors = max(1, max_parallelism(workflow))
+    results = run_jobs(
+        [
+            SimJob(
+                workflow,
+                n_processors,
+                mode,
+                bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
+            )
+            for mode in MODES
+        ]
+    )
     by_mode: dict[str, ModeMetrics] = {}
-    for mode in MODES:
-        result = simulate(
-            workflow,
-            n_processors,
-            mode,
-            bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
-            record_trace=False,
-        )
+    for mode, result in zip(MODES, results):
         cost = compute_cost(
             result, pricing, ExecutionPlan.on_demand(n_processors, mode)
         )

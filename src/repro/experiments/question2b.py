@@ -23,7 +23,8 @@ from repro.core.pricing import AWS_2008, PricingModel
 from repro.core.economics import ArchiveEconomics, archive_economics
 from repro.montage.generator import montage_workflow
 from repro.montage.twomass import TWO_MASS, TwoMassArchive
-from repro.sim.executor import DEFAULT_BANDWIDTH, simulate
+from repro.sim.executor import DEFAULT_BANDWIDTH
+from repro.sweep import SimJob, run_jobs
 from repro.util.units import format_money
 from repro.workflow.analysis import max_parallelism
 from repro.workflow.dag import Workflow
@@ -91,13 +92,18 @@ def run_question2b(
     if not isinstance(workflow, Workflow):
         workflow = montage_workflow(float(workflow))
     n_processors = max(1, max_parallelism(workflow))
-    result = simulate(
-        workflow,
-        n_processors,
-        "regular",
-        bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
-        record_trace=False,
-    )
+    # Memoized: the same full-parallelism point anchors Question 2a and
+    # the verification pass.
+    result = run_jobs(
+        [
+            SimJob(
+                workflow,
+                n_processors,
+                "regular",
+                bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
+            )
+        ]
+    )[0]
     cost = compute_cost(
         result, pricing, ExecutionPlan.on_demand(n_processors, "regular")
     )

@@ -27,7 +27,8 @@ from repro.core.economics import (
 )
 from repro.montage.generator import montage_workflow
 from repro.montage.twomass import TWO_MASS, TwoMassArchive
-from repro.sim.executor import DEFAULT_BANDWIDTH, simulate
+from repro.sim.executor import DEFAULT_BANDWIDTH
+from repro.sweep import SimJob, run_jobs
 from repro.util.units import format_money
 from repro.workflow.analysis import max_parallelism
 from repro.experiments.report import format_table
@@ -108,13 +109,18 @@ def run_question3(
     """Compute the Question 3 analyses from simulation."""
     wf = montage_workflow(sky_degree)
     n_processors = max(1, max_parallelism(wf))
-    result = simulate(
-        wf,
-        n_processors,
-        "regular",
-        bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
-        record_trace=False,
-    )
+    # Memoized: this is the same full-parallelism point Question 2a and
+    # the verification pass simulate.
+    result = run_jobs(
+        [
+            SimJob(
+                wf,
+                n_processors,
+                "regular",
+                bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
+            )
+        ]
+    )[0]
     cost = compute_cost(
         result, pricing, ExecutionPlan.on_demand(n_processors, "regular")
     )

@@ -18,6 +18,8 @@ __all__ = ["SimulationEngine"]
 class SimulationEngine:
     """Event loop with virtual time."""
 
+    __slots__ = ("_now", "_queue", "_seq", "_events_processed")
+
     def __init__(self) -> None:
         self._now = 0.0
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
@@ -54,15 +56,21 @@ class SimulationEngine:
         Returns the final virtual time: the timestamp of the last event
         processed, or ``until`` if the horizon was reached first.
         """
-        while self._queue:
-            time, _, callback = self._queue[0]
-            if until is not None and time > until:
-                self._now = until
-                return self._now
-            heapq.heappop(self._queue)
-            self._now = time
-            self._events_processed += 1
-            callback()
+        queue = self._queue
+        pop = heapq.heappop
+        n_run = 0
+        try:
+            while queue:
+                time = queue[0][0]
+                if until is not None and time > until:
+                    self._now = until
+                    return until
+                callback = pop(queue)[2]
+                self._now = time
+                n_run += 1
+                callback()
+        finally:
+            self._events_processed += n_run
         return self._now
 
     def pending(self) -> int:

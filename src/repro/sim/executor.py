@@ -137,13 +137,17 @@ class WorkflowExecutor:
         self.env = environment
         self._owns_engine = engine is None
         self.engine = engine if engine is not None else SimulationEngine()
+        self._shared_pool = processors is not None
         if processors is not None:
             self.processors = processors
             # A shared pool: wake our dispatcher whenever anyone frees a
             # processor (another request's completion may unblock us).
             self.processors.subscribe_release(self._dispatch)
         else:
-            self.processors = ProcessorPool(environment.n_processors)
+            self.processors = ProcessorPool(
+                environment.n_processors,
+                track_curve=environment.record_trace,
+            )
         self.storage = Storage(environment.storage_capacity_bytes)
         if environment.storage_capacity_bytes is not None:
             # Freed space may unblock a dispatch-time reservation.
@@ -168,6 +172,7 @@ class WorkflowExecutor:
         self.failures = failures
         self.start_time = float(start_time)
         self._on_finished = on_finished
+        self._trace = environment.record_trace
 
         self._state: dict[str, int] = {
             tid: _WAITING for tid in workflow.tasks
@@ -216,7 +221,7 @@ class WorkflowExecutor:
         """Data managers report each queued transfer through here."""
         self._bytes[direction] += size_bytes
         self._n_transfers[direction] += 1
-        if self.env.record_trace:
+        if self._trace:
             self._transfer_records.append(
                 TransferRecord(file_name, size_bytes, direction, start, end, task_id)
             )
@@ -228,6 +233,11 @@ class WorkflowExecutor:
         if self._n_done != len(self.workflow.tasks):
             raise RuntimeError("finish() before all tasks completed")
         self._finished_at = self.engine.now
+        if self._shared_pool:
+            # We will never dispatch again: stop being woken on every
+            # release (a leak that made long service runs O(requests)
+            # per release).
+            self.processors.unsubscribe_release(self._dispatch)
         if self._on_finished is not None:
             self._on_finished(self)
 
@@ -282,7 +292,7 @@ class WorkflowExecutor:
                 if self.failures is not None
                 else False
             )
-            if self.env.record_trace:
+            if self._trace:
                 self._task_records.append(
                     TaskRecord(task_id, task.transformation, start, end, attempt)
                 )

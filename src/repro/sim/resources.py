@@ -21,15 +21,19 @@ class ProcessorPool:
 
     Tracks the number of busy processors over time so utilization can be
     reported; acquisition is non-blocking (the executor checks
-    :attr:`available` before acquiring).
+    :attr:`available` before acquiring).  Large sweeps that never read the
+    occupancy trace can pass ``track_curve=False`` to skip the per-event
+    curve bookkeeping.
     """
 
-    def __init__(self, n_processors: int) -> None:
+    __slots__ = ("n_processors", "_busy", "busy_curve", "_release_subscribers")
+
+    def __init__(self, n_processors: int, track_curve: bool = True) -> None:
         if n_processors < 1:
             raise ValueError(f"need at least one processor, got {n_processors}")
         self.n_processors = int(n_processors)
         self._busy = 0
-        self.busy_curve = StepCurve(0.0)
+        self.busy_curve = StepCurve(0.0) if track_curve else None
         #: callbacks invoked after each release, in subscription order —
         #: lets several workflow executors share one pool (service mode):
         #: whoever frees a processor wakes every executor's dispatcher.
@@ -38,6 +42,19 @@ class ProcessorPool:
     def subscribe_release(self, callback) -> None:
         """Invoke ``callback()`` after every release (shared-pool mode)."""
         self._release_subscribers.append(callback)
+
+    def unsubscribe_release(self, callback) -> None:
+        """Drop a release subscription (no-op if not subscribed).
+
+        Finished executors in service mode must call this so later
+        releases stop waking dead dispatchers — with thousands of served
+        requests the subscriber list would otherwise grow without bound
+        and every release would pay O(finished requests).
+        """
+        try:
+            self._release_subscribers.remove(callback)
+        except ValueError:
+            pass
 
     @property
     def busy(self) -> int:
@@ -52,19 +69,28 @@ class ProcessorPool:
         if self._busy >= self.n_processors:
             raise RuntimeError("acquire on a fully busy processor pool")
         self._busy += 1
-        self.busy_curve.add(now, +1.0)
+        if self.busy_curve is not None:
+            self.busy_curve.add(now, +1.0)
 
     def release(self, now: float) -> None:
         """Release one processor (then wake any subscribed dispatchers)."""
         if self._busy <= 0:
             raise RuntimeError("release on an idle processor pool")
         self._busy -= 1
-        self.busy_curve.add(now, -1.0)
-        for callback in self._release_subscribers:
-            callback()
+        if self.busy_curve is not None:
+            self.busy_curve.add(now, -1.0)
+        if self._release_subscribers:
+            # Snapshot: a woken dispatcher may finish its request and
+            # unsubscribe while we are still notifying.
+            for callback in tuple(self._release_subscribers):
+                callback()
 
     def busy_processor_seconds(self, t0: float, t1: float) -> float:
         """Integral of busy processors over a window (CPU-seconds used)."""
+        if self.busy_curve is None:
+            raise RuntimeError(
+                "occupancy tracking disabled (track_curve=False)"
+            )
         return self.busy_curve.integral(t0, t1)
 
 

@@ -23,7 +23,7 @@ from repro.util.units import GB, HOUR
 __all__ = ["TaskRecord", "TransferRecord", "SimulationResult"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TaskRecord:
     """One task execution (re-executions after failure get own records)."""
 
@@ -38,7 +38,7 @@ class TaskRecord:
         return self.end - self.start
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransferRecord:
     """One file movement over the user<->storage link."""
 

@@ -26,6 +26,7 @@ __all__ = [
     "SHORTEST_FIRST",
     "LEVEL_ORDER",
     "ALL_ORDERINGS",
+    "ordering_by_name",
 ]
 
 
@@ -62,3 +63,20 @@ def _level_key(wf: Workflow, tid: str) -> float:
 LEVEL_ORDER = TaskOrdering("level-order", _level_key)
 
 ALL_ORDERINGS = (FIFO_ORDER, LONGEST_FIRST, SHORTEST_FIRST, LEVEL_ORDER)
+
+_BY_NAME = {o.name: o for o in ALL_ORDERINGS}
+
+
+def ordering_by_name(name: str) -> TaskOrdering:
+    """Resolve a built-in ordering from its name.
+
+    The sweep layer references orderings by name (key functions are
+    lambdas, which neither pickle nor content-address); this is the
+    inverse mapping used on the worker side.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown ordering {name!r}; expected one of {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,130 @@
+"""Content-addressed memoization of simulation results.
+
+The sweep engine never simulates the same configuration twice: results
+are stored under the job's :meth:`~repro.sweep.job.SimJob.fingerprint`,
+first in memory (always) and optionally on disk, so identical points
+across experiments — Question 1's processor ladder, Question 2a's
+full-parallelism runs, the verification pass, the CCR baseline — are
+computed exactly once per process (or, with a disk cache, once ever).
+
+The on-disk layer is a directory of pickle files named by fingerprint,
+written atomically (temp file + rename) so concurrent writers can share
+a directory.  Enable it by passing ``directory=`` or by exporting
+``REPRO_SWEEP_CACHE=/path/to/dir`` before the default cache is created.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from repro.sim.results import SimulationResult
+
+__all__ = ["SimCache", "default_cache", "reset_default_cache"]
+
+#: Environment variable naming the on-disk cache directory for the
+#: process-wide default cache.
+CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
+
+
+class SimCache:
+    """In-memory (+ optional on-disk) result store keyed by fingerprint."""
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self._memory: dict[str, SimulationResult] = {}
+        self._directory = Path(directory) if directory else None
+        if self._directory is not None:
+            try:
+                self._directory.mkdir(parents=True, exist_ok=True)
+            except FileExistsError:
+                raise NotADirectoryError(
+                    f"sweep cache path exists but is not a directory: "
+                    f"{self._directory}"
+                ) from None
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def directory(self) -> Path | None:
+        return self._directory
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _disk_path(self, key: str) -> Path:
+        return self._directory / f"{key}.pkl"
+
+    def get(self, key: str) -> SimulationResult | None:
+        """Look up a result; updates the hit/miss counters."""
+        result = self._memory.get(key)
+        if result is None and self._directory is not None:
+            path = self._disk_path(key)
+            try:
+                with open(path, "rb") as fh:
+                    result = pickle.load(fh)
+            except (OSError, pickle.PickleError, EOFError):
+                result = None
+            else:
+                self._memory[key] = result
+        if result is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Store a result under its fingerprint."""
+        self._memory[key] = result
+        if self._directory is not None:
+            # Atomic publish: never expose a half-written pickle.
+            fd, tmp = tempfile.mkstemp(
+                dir=self._directory, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._disk_path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+
+    def clear(self) -> None:
+        """Drop the in-memory layer and reset the counters.
+
+        On-disk entries are left alone (delete the directory to discard
+        them).
+        """
+        self._memory.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_default: SimCache | None = None
+
+
+def default_cache() -> SimCache:
+    """The process-wide cache used by :func:`repro.sweep.run_jobs`.
+
+    Created lazily; honours ``REPRO_SWEEP_CACHE`` for an on-disk layer.
+    """
+    global _default
+    if _default is None:
+        _default = SimCache(os.environ.get(CACHE_DIR_ENV) or None)
+    return _default
+
+
+def reset_default_cache() -> None:
+    """Discard the process-wide cache (tests and benchmarks)."""
+    global _default
+    _default = None

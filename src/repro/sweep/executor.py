@@ -1,0 +1,124 @@
+"""Fan-out execution of independent simulation points.
+
+:class:`SweepExecutor` takes a list of :class:`~repro.sweep.job.SimJob`
+and returns their results **in submission order**, so callers that build
+tables row-by-row stay byte-identical to a serial loop regardless of how
+many workers actually ran.  The pipeline per batch is:
+
+1. answer every job the cache already knows;
+2. deduplicate the remaining misses by fingerprint (a batch often
+   contains the same point twice — e.g. Question 1 asks for regular and
+   cleanup storage of the same ladder);
+3. execute the unique misses — serially, or over a
+   ``ProcessPoolExecutor`` when more than one worker is configured and
+   there is more than one job to run;
+4. populate the cache and reassemble the results in input order.
+
+Worker count resolution: an explicit ``workers=`` argument wins, then the
+``REPRO_SWEEP_WORKERS`` environment variable, then one worker per
+available core (capped).  One worker means the serial fallback — no
+subprocesses, no pickling.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.sim.results import SimulationResult
+from repro.sweep.cache import SimCache, default_cache
+from repro.sweep.job import SimJob
+
+__all__ = ["SweepExecutor", "run_jobs", "resolve_workers"]
+
+#: Environment override for the worker count (1 = force serial).
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+#: Cap on the auto-detected worker count; sweeps are batches of tens of
+#: jobs, so more workers than that only buys pickling overhead.
+MAX_AUTO_WORKERS = 8
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve the effective worker count (see module docstring)."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV)
+        if env is not None:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV} must be an integer, got {env!r}"
+                ) from None
+    if workers is None:
+        workers = min(os.cpu_count() or 1, MAX_AUTO_WORKERS)
+    if workers < 1:
+        raise ValueError(f"need at least one worker, got {workers}")
+    return workers
+
+
+def _execute(job: SimJob) -> SimulationResult:
+    """Module-level worker entry point (must be picklable)."""
+    return job.run()
+
+
+class SweepExecutor:
+    """Run batches of simulation jobs with memoization and fan-out."""
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        cache: SimCache | None = None,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        self.cache = cache if cache is not None else default_cache()
+
+    def run(self, jobs: Sequence[SimJob]) -> list[SimulationResult]:
+        """Execute ``jobs``; results are aligned with the input order."""
+        keys = [job.fingerprint() for job in jobs]
+        results: dict[str, SimulationResult] = {}
+        pending: list[tuple[str, SimJob]] = []
+        seen: set[str] = set()
+        for key, job in zip(keys, jobs):
+            if key in seen:
+                continue
+            seen.add(key)
+            cached = self.cache.get(key)
+            if cached is not None:
+                results[key] = cached
+            else:
+                pending.append((key, job))
+
+        if pending:
+            if self.workers > 1 and len(pending) > 1:
+                n = min(self.workers, len(pending))
+                with ProcessPoolExecutor(max_workers=n) as pool:
+                    computed = list(
+                        pool.map(_execute, [job for _, job in pending])
+                    )
+            else:
+                computed = [job.run() for _, job in pending]
+            for (key, _), result in zip(pending, computed):
+                self.cache.put(key, result)
+                results[key] = result
+
+        return [results[key] for key in keys]
+
+    def run_one(self, job: SimJob) -> SimulationResult:
+        """Single-point convenience (still memoized)."""
+        return self.run([job])[0]
+
+
+def run_jobs(
+    jobs: Sequence[SimJob],
+    workers: int | None = None,
+    cache: SimCache | None = None,
+) -> list[SimulationResult]:
+    """One-call sweep: memoized, fanned out, results in input order.
+
+    This is what the experiment modules use; with default arguments every
+    call in the process shares one cache, so repeated points across
+    experiments are simulated exactly once.
+    """
+    return SweepExecutor(workers=workers, cache=cache).run(jobs)

@@ -29,6 +29,8 @@ class StepCurve:
     converts to GB-months.
     """
 
+    __slots__ = ("_initial", "_times", "_values")
+
     def __init__(self, initial: float = 0.0) -> None:
         self._initial = float(initial)
         self._times: list[float] = []
@@ -43,6 +45,17 @@ class StepCurve:
         if delta == 0.0:
             return
         time = float(time)
+        times = self._times
+        if times:
+            last = times[-1]
+            if time > last:
+                # Tail append — the common case for monotone event time.
+                self._values.append(self._values[-1] + delta)
+                times.append(time)
+                return
+            if time == last:
+                self._values[-1] += delta
+                return
         idx = bisect_right(self._times, time)
         if idx > 0 and self._times[idx - 1] == time:
             # Coalesce with an existing change point.

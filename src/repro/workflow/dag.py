@@ -20,6 +20,7 @@ Terminology follows the paper:
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
@@ -129,6 +130,7 @@ class Workflow:
         self._level_cache: dict[str, int] | None = None
         self._parents_cache: dict[str, frozenset[str]] = {}
         self._children_cache: dict[str, frozenset[str]] = {}
+        self._fingerprint_cache: str | None = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -176,12 +178,14 @@ class Workflow:
         if file_name not in self._files:
             raise WorkflowValidationError(f"unknown file {file_name!r}")
         self._explicit_outputs.add(file_name)
+        self._fingerprint_cache = None
 
     def _invalidate(self) -> None:
         self._topo_cache = None
         self._level_cache = None
         self._parents_cache.clear()
         self._children_cache.clear()
+        self._fingerprint_cache = None
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -289,6 +293,37 @@ class Workflow:
         return [
             f for f in self._files if f in self._producer and f not in outputs
         ]
+
+    # ------------------------------------------------------------------ #
+    # identity
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> str:
+        """Content-addressed identity of the workflow (hex SHA-256).
+
+        Two workflows share a fingerprint iff they are indistinguishable
+        to the simulator: same name, and same files, tasks and explicit
+        outputs *in the same registration order* (registration order
+        drives stage-in and dispatch tie-breaking, so it is part of the
+        identity).  Stable across processes and interpreter runs — unlike
+        ``hash()`` — which makes it usable as an on-disk memo key.
+        Cached; invalidated on mutation.
+        """
+        if self._fingerprint_cache is not None:
+            return self._fingerprint_cache
+        h = hashlib.sha256()
+        h.update(self.name.encode())
+        for f in self._files.values():
+            h.update(f"\x1ff{f.name}\x1e{f.size_bytes!r}".encode())
+        for t in self._tasks.values():
+            h.update(
+                f"\x1ft{t.task_id}\x1e{t.runtime!r}"
+                f"\x1e{','.join(t.inputs)}\x1e{','.join(t.outputs)}"
+                f"\x1e{t.transformation}".encode()
+            )
+        for fname in sorted(self._explicit_outputs):
+            h.update(f"\x1fo{fname}".encode())
+        self._fingerprint_cache = h.hexdigest()
+        return self._fingerprint_cache
 
     # ------------------------------------------------------------------ #
     # validation / ordering / levels

@@ -112,3 +112,79 @@ class TestNetworkLink:
     def test_negative_size_rejected(self):
         with pytest.raises(ValueError):
             NetworkLink(1.0).request(-1.0, 0.0, "in")
+
+
+class TestReleaseSubscriptions:
+    def test_unsubscribe_stops_wakeups(self):
+        pool = ProcessorPool(1)
+        calls = []
+        pool.subscribe_release(lambda: calls.append("a"))
+        pool.acquire(0.0)
+        pool.release(1.0)
+        assert calls == ["a"]
+        pool.unsubscribe_release(next(iter(pool._release_subscribers)))
+        pool.acquire(2.0)
+        pool.release(3.0)
+        assert calls == ["a"]
+
+    def test_unsubscribe_unknown_callback_is_noop(self):
+        pool = ProcessorPool(1)
+        pool.unsubscribe_release(lambda: None)
+
+    def test_unsubscribe_during_notification_is_safe(self):
+        pool = ProcessorPool(1)
+        calls = []
+
+        def self_removing():
+            calls.append("x")
+            pool.unsubscribe_release(self_removing)
+
+        pool.subscribe_release(self_removing)
+        pool.subscribe_release(lambda: calls.append("y"))
+        pool.acquire(0.0)
+        pool.release(1.0)
+        assert calls == ["x", "y"]
+        pool.acquire(2.0)
+        pool.release(3.0)
+        assert calls == ["x", "y", "y"]
+
+    def test_finished_executors_unsubscribe_from_shared_pool(self):
+        # Regression: finished service-mode executors used to stay
+        # subscribed forever, so every release woke every dead
+        # dispatcher (O(completed requests) per release).
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.executor import ExecutionEnvironment, WorkflowExecutor
+        from repro.workflow.dag import FileSpec, Task, Workflow
+
+        def tiny(i):
+            wf = Workflow(f"tiny{i}")
+            wf.add_file(FileSpec("a", 10.0))
+            wf.add_file(FileSpec("b", 10.0))
+            wf.add_task(Task("t", 5.0, inputs=("a",), outputs=("b",)))
+            wf.validate()
+            return wf
+
+        engine = SimulationEngine()
+        pool = ProcessorPool(1)
+        env = ExecutionEnvironment(n_processors=1, record_trace=False)
+        executors = [
+            WorkflowExecutor(
+                tiny(i), env, engine=engine, processors=pool,
+                start_time=float(i),
+            )
+            for i in range(3)
+        ]
+        for ex in executors:
+            ex.start()
+        assert len(pool._release_subscribers) == 3
+        engine.run()
+        assert all(ex.finished for ex in executors)
+        assert pool._release_subscribers == []
+
+    def test_curve_tracking_can_be_disabled(self):
+        pool = ProcessorPool(2, track_curve=False)
+        pool.acquire(0.0)
+        pool.release(5.0)
+        assert pool.busy_curve is None
+        with pytest.raises(RuntimeError):
+            pool.busy_processor_seconds(0.0, 5.0)

@@ -1,0 +1,160 @@
+"""Sweep engine: determinism, memoization and fingerprinting.
+
+The contract under test is the one the experiment harness relies on:
+parallel execution and cache hits must be *bit-identical* to a fresh
+serial run — same rows, same makespans, same byte counts, same report
+text — because the paper-comparison report is compared byte-for-byte
+against the seed output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ccr import run_ccr_sweep
+from repro.experiments.question1 import run_question1
+from repro.sweep import (
+    FailureSpec,
+    SimCache,
+    SimJob,
+    SweepExecutor,
+    run_jobs,
+)
+from repro.sweep import cache as cache_module
+from repro.workflow.dag import FileSpec, Task, Workflow
+
+
+@pytest.fixture
+def isolated_default_cache(monkeypatch):
+    """A fresh default cache per test, no disk layer, restored after."""
+    monkeypatch.delenv(cache_module.CACHE_DIR_ENV, raising=False)
+    monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+    cache_module.reset_default_cache()
+    yield cache_module.default_cache()
+    cache_module.reset_default_cache()
+
+
+PROCESSORS = [1, 4, 16]
+
+
+class TestParallelSerialIdentity:
+    def test_question1_parallel_identical_to_serial(
+        self, montage1, isolated_default_cache, monkeypatch
+    ):
+        serial = run_question1(montage1, processors=PROCESSORS)
+        cache_module.reset_default_cache()
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "2")
+        parallel = run_question1(montage1, processors=PROCESSORS)
+        assert parallel.rows == serial.rows
+        assert parallel.as_table() == serial.as_table()
+        assert parallel.as_csv() == serial.as_csv()
+
+    def test_ccr_sweep_parallel_identical_to_serial(
+        self, montage1, isolated_default_cache, monkeypatch
+    ):
+        serial = run_ccr_sweep(montage1, ccr_values=(0.1, 0.5, 1.0))
+        cache_module.reset_default_cache()
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "2")
+        parallel = run_ccr_sweep(montage1, ccr_values=(0.1, 0.5, 1.0))
+        assert parallel.points == serial.points
+        assert parallel.as_table() == serial.as_table()
+        assert parallel.as_csv() == serial.as_csv()
+
+    def test_results_in_submission_order(self, montage1):
+        jobs = [SimJob(montage1, p) for p in (16, 1, 4)]
+        results = run_jobs(jobs, workers=2, cache=SimCache())
+        assert [r.n_processors for r in results] == [16, 1, 4]
+        # Monotone: more processors never lengthens the makespan.
+        by_p = {r.n_processors: r.makespan for r in results}
+        assert by_p[16] <= by_p[4] <= by_p[1]
+
+
+class TestMemoization:
+    def test_cache_hit_returns_equal_result(self, montage1):
+        cache = SimCache()
+        executor = SweepExecutor(workers=1, cache=cache)
+        job = SimJob(montage1, 4, "cleanup")
+        first = executor.run_one(job)
+        assert cache.misses == 1 and cache.hits == 0
+        second = executor.run_one(job)
+        assert cache.hits == 1
+        assert second == first
+
+    def test_batch_level_dedup_simulates_once(self, montage1):
+        cache = SimCache()
+        job = SimJob(montage1, 2)
+        results = SweepExecutor(workers=1, cache=cache).run([job, job, job])
+        assert len(cache) == 1
+        assert results[0] == results[1] == results[2]
+
+    def test_disk_cache_round_trip(self, montage1, tmp_path):
+        job = SimJob(montage1, 4)
+        first = SweepExecutor(workers=1, cache=SimCache(tmp_path)).run_one(job)
+        # A brand-new cache over the same directory answers from disk.
+        fresh = SimCache(tmp_path)
+        second = SweepExecutor(workers=1, cache=fresh).run_one(job)
+        assert fresh.hits == 1 and fresh.misses == 0
+        assert second == first
+
+    def test_failure_spec_is_replayable(self, montage1):
+        # A stateful FailureModel is rebuilt per execution, so a cache
+        # miss after a clear reproduces the identical failure pattern.
+        job = SimJob(montage1, 8, failures=FailureSpec(0.05, seed=7))
+        first = SweepExecutor(workers=1, cache=SimCache()).run_one(job)
+        second = SweepExecutor(workers=1, cache=SimCache()).run_one(job)
+        assert first.n_task_failures > 0
+        assert second == first
+
+
+def _tiny_workflow(name="wf", size=10.0):
+    wf = Workflow(name)
+    wf.add_file(FileSpec("a", size))
+    wf.add_file(FileSpec("b", size))
+    wf.add_task(Task("t", 5.0, inputs=("a",), outputs=("b",)))
+    wf.validate()
+    return wf
+
+
+class TestFingerprints:
+    def test_workflow_fingerprint_content_addressed(self):
+        assert (
+            _tiny_workflow().fingerprint() == _tiny_workflow().fingerprint()
+        )
+        assert (
+            _tiny_workflow(size=20.0).fingerprint()
+            != _tiny_workflow().fingerprint()
+        )
+        assert (
+            _tiny_workflow(name="other").fingerprint()
+            != _tiny_workflow().fingerprint()
+        )
+
+    def test_workflow_fingerprint_invalidated_on_mutation(self):
+        wf = _tiny_workflow()
+        before = wf.fingerprint()
+        wf.add_file(FileSpec("c", 1.0))
+        wf.add_task(Task("t2", 1.0, inputs=("b",), outputs=("c",)))
+        assert wf.fingerprint() != before
+
+    def test_job_fingerprint_covers_parameters(self):
+        wf = _tiny_workflow()
+        base = SimJob(wf, 2)
+        assert SimJob(wf, 2).fingerprint() == base.fingerprint()
+        distinct = {
+            SimJob(wf, 4).fingerprint(),
+            SimJob(wf, 2, "cleanup").fingerprint(),
+            SimJob(wf, 2, bandwidth_bytes_per_sec=1e6).fingerprint(),
+            SimJob(wf, 2, link_contention=True).fingerprint(),
+            SimJob(wf, 2, ordering="longest-first").fingerprint(),
+            SimJob(wf, 2, failures=FailureSpec(0.1)).fingerprint(),
+            SimJob(wf, 2, record_trace=True).fingerprint(),
+            base.fingerprint(),
+        }
+        assert len(distinct) == 8
+
+    def test_invalid_mode_and_ordering_rejected_eagerly(self):
+        wf = _tiny_workflow()
+        with pytest.raises(ValueError):
+            SimJob(wf, 2, "no-such-mode")
+        with pytest.raises(KeyError):
+            SimJob(wf, 2, ordering="no-such-ordering")
