@@ -1,0 +1,44 @@
+"""Independent trace-audit oracle.
+
+Every headline number of the reproduction — the Figure 4-10 costs, the
+transfer volumes, the break-even months — comes out of one simulator, so
+a bug in the engine would silently shift the paper scoreboard instead of
+failing loudly.  This package is the counterweight: given a
+:class:`~repro.sim.results.SimulationResult` that carries its event
+trace, the auditor **re-derives every reported quantity from the raw
+task/transfer records alone** and reconciles it with what the engine
+returned:
+
+* *metrics* — makespan, compute/busy CPU-seconds, bytes in/out and the
+  full storage-occupancy curve are recomputed from the records and
+  compared at float tolerance;
+* *schedule legality* — DAG precedence, processor-pool capacity, link
+  serialization (or exact full-bandwidth durations in the paper's
+  contention-free model), retry contiguity, and file lifecycles (no
+  task reads a file that was never produced/staged, or that the cleanup
+  policy already deleted);
+* *money* — :func:`repro.core.costs.compute_cost` is reconciled against
+  costs recomputed from the trace-derived quantities under both the
+  provisioned and on-demand plans.
+
+Entry points: :func:`audit_simulation` (library),
+``simulate(..., audit=True)`` (one-call), ``run_jobs(..., audit=True)``
+/ ``REPRO_SWEEP_AUDIT=1`` (sweeps), and ``python -m repro report
+--audit`` (the full paper report, every point audited).
+"""
+
+from repro.audit.oracle import (
+    AuditError,
+    AuditReport,
+    AuditViolation,
+    audit_simulation,
+)
+from repro.audit.trace_model import DerivedTrace
+
+__all__ = [
+    "AuditError",
+    "AuditReport",
+    "AuditViolation",
+    "DerivedTrace",
+    "audit_simulation",
+]

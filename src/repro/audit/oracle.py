@@ -1,0 +1,559 @@
+"""The audit oracle: reconcile a simulation against its own event trace.
+
+:func:`audit_simulation` runs every check and returns an
+:class:`AuditReport`; a clean report means the engine's reported
+aggregates, its schedule and its prices are all consistent with — and
+re-derivable from — the raw task/transfer records.  The checks fall into
+three layers (see ``docs/testing.md``):
+
+1. **metric reconciliation** — makespan, bytes in/out, compute and busy
+   CPU-seconds, storage byte-seconds/peak and the full occupancy curve
+   are recomputed by :class:`~repro.audit.trace_model.DerivedTrace` and
+   compared at float tolerance;
+2. **schedule legality** — DAG precedence, processor capacity, the boot
+   gate, retry contiguity, link bandwidth/serialization and file
+   lifecycles;
+3. **cost reconciliation** — :func:`repro.core.costs.compute_cost` is
+   re-derived from the trace under both provisioned and on-demand plans.
+
+Violations are collected, not raised, so one corrupted trace yields a
+complete diagnosis; :meth:`AuditReport.raise_if_failed` converts a dirty
+report into an :class:`AuditError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.audit.trace_model import DerivedTrace
+from repro.core.costs import compute_cost
+from repro.core.plans import ExecutionPlan, ProvisioningMode
+from repro.core.pricing import AWS_2008, PricingModel
+from repro.sim.results import SimulationResult
+from repro.workflow.dag import Workflow
+
+__all__ = ["AuditViolation", "AuditReport", "AuditError", "audit_simulation"]
+
+
+@dataclass(frozen=True)
+class AuditViolation:
+    """One reconciliation failure.
+
+    ``category`` is one of ``trace`` (malformed records), ``metric``
+    (aggregate mismatch), ``precedence``, ``capacity``, ``link``,
+    ``lifecycle`` (schedule illegality) or ``cost``.
+    """
+
+    category: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return f"[{self.category}] {self.message}"
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one full audit pass."""
+
+    workflow_name: str
+    data_mode: str
+    n_checks: int = 0
+    violations: list[AuditViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_if_failed(self) -> "AuditReport":
+        """Raise :class:`AuditError` when any check failed; else return self."""
+        if not self.ok:
+            raise AuditError(self)
+        return self
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        return (
+            f"audit {self.workflow_name} [{self.data_mode}]: "
+            f"{self.n_checks} checks, {status}"
+        )
+
+
+class AuditError(RuntimeError):
+    """A simulation failed reconciliation against its trace."""
+
+    def __init__(self, report: AuditReport) -> None:
+        shown = report.violations[:20]
+        lines = [report.summary()]
+        lines.extend(f"  - {v}" for v in shown)
+        if len(report.violations) > len(shown):
+            lines.append(
+                f"  ... and {len(report.violations) - len(shown)} more"
+            )
+        super().__init__("\n".join(lines))
+        self.report = report
+
+    def __reduce__(self):
+        # Rebuild from the report, not the formatted message, so the
+        # exception survives the pickle round-trip out of a worker
+        # process (ProcessPoolExecutor re-raises it in the parent).
+        return (AuditError, (self.report,))
+
+
+class _Auditor:
+    """Stateful single-use checker; see :func:`audit_simulation`."""
+
+    def __init__(
+        self,
+        result: SimulationResult,
+        workflow: Workflow,
+        environment,
+        start_time: float,
+        pricing: PricingModel,
+        rel_tol: float,
+        abs_tol: float,
+    ) -> None:
+        self.result = result
+        self.wf = workflow
+        self.env = environment
+        self.start_time = float(start_time)
+        self.pricing = pricing
+        self.rel_tol = rel_tol
+        self.abs_tol = abs_tol
+        self.report = AuditReport(result.workflow_name, result.data_mode)
+        self.d = DerivedTrace(result, workflow, environment, start_time)
+
+    # -- tolerance helpers ---------------------------------------------- #
+    def _tol(self, *values: float) -> float:
+        return self.rel_tol * max(
+            (abs(v) for v in values), default=0.0
+        ) + self.abs_tol
+
+    def _check(self, ok: bool, category: str, message: str) -> None:
+        self.report.n_checks += 1
+        if not ok:
+            self.report.violations.append(AuditViolation(category, message))
+
+    def _check_close(
+        self, category: str, quantity: str, reported: float, derived: float
+    ) -> None:
+        self._check(
+            abs(reported - derived) <= self._tol(reported, derived),
+            category,
+            f"{quantity}: engine reported {reported!r} but the trace "
+            f"re-derives {derived!r}",
+        )
+
+    def _check_at_least(
+        self, category: str, message: str, value: float, bound: float
+    ) -> None:
+        self._check(
+            value + self._tol(value, bound) >= bound, category, message
+        )
+
+    # -- the audit ------------------------------------------------------ #
+    def run(self) -> AuditReport:
+        self._trace_shape()
+        self._attempt_legality()
+        self._metrics()
+        self._capacity()
+        self._link_legality()
+        if self.d.remote:
+            self._precedence_remote()
+        else:
+            self._precedence_shared()
+        self._storage()
+        self._costs()
+        return self.report
+
+    def _trace_shape(self) -> None:
+        for message in self.d.problems:
+            self._check(False, "trace", message)
+        r, d = self.result, self.d
+        self._check(
+            r.n_processors == self.env.n_processors,
+            "trace",
+            f"result says {r.n_processors} processors, environment says "
+            f"{self.env.n_processors}",
+        )
+        self._check_close(
+            "metric", "n_task_executions",
+            r.n_task_executions, len(r.task_records),
+        )
+        self._check_close(
+            "metric", "n_task_failures", r.n_task_failures, d.n_failures
+        )
+        if d.remote:
+            self._check(
+                not d.stage_in and not d.stage_out,
+                "trace",
+                "remote-io run contains workflow-level (task-less) "
+                "transfers",
+            )
+        else:
+            self._check(
+                not d.copy_in and not d.copy_out,
+                "trace",
+                "shared-storage run contains per-task copy transfers",
+            )
+
+    def _attempt_legality(self) -> None:
+        overhead = self.env.task_overhead_seconds
+        for tid, tt in self.d.tasks.items():
+            runtime = self.wf.task(tid).runtime
+            expected = overhead + runtime
+            for rec in tt.attempts:
+                self._check(
+                    abs(rec.duration - expected)
+                    <= self._tol(rec.duration, expected),
+                    "precedence",
+                    f"{tid!r} attempt {rec.attempt} ran for "
+                    f"{rec.duration!r} s, expected overhead+runtime "
+                    f"= {expected!r} s",
+                )
+            for prev, nxt in zip(tt.attempts, tt.attempts[1:]):
+                self._check(
+                    abs(nxt.start - prev.end)
+                    <= self._tol(nxt.start, prev.end),
+                    "precedence",
+                    f"{tid!r} retry (attempt {nxt.attempt}) did not start "
+                    "immediately on the same processor: previous attempt "
+                    f"ended {prev.end!r}, retry started {nxt.start!r}",
+                )
+
+    def _metrics(self) -> None:
+        r, d = self.result, self.d
+        self._check_close("metric", "makespan", r.makespan, d.makespan)
+        self._check_close("metric", "bytes_in", r.bytes_in, d.bytes_in)
+        self._check_close("metric", "bytes_out", r.bytes_out, d.bytes_out)
+        self._check_close(
+            "metric", "n_transfers_in", r.n_transfers_in, d.n_transfers_in
+        )
+        self._check_close(
+            "metric", "n_transfers_out",
+            r.n_transfers_out, d.n_transfers_out,
+        )
+        self._check_close(
+            "metric", "compute_seconds", r.compute_seconds, d.compute_seconds
+        )
+        if d.busy_exact:
+            self._check_close(
+                "metric", "cpu_busy_seconds",
+                r.cpu_busy_seconds, d.busy_seconds,
+            )
+        else:
+            # Contended remote I/O: queue delay hides the dispatch time,
+            # so the trace only yields a lower bound on the hold time.
+            self._check_at_least(
+                "metric",
+                f"cpu_busy_seconds {r.cpu_busy_seconds!r} below the "
+                f"trace-derived lower bound {d.busy_seconds!r}",
+                r.cpu_busy_seconds, d.busy_seconds,
+            )
+        bound = self.env.n_processors * d.makespan
+        self._check(
+            r.cpu_busy_seconds <= bound + self._tol(bound),
+            "metric",
+            f"cpu_busy_seconds {r.cpu_busy_seconds!r} exceeds "
+            f"processors x makespan = {bound!r}",
+        )
+        if r.busy_curve is not None:
+            integral = r.busy_curve.integral(self.start_time, d.finish)
+            self._check_close(
+                "metric", "busy-curve integral",
+                r.cpu_busy_seconds, integral,
+            )
+            peak = r.busy_curve.max_value()
+            self._check(
+                peak <= self.env.n_processors + 1e-9,
+                "capacity",
+                f"busy curve peaks at {peak!r} concurrent processors, "
+                f"pool has {self.env.n_processors}",
+            )
+
+    def _capacity(self) -> None:
+        ready_at = max(self.start_time, self.env.compute_ready_seconds)
+        events: list[tuple[float, int]] = []
+        for tid, (start, end) in self.d.hold_intervals.items():
+            self._check_at_least(
+                "capacity",
+                f"{tid!r} occupied a processor at {start!r}, before the "
+                f"pool was ready at {ready_at!r}",
+                start, ready_at,
+            )
+            events.append((start, +1))
+            events.append((end, -1))
+        # Releases sort before acquisitions at equal times: the engine
+        # frees a processor and hands it to the next task at one instant.
+        events.sort(key=lambda e: (e[0], e[1]))
+        held, worst = 0, 0
+        for _, delta in events:
+            held += delta
+            worst = max(worst, held)
+        self._check(
+            worst <= self.env.n_processors,
+            "capacity",
+            f"{worst} tasks held processors concurrently, pool has "
+            f"{self.env.n_processors}",
+        )
+
+    def _link_legality(self) -> None:
+        bandwidth = self.env.bandwidth_bytes_per_sec
+        records = [
+            t for t in self.result.transfer_records
+            if t.file_name in self.wf.files
+        ]
+        for t in records:
+            size = self.wf.file(t.file_name).size_bytes
+            self._check(
+                abs(t.size_bytes - size) <= self._tol(t.size_bytes, size),
+                "trace",
+                f"transfer of {t.file_name!r} recorded {t.size_bytes!r} B "
+                f"but the file is {size!r} B",
+            )
+            expected = t.size_bytes / bandwidth
+            duration = t.end - t.start
+            self._check(
+                abs(duration - expected) <= self._tol(duration, expected),
+                "link",
+                f"transfer of {t.file_name!r} ({t.direction}) took "
+                f"{duration!r} s, expected size/bandwidth = {expected!r} s",
+            )
+            self._check_at_least(
+                "link",
+                f"transfer of {t.file_name!r} starts at {t.start!r}, "
+                f"before the run began at {self.start_time!r}",
+                t.start, self.start_time,
+            )
+        if self.env.link_contention:
+            if self.env.separate_links:
+                lanes = [
+                    [t for t in records if t.direction == "in"],
+                    [t for t in records if t.direction == "out"],
+                ]
+            else:
+                lanes = [records]
+            for lane in lanes:
+                lane = sorted(lane, key=lambda t: (t.start, t.end))
+                for prev, nxt in zip(lane, lane[1:]):
+                    self._check(
+                        nxt.start + self._tol(nxt.start, prev.end)
+                        >= prev.end,
+                        "link",
+                        "contended link carried two transfers at once: "
+                        f"{prev.file_name!r} until {prev.end!r} overlaps "
+                        f"{nxt.file_name!r} from {nxt.start!r}",
+                    )
+
+    def _precedence_shared(self) -> None:
+        d, wf = self.d, self.wf
+        for tid, tt in d.tasks.items():
+            for fname in wf.task(tid).inputs:
+                avail = d.availability.get(fname)
+                if avail is None:
+                    continue  # already a trace problem
+                self._check_at_least(
+                    "precedence",
+                    f"{tid!r} started at {tt.first_start!r} but its input "
+                    f"{fname!r} was only available at {avail!r}",
+                    tt.first_start, avail,
+                )
+        # Cleanup must never delete a file before its last reader is done
+        # (checked against consumers_of directly, independent of the
+        # engine's cleanup plan).
+        for fname, removed in d.removal.items():
+            for consumer in wf.consumers_of(fname):
+                tt = d.tasks.get(consumer)
+                if tt is None:
+                    continue
+                self._check_at_least(
+                    "lifecycle",
+                    f"{fname!r} was deleted at {removed!r}, before its "
+                    f"consumer {consumer!r} finished at {tt.final_end!r}",
+                    removed, tt.final_end,
+                )
+        outputs = set(wf.output_files())
+        for fname in outputs:
+            rec = d.stage_out.get(fname)
+            self._check(
+                rec is not None,
+                "lifecycle",
+                f"net output {fname!r} was never staged out to the user",
+            )
+            if rec is None:
+                continue
+            self._check_at_least(
+                "precedence",
+                f"output {fname!r} staged out at {rec.start!r}, before "
+                f"all tasks completed at {d.all_done!r}",
+                rec.start, d.all_done,
+            )
+            avail = d.availability.get(fname)
+            if avail is not None:
+                self._check_at_least(
+                    "precedence",
+                    f"output {fname!r} staged out at {rec.start!r}, "
+                    f"before it existed on storage at {avail!r}",
+                    rec.start, avail,
+                )
+        for fname in d.stage_out:
+            self._check(
+                fname in outputs,
+                "lifecycle",
+                f"{fname!r} was staged out but is not a net output",
+            )
+
+    def _precedence_remote(self) -> None:
+        d, wf = self.d, self.wf
+        for tid, tt in d.tasks.items():
+            task = wf.task(tid)
+            for fname in task.inputs:
+                rec = d.copy_in.get((tid, fname))
+                if rec is None:
+                    continue  # already a trace problem
+                self._check_at_least(
+                    "precedence",
+                    f"{tid!r} started at {tt.first_start!r} before its "
+                    f"copy of {fname!r} arrived at {rec.end!r}",
+                    tt.first_start, rec.end,
+                )
+                user_avail = d.user_available_at(fname)
+                self._check_at_least(
+                    "precedence",
+                    f"{tid!r} began pulling {fname!r} at {rec.start!r} "
+                    "before the file reached the user side at "
+                    f"{user_avail!r}",
+                    rec.start, user_avail,
+                )
+            for fname in task.outputs:
+                rec = d.copy_out.get((tid, fname))
+                if rec is None:
+                    continue  # already a trace problem
+                self._check_at_least(
+                    "precedence",
+                    f"output {fname!r} of {tid!r} staged out at "
+                    f"{rec.start!r}, before the task finished at "
+                    f"{tt.final_end!r}",
+                    rec.start, tt.final_end,
+                )
+        for (tid, fname) in d.copy_out:
+            self._check(
+                fname in wf.task(tid).outputs,
+                "lifecycle",
+                f"{tid!r} staged out {fname!r}, which it does not produce",
+            )
+
+    def _storage(self) -> None:
+        r, d = self.result, self.d
+        self._check_close(
+            "metric", "storage_byte_seconds",
+            r.storage_byte_seconds, d.byte_seconds,
+        )
+        self._check_close(
+            "metric", "peak_storage_bytes",
+            r.peak_storage_bytes, d.peak_bytes,
+        )
+        final = d.storage_rebuilt.final_value()
+        self._check(
+            abs(final) <= self._tol(d.peak_bytes),
+            "lifecycle",
+            f"trace leaves {final!r} B on storage after the run; "
+            "everything should have been deleted",
+        )
+        if r.storage_curve is not None:
+            grid = sorted(
+                {t for t, _ in r.storage_curve.change_points()}
+                | {t for t, _ in d.storage_rebuilt.change_points()}
+            )
+            scale = self._tol(d.peak_bytes, r.peak_storage_bytes)
+            for t in grid:
+                recorded = r.storage_curve.value_at(t)
+                rebuilt = d.storage_rebuilt.value_at(t)
+                if abs(recorded - rebuilt) > scale:
+                    self._check(
+                        False,
+                        "metric",
+                        f"storage curve diverges at t={t!r}: recorded "
+                        f"{recorded!r} B, trace re-derives {rebuilt!r} B",
+                    )
+                    break
+            else:
+                self._check(True, "metric", "")
+
+    def _costs(self) -> None:
+        d = self.d
+        pricing = self.pricing
+        mode = self.result.data_mode
+        plans = (
+            ExecutionPlan.provisioned(self.env.n_processors, mode),
+            ExecutionPlan.on_demand(self.env.n_processors, mode),
+        )
+        for plan in plans:
+            reported = compute_cost(self.result, pricing, plan)
+            if plan.provisioning is ProvisioningMode.PROVISIONED:
+                held = plan.n_processors * (
+                    d.makespan + plan.vm_overhead.total_seconds
+                )
+                cpu = pricing.cpu_cost(
+                    held, n_instances=plan.n_processors
+                )
+            else:
+                cpu = pricing.cpu_cost(d.compute_seconds)
+            label = plan.provisioning.value
+            self._check_close(
+                "cost", f"{label} cpu_cost", reported.cpu_cost, cpu
+            )
+            self._check_close(
+                "cost", f"{label} storage_cost",
+                reported.storage_cost,
+                pricing.storage_cost(d.byte_seconds),
+            )
+            self._check_close(
+                "cost", f"{label} transfer_in_cost",
+                reported.transfer_in_cost,
+                pricing.transfer_in_cost(d.bytes_in),
+            )
+            self._check_close(
+                "cost", f"{label} transfer_out_cost",
+                reported.transfer_out_cost,
+                pricing.transfer_out_cost(d.bytes_out),
+            )
+
+
+def audit_simulation(
+    result: SimulationResult,
+    workflow: Workflow,
+    environment,
+    *,
+    start_time: float = 0.0,
+    pricing: PricingModel = AWS_2008,
+    rel_tol: float = 1e-9,
+    abs_tol: float = 1e-9,
+) -> AuditReport:
+    """Audit one simulation against its event trace.
+
+    Parameters
+    ----------
+    result:
+        The simulation's measured output.  Must carry its trace (run
+        with ``record_trace=True``, the default).
+    workflow / environment:
+        Exactly what was passed to the simulator — the oracle re-derives
+        expectations from them, it never trusts the result's aggregates.
+    start_time:
+        The execution's start (non-zero only for shared-engine service
+        runs whose records carry absolute timestamps).
+    pricing:
+        Fee structure used for the cost-reconciliation layer.
+
+    Returns the :class:`AuditReport`; call
+    :meth:`~AuditReport.raise_if_failed` to turn violations into an
+    :class:`AuditError`.
+    """
+    if not result.task_records and result.n_task_executions > 0:
+        raise ValueError(
+            "cannot audit a traceless result; rerun the simulation with "
+            "record_trace=True"
+        )
+    return _Auditor(
+        result, workflow, environment, start_time, pricing, rel_tol, abs_tol
+    ).run()

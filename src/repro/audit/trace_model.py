@@ -1,0 +1,401 @@
+"""Re-derivation of every simulated quantity from the raw event trace.
+
+:class:`DerivedTrace` is the computational half of the audit oracle: it
+takes a :class:`~repro.sim.results.SimulationResult` plus the workflow
+and environment that produced it, and rebuilds — **from the task and
+transfer records alone, without consulting the engine's aggregates** —
+the makespan, byte counters, compute/busy CPU-seconds, per-task hold
+intervals, file availability/removal times and the full storage
+occupancy curve under the semantics of the run's data-management mode.
+
+Structural impossibilities found while indexing (records for unknown
+tasks, duplicate stage-ins, a refcount release with no matching retain)
+are collected in :attr:`DerivedTrace.problems` rather than raised, so a
+corrupted trace yields a readable violation list instead of a stack
+trace.  The policy checks that *compare* the derived quantities against
+the engine's figures live in :mod:`repro.audit.oracle`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.results import SimulationResult, TaskRecord, TransferRecord
+from repro.util.curve import StepCurve
+from repro.workflow.cleanup import cleanup_plan
+from repro.workflow.dag import Workflow
+
+__all__ = ["TaskTrace", "DerivedTrace"]
+
+#: Mode string for which files are staged per task use (Section 3).
+REMOTE_IO = "remote-io"
+
+
+@dataclass
+class TaskTrace:
+    """All execution attempts of one task, sorted by attempt number."""
+
+    task_id: str
+    attempts: list[TaskRecord]
+
+    @property
+    def first_start(self) -> float:
+        return self.attempts[0].start
+
+    @property
+    def final_end(self) -> float:
+        return self.attempts[-1].end
+
+    @property
+    def n_attempts(self) -> int:
+        return len(self.attempts)
+
+
+class DerivedTrace:
+    """Quantities recomputed from task/transfer records alone."""
+
+    def __init__(
+        self,
+        result: SimulationResult,
+        workflow: Workflow,
+        environment,
+        start_time: float = 0.0,
+    ) -> None:
+        self.result = result
+        self.workflow = workflow
+        self.env = environment
+        self.start_time = float(start_time)
+        self.remote = result.data_mode == REMOTE_IO
+        #: structural corruption found while indexing the trace
+        self.problems: list[str] = []
+
+        self._index_tasks()
+        self._index_transfers()
+        self._derive_scalars()
+        self._derive_holds()
+        self._rebuild_storage()
+
+    def problem(self, message: str) -> None:
+        self.problems.append(message)
+
+    # ------------------------------------------------------------------ #
+    # indexing
+    # ------------------------------------------------------------------ #
+    def _index_tasks(self) -> None:
+        wf = self.workflow
+        by_task: dict[str, list[TaskRecord]] = {}
+        for rec in self.result.task_records:
+            if rec.task_id not in wf.tasks:
+                self.problem(
+                    f"task record for unknown task {rec.task_id!r}"
+                )
+                continue
+            by_task.setdefault(rec.task_id, []).append(rec)
+
+        self.tasks: dict[str, TaskTrace] = {}
+        for tid, records in by_task.items():
+            records.sort(key=lambda r: r.attempt)
+            if [r.attempt for r in records] != list(
+                range(1, len(records) + 1)
+            ):
+                self.problem(
+                    f"task {tid!r} attempts are not consecutive from 1: "
+                    f"{[r.attempt for r in records]}"
+                )
+            self.tasks[tid] = TaskTrace(tid, records)
+        for tid in wf.tasks:
+            if tid not in self.tasks:
+                self.problem(f"task {tid!r} has no execution record")
+
+    def _index_transfers(self) -> None:
+        wf = self.workflow
+        #: shared modes: file -> workflow-level stage-in/out record
+        self.stage_in: dict[str, TransferRecord] = {}
+        self.stage_out: dict[str, TransferRecord] = {}
+        #: remote mode: (task, file) -> per-use copy record
+        self.copy_in: dict[tuple[str, str], TransferRecord] = {}
+        self.copy_out: dict[tuple[str, str], TransferRecord] = {}
+
+        for t in self.result.transfer_records:
+            if t.file_name not in wf.files:
+                self.problem(
+                    f"transfer record for unknown file {t.file_name!r}"
+                )
+                continue
+            if t.direction not in ("in", "out"):
+                self.problem(
+                    f"transfer of {t.file_name!r} has direction "
+                    f"{t.direction!r}"
+                )
+                continue
+            if t.task_id is None:
+                table = self.stage_in if t.direction == "in" else self.stage_out
+                if t.file_name in table:
+                    self.problem(
+                        f"file {t.file_name!r} staged {t.direction} twice "
+                        "at workflow level"
+                    )
+                    continue
+                table[t.file_name] = t
+            else:
+                if t.task_id not in wf.tasks:
+                    self.problem(
+                        f"transfer of {t.file_name!r} names unknown task "
+                        f"{t.task_id!r}"
+                    )
+                    continue
+                table = self.copy_in if t.direction == "in" else self.copy_out
+                key = (t.task_id, t.file_name)
+                if key in table:
+                    self.problem(
+                        f"duplicate per-task {t.direction!r} transfer of "
+                        f"{t.file_name!r} for {t.task_id!r}"
+                    )
+                    continue
+                table[key] = t
+
+    # ------------------------------------------------------------------ #
+    # scalar metrics
+    # ------------------------------------------------------------------ #
+    def _derive_scalars(self) -> None:
+        result, wf = self.result, self.workflow
+        ends = [r.end for r in result.task_records]
+        ends.extend(t.end for t in result.transfer_records)
+        self.finish = max(ends, default=self.start_time)
+        self.makespan = self.finish - self.start_time
+
+        self.bytes_in = sum(
+            t.size_bytes for t in result.transfer_records
+            if t.direction == "in"
+        )
+        self.bytes_out = sum(
+            t.size_bytes for t in result.transfer_records
+            if t.direction == "out"
+        )
+        self.n_transfers_in = sum(
+            1 for t in result.transfer_records if t.direction == "in"
+        )
+        self.n_transfers_out = sum(
+            1 for t in result.transfer_records if t.direction == "out"
+        )
+
+        # Every attempt — including ones that fail at their end — runs the
+        # task for its full runtime, so wasted attempt time is re-billed.
+        self.compute_seconds = sum(
+            wf.task(r.task_id).runtime
+            for r in result.task_records
+            if r.task_id in wf.tasks
+        )
+        self.n_failures = sum(
+            tt.n_attempts - 1 for tt in self.tasks.values()
+        )
+        self.all_done = max(
+            (tt.final_end for tt in self.tasks.values()),
+            default=self.start_time,
+        )
+
+    # ------------------------------------------------------------------ #
+    # processor hold intervals
+    # ------------------------------------------------------------------ #
+    def _derive_holds(self) -> None:
+        """When each task held its processor, re-derived per mode.
+
+        Shared-storage modes begin computing the instant the processor is
+        acquired, so the hold is ``[first attempt start, final end]``.
+        Remote I/O holds the processor while the task's input copies
+        cross the link, so the hold opens at the earliest copy request —
+        which equals the copy's recorded start on a contention-free link.
+        On a FIFO-contended link the queue delay hides the request time,
+        so holds (and the busy-seconds total) are only a lower bound;
+        :attr:`busy_exact` tells the oracle which check to apply.
+        """
+        self.hold_intervals: dict[str, tuple[float, float]] = {}
+        for tid, tt in self.tasks.items():
+            start = tt.first_start
+            if self.remote:
+                copies = [
+                    rec.start
+                    for (task_id, _), rec in self.copy_in.items()
+                    if task_id == tid
+                ]
+                if copies:
+                    start = min(min(copies), start)
+            self.hold_intervals[tid] = (start, tt.final_end)
+        self.busy_seconds = sum(
+            end - start for start, end in self.hold_intervals.values()
+        )
+        self.busy_exact = not (self.remote and self.env.link_contention)
+
+    # ------------------------------------------------------------------ #
+    # file availability / removal and the storage curve
+    # ------------------------------------------------------------------ #
+    def _rebuild_storage(self) -> None:
+        if self.remote:
+            self._rebuild_storage_remote()
+        else:
+            self._rebuild_storage_shared()
+        self.byte_seconds = self.storage_rebuilt.integral(
+            self.start_time, self.finish
+        )
+        self.peak_bytes = self.storage_rebuilt.max_value(
+            self.start_time, self.finish
+        )
+
+    def _rebuild_storage_shared(self) -> None:
+        """Regular / Cleanup: one shared copy per file.
+
+        A file appears when its stage-in lands (initial inputs) or when
+        its producer completes (everything else).  Under Regular it stays
+        until the workflow finishes; under Cleanup it is deleted when the
+        last task of its static release set completes (net outputs: when
+        their final stage-out lands at the user); anything left is swept
+        at the finish.
+        """
+        wf = self.workflow
+        #: file -> time it became readable on cloud storage
+        self.availability: dict[str, float] = {}
+        #: file -> time it was (or should have been) deleted
+        self.removal: dict[str, float] = {}
+
+        for fname, rec in self.stage_in.items():
+            if wf.producer_of(fname) is not None:
+                self.problem(
+                    f"produced file {fname!r} was staged in from the user"
+                )
+                continue
+            self.availability[fname] = rec.end
+        for fname in wf.input_files():
+            if fname not in self.stage_in:
+                self.problem(f"input file {fname!r} was never staged in")
+        for fname, producer in (
+            (f, wf.producer_of(f)) for f in wf.files
+        ):
+            if producer is not None and producer in self.tasks:
+                self.availability[fname] = self.tasks[producer].final_end
+
+        if self.result.data_mode == "cleanup":
+            plan = cleanup_plan(wf)
+            for fname in self.availability:
+                releasers = plan.release_after.get(fname)
+                if releasers is not None:
+                    known = [
+                        self.tasks[t].final_end
+                        for t in releasers
+                        if t in self.tasks
+                    ]
+                    self.removal[fname] = max(known, default=self.finish)
+                elif fname in self.stage_out:
+                    # Net output: deleted when its stage-out lands.
+                    self.removal[fname] = self.stage_out[fname].end
+                else:
+                    self.removal[fname] = self.finish
+        else:
+            for fname in self.availability:
+                self.removal[fname] = self.finish
+
+        events: list[tuple[float, float]] = []
+        for fname, avail in self.availability.items():
+            size = wf.file(fname).size_bytes
+            events.append((avail, +size))
+            events.append((self.removal[fname], -size))
+        self.storage_rebuilt = _curve_from_events(events)
+
+    def _rebuild_storage_remote(self) -> None:
+        """Remote I/O: a reference-counted copy per file.
+
+        A file occupies storage while at least one running consumer holds
+        a copy or while it awaits its own stage-out: retained at each
+        copy arrival and at its producer's completion, released at each
+        consumer's completion and when its stage-out lands.
+        """
+        wf = self.workflow
+        RETAIN, RELEASE = 0, 1
+        events: list[tuple[float, int, str]] = []
+        for (task_id, fname), rec in self.copy_in.items():
+            if fname not in wf.task(task_id).inputs:
+                self.problem(
+                    f"{task_id!r} staged in {fname!r}, which it does not "
+                    "consume"
+                )
+                continue
+            events.append((rec.end, RETAIN, fname))
+        for tid, tt in self.tasks.items():
+            task = wf.task(tid)
+            for fname in task.inputs:
+                if (tid, fname) not in self.copy_in:
+                    self.problem(
+                        f"{tid!r} never staged in its input {fname!r}"
+                    )
+                    continue
+                events.append((tt.final_end, RELEASE, fname))
+            for fname in task.outputs:
+                events.append((tt.final_end, RETAIN, fname))
+                rec = self.copy_out.get((tid, fname))
+                if rec is None:
+                    self.problem(
+                        f"output {fname!r} of {tid!r} was never staged out"
+                    )
+                    continue
+                events.append((rec.end, RELEASE, fname))
+
+        # Retains sort before releases at equal times so a hand-over
+        # between two holders at one instant never dips through zero.
+        events.sort(key=lambda e: (e[0], e[1]))
+        refcount: dict[str, int] = {}
+        curve_events: list[tuple[float, float]] = []
+        for time, kind, fname in events:
+            count = refcount.get(fname, 0)
+            if kind == RETAIN:
+                if count == 0:
+                    curve_events.append(
+                        (time, +wf.file(fname).size_bytes)
+                    )
+                refcount[fname] = count + 1
+            else:
+                if count <= 0:
+                    self.problem(
+                        f"file {fname!r} released at t={time:g} with no "
+                        "copy on storage"
+                    )
+                    continue
+                if count == 1:
+                    curve_events.append(
+                        (time, -wf.file(fname).size_bytes)
+                    )
+                refcount[fname] = count - 1
+        for fname, count in refcount.items():
+            if count != 0:
+                self.problem(
+                    f"file {fname!r} still has {count} holder(s) after "
+                    "the run"
+                )
+        self.availability = {}
+        self.removal = {}
+        self.storage_rebuilt = _curve_from_events(curve_events)
+
+    # ------------------------------------------------------------------ #
+    # remote-I/O user-side availability (for precedence checks)
+    # ------------------------------------------------------------------ #
+    def user_available_at(self, fname: str) -> float:
+        """When ``fname`` became fetchable from the user side (remote I/O).
+
+        Initial inputs sit with the user from the start; produced files
+        only after their own stage-out lands back at the user.
+        """
+        producer = self.workflow.producer_of(fname)
+        if producer is None:
+            return self.start_time
+        rec = self.copy_out.get((producer, fname))
+        return rec.end if rec is not None else float("inf")
+
+
+def _curve_from_events(events: list[tuple[float, float]]) -> StepCurve:
+    """Build a step curve from ``(time, delta)`` events, sorted first.
+
+    Feeding changes in time order keeps every insertion on the curve's
+    O(1) tail-append fast path.
+    """
+    curve = StepCurve(0.0)
+    for time, delta in sorted(events, key=lambda e: e[0]):
+        curve.add(time, delta)
+    return curve

@@ -9,7 +9,7 @@ Everything the library does, from a shell::
     python -m repro ccr --degree 1 --values 0.05,0.5,2
     python -m repro gantt --degree 1 --processors 8
     python -m repro dax --degree 1 --output montage1.xml
-    python -m repro report [--fast]
+    python -m repro report [--fast] [--audit]
 
 Workflows come from the calibrated Montage generator (``--degree``) or
 from a DAX XML file (``--dax``).
@@ -97,6 +97,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         compute_ready_seconds=args.boot_seconds,
         link_contention=args.contended,
         record_trace=args.trace_dir is not None,
+        audit=args.audit,
     )
     plan = (
         ExecutionPlan.on_demand(args.processors, args.mode)
@@ -290,7 +291,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     # Imported lazily: the runner pulls in every experiment.
     from repro.experiments.runner import run_all
 
-    run_all(fast=args.fast, stream=sys.stdout)
+    run_all(fast=args.fast, stream=sys.stdout, audit=args.audit)
     return 0
 
 
@@ -335,6 +336,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--trace-dir", type=str, default=None,
         help="write tasks/transfers/storage CSVs to this directory",
+    )
+    p.add_argument(
+        "--audit", action="store_true",
+        help="reconcile the result against its event trace (repro.audit)",
     )
     p.set_defaults(handler=_cmd_simulate)
 
@@ -390,6 +395,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("report", help="full paper-comparison report")
     p.add_argument("--fast", action="store_true")
+    p.add_argument(
+        "--audit", action="store_true",
+        help="run every simulation under the trace-audit oracle",
+    )
     p.set_defaults(handler=_cmd_report)
 
     return parser

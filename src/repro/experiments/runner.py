@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro.experiments.runner [--fast] [--extensions]
+    python -m repro.experiments.runner [--fast] [--extensions] [--audit]
 
 ``--fast`` limits Question 1 to the 1° workflow and a short processor
 ladder (useful as a smoke test); the full run covers every figure and
@@ -25,6 +25,7 @@ from repro.experiments.question2a import run_question2a
 from repro.experiments.question2b import run_question2b
 from repro.experiments.question3 import run_question3
 from repro.experiments.report import format_table
+from repro.sweep import set_default_audit
 
 __all__ = ["run_all", "main"]
 
@@ -58,8 +59,19 @@ _PAPER_VALUES = [
 ]
 
 
-def run_all(fast: bool = False, extensions: bool = False, stream=None) -> str:
-    """Execute every experiment; returns (and optionally streams) the report."""
+def run_all(
+    fast: bool = False,
+    extensions: bool = False,
+    stream=None,
+    audit: bool = False,
+) -> str:
+    """Execute every experiment; returns (and optionally streams) the report.
+
+    With ``audit=True`` every simulation behind every figure runs fresh
+    under the trace-audit oracle (:mod:`repro.audit`): the caches are
+    bypassed and the first reconciliation violation anywhere aborts the
+    report with :class:`repro.audit.AuditError`.
+    """
     out = StringIO()
 
     def emit(text: str = "") -> None:
@@ -70,6 +82,20 @@ def run_all(fast: bool = False, extensions: bool = False, stream=None) -> str:
     emit("=" * 72)
     emit("Reproduction report: The Cost of Doing Science on the Cloud (SC'08)")
     emit("=" * 72)
+    if audit:
+        emit(
+            "audit mode: every simulation runs fresh and is reconciled "
+            "against its event trace (caches bypassed)"
+        )
+        previous_audit = set_default_audit(True)
+        try:
+            return _run_body(fast, extensions, emit, out)
+        finally:
+            set_default_audit(previous_audit)
+    return _run_body(fast, extensions, emit, out)
+
+
+def _run_body(fast: bool, extensions: bool, emit, out: StringIO) -> str:
 
     # ---------------------------------------------------------- Question 1
     degrees = (1.0,) if fast else (1.0, 2.0, 4.0)
@@ -148,8 +174,17 @@ def main(argv: list[str] | None = None) -> int:
         "--extensions", action="store_true",
         help="append the ablation studies",
     )
+    parser.add_argument(
+        "--audit", action="store_true",
+        help="reconcile every simulation against its event trace",
+    )
     args = parser.parse_args(argv)
-    run_all(fast=args.fast, extensions=args.extensions, stream=sys.stdout)
+    run_all(
+        fast=args.fast,
+        extensions=args.extensions,
+        stream=sys.stdout,
+        audit=args.audit,
+    )
     return 0
 
 

@@ -132,7 +132,14 @@ class DataManager:
         ex = self.ex
         size = ex.workflow.file(file_name).size_bytes
         link = ex.link_in if direction == "in" else ex.link_out
-        start = max(ex.engine.now, link.busy_until)
+        # On a contended (FIFO) link the transfer starts when the queue
+        # drains; on a dedicated link it starts the instant it is
+        # requested — using busy_until there back-dated records behind
+        # unrelated transfers and could even record start > end.
+        if link.contended:
+            start = max(ex.engine.now, link.busy_until)
+        else:
+            start = ex.engine.now
         end = link.request(size, ex.engine.now, direction)
         ex.record_transfer(file_name, size, direction, start, end, task_id)
         self._outstanding += 1

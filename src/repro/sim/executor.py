@@ -410,8 +410,14 @@ def simulate(
     ordering: TaskOrdering = FIFO_ORDER,
     failures: FailureModel | None = None,
     record_trace: bool = True,
+    audit: bool = False,
 ) -> SimulationResult:
     """Simulate one workflow execution (the main library entry point).
+
+    With ``audit=True`` the result is reconciled against its own event
+    trace by :func:`repro.audit.audit_simulation` before being returned
+    (raising :class:`repro.audit.AuditError` on any violation); this
+    forces ``record_trace`` on.
 
     Example
     -------
@@ -429,8 +435,14 @@ def simulate(
         compute_ready_seconds=compute_ready_seconds,
         link_contention=link_contention,
         separate_links=separate_links,
-        record_trace=record_trace,
+        record_trace=record_trace or audit,
     )
-    return WorkflowExecutor(
+    result = WorkflowExecutor(
         workflow, env, data_mode, ordering=ordering, failures=failures
     ).run()
+    if audit:
+        # Imported lazily: repro.audit sits above the sim layer.
+        from repro.audit import audit_simulation
+
+        audit_simulation(result, workflow, env).raise_if_failed()
+    return result

@@ -20,7 +20,13 @@ and ``docs/tutorial.md`` for a worked example.
 
 from repro.sweep.builders import clear_build_caches, scaled_ccr_workflow
 from repro.sweep.cache import SimCache, default_cache, reset_default_cache
-from repro.sweep.executor import SweepExecutor, resolve_workers, run_jobs
+from repro.sweep.executor import (
+    SweepExecutor,
+    resolve_audit,
+    resolve_workers,
+    run_jobs,
+    set_default_audit,
+)
 from repro.sweep.job import FailureSpec, SimJob
 
 __all__ = [
@@ -30,6 +36,8 @@ __all__ = [
     "SweepExecutor",
     "run_jobs",
     "resolve_workers",
+    "resolve_audit",
+    "set_default_audit",
     "default_cache",
     "reset_default_cache",
     "scaled_ccr_workflow",

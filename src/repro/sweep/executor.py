@@ -25,15 +25,26 @@ from __future__ import annotations
 import os
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
 
+from repro.audit import audit_simulation
 from repro.sim.results import SimulationResult
 from repro.sweep.cache import SimCache, default_cache
 from repro.sweep.job import SimJob
 
-__all__ = ["SweepExecutor", "run_jobs", "resolve_workers"]
+__all__ = [
+    "SweepExecutor",
+    "run_jobs",
+    "resolve_workers",
+    "resolve_audit",
+    "set_default_audit",
+]
 
 #: Environment override for the worker count (1 = force serial).
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+#: Environment override for auditing ("1" audits every executed job).
+AUDIT_ENV = "REPRO_SWEEP_AUDIT"
 
 #: Cap on the auto-detected worker count; sweeps are batches of tens of
 #: jobs, so more workers than that only buys pickling overhead.
@@ -58,9 +69,49 @@ def resolve_workers(workers: int | None = None) -> int:
     return workers
 
 
+_default_audit = False
+
+
+def set_default_audit(enabled: bool) -> bool:
+    """Set the process-wide audit default; returns the previous value.
+
+    The report runner flips this around a full run so every simulation
+    executed anywhere below it — all experiment modules route through
+    :func:`run_jobs` — is reconciled against its trace.
+    """
+    global _default_audit
+    previous = _default_audit
+    _default_audit = bool(enabled)
+    return previous
+
+
+def resolve_audit(audit: bool | None = None) -> bool:
+    """Effective audit flag: explicit arg, else env var, else the default."""
+    if audit is not None:
+        return bool(audit)
+    env = os.environ.get(AUDIT_ENV)
+    if env is not None:
+        return env.strip().lower() not in ("", "0", "false", "no")
+    return _default_audit
+
+
 def _execute(job: SimJob) -> SimulationResult:
     """Module-level worker entry point (must be picklable)."""
     return job.run()
+
+
+def _execute_audited(job: SimJob) -> SimulationResult:
+    """Run one job with tracing forced on and audit the result.
+
+    Raises :class:`repro.audit.AuditError` (picklable, so it propagates
+    out of pool workers) on any reconciliation violation.
+    """
+    traced = replace(job, record_trace=True)
+    result = traced.run()
+    audit_simulation(
+        result, job.workflow, traced.environment()
+    ).raise_if_failed()
+    return result
 
 
 class SweepExecutor:
@@ -70,9 +121,16 @@ class SweepExecutor:
         self,
         workers: int | None = None,
         cache: SimCache | None = None,
+        audit: bool | None = None,
     ) -> None:
         self.workers = resolve_workers(workers)
         self.cache = cache if cache is not None else default_cache()
+        #: reconcile every executed job against its trace (see
+        #: :mod:`repro.audit`); audited runs bypass the cache entirely so
+        #: the engine is actually exercised, not replayed
+        self.audit = resolve_audit(audit)
+        #: jobs run under the auditor so far (observability/tests)
+        self.audited_jobs = 0
 
     def run(self, jobs: Sequence[SimJob]) -> list[SimulationResult]:
         """Execute ``jobs``; results are aligned with the input order."""
@@ -84,23 +142,28 @@ class SweepExecutor:
             if key in seen:
                 continue
             seen.add(key)
-            cached = self.cache.get(key)
-            if cached is not None:
-                results[key] = cached
-            else:
-                pending.append((key, job))
+            if not self.audit:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[key] = cached
+                    continue
+            pending.append((key, job))
 
         if pending:
+            worker = _execute_audited if self.audit else _execute
             if self.workers > 1 and len(pending) > 1:
                 n = min(self.workers, len(pending))
                 with ProcessPoolExecutor(max_workers=n) as pool:
                     computed = list(
-                        pool.map(_execute, [job for _, job in pending])
+                        pool.map(worker, [job for _, job in pending])
                     )
             else:
-                computed = [job.run() for _, job in pending]
+                computed = [worker(job) for _, job in pending]
             for (key, _), result in zip(pending, computed):
-                self.cache.put(key, result)
+                if self.audit:
+                    self.audited_jobs += 1
+                else:
+                    self.cache.put(key, result)
                 results[key] = result
 
         return [results[key] for key in keys]
@@ -114,11 +177,15 @@ def run_jobs(
     jobs: Sequence[SimJob],
     workers: int | None = None,
     cache: SimCache | None = None,
+    audit: bool | None = None,
 ) -> list[SimulationResult]:
     """One-call sweep: memoized, fanned out, results in input order.
 
     This is what the experiment modules use; with default arguments every
     call in the process shares one cache, so repeated points across
-    experiments are simulated exactly once.
+    experiments are simulated exactly once.  ``audit=True`` (or
+    ``REPRO_SWEEP_AUDIT=1``, or :func:`set_default_audit`) instead runs
+    every job fresh under the trace auditor, raising
+    :class:`repro.audit.AuditError` on the first violation.
     """
-    return SweepExecutor(workers=workers, cache=cache).run(jobs)
+    return SweepExecutor(workers=workers, cache=cache, audit=audit).run(jobs)

@@ -23,7 +23,11 @@ import hashlib
 from dataclasses import dataclass
 
 from repro.sim.datamanager import DataMode
-from repro.sim.executor import DEFAULT_BANDWIDTH, simulate
+from repro.sim.executor import (
+    DEFAULT_BANDWIDTH,
+    ExecutionEnvironment,
+    simulate,
+)
 from repro.sim.failures import FailureModel
 from repro.sim.results import SimulationResult
 from repro.sim.scheduler import ordering_by_name
@@ -102,6 +106,26 @@ class SimJob:
             f"\x1e{int(self.record_trace)}"
         )
         return hashlib.sha256(spec.encode()).hexdigest()
+
+    def environment(self, record_trace: bool | None = None) -> ExecutionEnvironment:
+        """The :class:`ExecutionEnvironment` this job simulates under.
+
+        The audit oracle reconciles a result against exactly this object;
+        ``record_trace`` can be overridden to describe a traced re-run of
+        an otherwise traceless job.
+        """
+        return ExecutionEnvironment(
+            n_processors=self.n_processors,
+            bandwidth_bytes_per_sec=self.bandwidth_bytes_per_sec,
+            storage_capacity_bytes=self.storage_capacity_bytes,
+            task_overhead_seconds=self.task_overhead_seconds,
+            compute_ready_seconds=self.compute_ready_seconds,
+            link_contention=self.link_contention,
+            separate_links=self.separate_links,
+            record_trace=(
+                self.record_trace if record_trace is None else record_trace
+            ),
+        )
 
     def run(self) -> SimulationResult:
         """Execute this point (in whatever process we happen to be in)."""

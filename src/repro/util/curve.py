@@ -131,5 +131,17 @@ class StepCurve:
     def __len__(self) -> int:
         return len(self._times)
 
+    def __eq__(self, other: object) -> bool:
+        """Exact equality of the step functions (same breakpoints/values)."""
+        if not isinstance(other, StepCurve):
+            return NotImplemented
+        return (
+            self._initial == other._initial
+            and self._times == other._times
+            and self._values == other._values
+        )
+
+    __hash__ = None  # mutable
+
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"StepCurve(initial={self._initial}, points={len(self._times)})"

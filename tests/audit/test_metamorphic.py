@@ -1,0 +1,136 @@
+"""Metamorphic properties of the simulator/pricing stack.
+
+Instead of golden numbers, these assert *relations between runs* that
+must hold on any workflow the DAG strategy can produce:
+
+* scaling every price by ``k`` scales every cost component by ``k``;
+* dynamic cleanup never occupies more peak storage than Regular mode;
+* scaling file sizes (the paper's CCR knob) moves transfer cost
+  proportionally and leaves on-demand CPU cost untouched;
+* failure injection with ``p = 0`` is byte-identical to no injection;
+* and any randomly drawn simulation point reconciles under the full
+  trace audit.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audit import audit_simulation
+from repro.core.costs import compute_cost
+from repro.core.plans import ExecutionPlan
+from repro.core.pricing import AWS_2008
+from repro.sim.executor import simulate
+from repro.sweep.job import FailureSpec, SimJob
+
+from tests.strategies import DATA_MODES, ccr_scaled_pairs, sim_jobs, workflows
+
+pytestmark = pytest.mark.property
+
+BW = 1.25e6  # 10 Mbps in bytes/s, the paper's link
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    wf=workflows(max_tasks=8),
+    mode=st.sampled_from(DATA_MODES),
+    k=st.sampled_from([0.1, 0.5, 3.0, 42.0]),
+)
+def test_price_vector_linearity(wf, mode, k):
+    """cost(k * prices) == k * cost(prices), componentwise, both plans."""
+    result = simulate(wf, 4, mode, bandwidth_bytes_per_sec=BW,
+                      record_trace=False)
+    scaled = AWS_2008.scaled(storage=k, transfer=k, cpu=k)
+    for plan in (
+        ExecutionPlan.provisioned(4, mode),
+        ExecutionPlan.on_demand(4, mode),
+    ):
+        base = compute_cost(result, AWS_2008, plan)
+        big = compute_cost(result, scaled, plan)
+        assert big.cpu_cost == pytest.approx(k * base.cpu_cost)
+        assert big.storage_cost == pytest.approx(k * base.storage_cost)
+        assert big.transfer_in_cost == pytest.approx(
+            k * base.transfer_in_cost
+        )
+        assert big.transfer_out_cost == pytest.approx(
+            k * base.transfer_out_cost
+        )
+        assert big.total == pytest.approx(k * base.total)
+
+
+@settings(max_examples=25, deadline=None)
+@given(wf=workflows(max_tasks=10), p=st.integers(1, 6))
+def test_cleanup_peak_never_exceeds_regular(wf, p):
+    """Deleting dead files can only lower the storage high-water mark."""
+    regular = simulate(wf, p, "regular", bandwidth_bytes_per_sec=BW,
+                       record_trace=False)
+    cleanup = simulate(wf, p, "cleanup", bandwidth_bytes_per_sec=BW,
+                       record_trace=False)
+    assert cleanup.peak_storage_bytes <= regular.peak_storage_bytes + 1e-6
+    assert (
+        cleanup.storage_byte_seconds
+        <= regular.storage_byte_seconds + 1e-6
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pair=ccr_scaled_pairs(max_tasks=8),
+    mode=st.sampled_from(DATA_MODES),
+)
+def test_ccr_scaling_moves_transfer_cost_not_cpu(pair, mode):
+    """File-size scaling (the paper's CCRd/CCRr knob): transfer fees
+    scale with the factor, on-demand CPU fees do not move at all."""
+    wf, scaled_wf, k = pair
+    plan = ExecutionPlan.on_demand(4, mode)
+    base = compute_cost(
+        simulate(wf, 4, mode, bandwidth_bytes_per_sec=BW,
+                 record_trace=False),
+        AWS_2008, plan,
+    )
+    moved = compute_cost(
+        simulate(scaled_wf, 4, mode, bandwidth_bytes_per_sec=BW,
+                 record_trace=False),
+        AWS_2008, plan,
+    )
+    assert moved.cpu_cost == pytest.approx(base.cpu_cost)
+    assert moved.transfer_in_cost == pytest.approx(
+        k * base.transfer_in_cost
+    )
+    assert moved.transfer_out_cost == pytest.approx(
+        k * base.transfer_out_cost
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    wf=workflows(max_tasks=8),
+    mode=st.sampled_from(DATA_MODES),
+    p=st.integers(1, 4),
+    seed=st.integers(0, 2**16),
+)
+def test_zero_probability_failures_are_inert(wf, mode, p, seed):
+    """p=0 injection must leave the entire result object identical —
+    records, curves and aggregates — to a run with no failure model."""
+    plain = SimJob(wf, p, mode, bandwidth_bytes_per_sec=BW,
+                   record_trace=True).run()
+    inert = SimJob(
+        wf, p, mode, bandwidth_bytes_per_sec=BW, record_trace=True,
+        failures=FailureSpec(0.0, seed=seed),
+    ).run()
+    assert plain == inert
+
+
+@pytest.mark.audit
+@settings(max_examples=25, deadline=None)
+@given(job=sim_jobs(max_tasks=8))
+def test_arbitrary_jobs_reconcile_under_audit(job):
+    """Every point the sweep layer can express must audit clean."""
+    from dataclasses import replace
+
+    traced = replace(job, bandwidth_bytes_per_sec=BW, record_trace=True)
+    result = traced.run()
+    report = audit_simulation(result, job.workflow, traced.environment())
+    assert report.ok, report.summary() + "\n" + "\n".join(
+        str(v) for v in report.violations[:5]
+    )

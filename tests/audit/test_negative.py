@@ -1,0 +1,191 @@
+"""Negative audits: deliberately corrupted runs must be caught.
+
+Each test injects one specific lie — a dropped record, a shifted task, a
+doctored aggregate — and asserts the oracle pins it with a violation of
+the right category.  This is the evidence that the clean audits in
+``test_oracle.py`` actually constrain the engine.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.audit import AuditError, audit_simulation
+from repro.sim.executor import (
+    ExecutionEnvironment,
+    WorkflowExecutor,
+    simulate,
+)
+from repro.workflow.generators import diamond_workflow, fork_join_workflow
+
+pytestmark = pytest.mark.audit
+
+
+@pytest.fixture()
+def wf():
+    return fork_join_workflow(10, runtime=30.0)
+
+
+def _fresh(wf, n=4, mode="regular", **kwargs):
+    result = simulate(wf, n, mode, **kwargs)
+    env = ExecutionEnvironment(n_processors=n, **kwargs)
+    return result, env
+
+
+def _violations(result, wf, env, category=None):
+    report = audit_simulation(result, wf, env)
+    assert not report.ok, "corruption went undetected"
+    if category is not None:
+        assert any(v.category == category for v in report.violations), (
+            f"expected a {category!r} violation, got: "
+            + "; ".join(str(v) for v in report.violations[:5])
+        )
+    return report
+
+
+class TestTamperedRecords:
+    def test_dropped_transfer_record(self, wf):
+        result, env = _fresh(wf)
+        result.transfer_records.pop(0)
+        _violations(result, wf, env, "metric")
+
+    def test_dropped_task_record(self, wf):
+        result, env = _fresh(wf)
+        result.task_records.pop(3)
+        _violations(result, wf, env, "trace")
+
+    def test_duplicated_transfer_record(self, wf):
+        result, env = _fresh(wf)
+        result.transfer_records.append(result.transfer_records[0])
+        _violations(result, wf, env, "trace")
+
+    def test_shifted_task_record_breaks_precedence(self, wf):
+        # The sink consumes every fan-out output; starting it earlier
+        # than its last input's producer finishes is illegal.
+        result, env = _fresh(wf, n=2)
+        idx, sink = max(
+            enumerate(result.task_records), key=lambda kv: kv[1].start
+        )
+        result.task_records[idx] = replace(
+            sink, start=sink.start - 25.0, end=sink.end - 25.0
+        )
+        _violations(result, wf, env, "precedence")
+
+    def test_overlapping_tasks_exceed_capacity(self, wf):
+        # On one processor every pair of tasks is serialized; pulling one
+        # start backwards makes two holds overlap.
+        result, env = _fresh(wf, n=1)
+        recs = sorted(result.task_records, key=lambda r: r.start)
+        second = recs[1]
+        idx = result.task_records.index(second)
+        result.task_records[idx] = replace(
+            second, start=second.start - 10.0
+        )
+        report = audit_simulation(result, wf, env)
+        assert not report.ok
+        assert any(
+            v.category in ("capacity", "precedence", "metric")
+            for v in report.violations
+        )
+
+    def test_stretched_transfer_breaks_link_law(self, wf):
+        result, env = _fresh(wf)
+        t = result.transfer_records[0]
+        result.transfer_records[0] = replace(t, end=t.end + 100.0)
+        _violations(result, wf, env, "link")
+
+
+class TestDoctoredAggregates:
+    @pytest.mark.parametrize(
+        "field, delta",
+        [
+            ("makespan", 1.0),
+            ("bytes_in", 1e6),
+            ("bytes_out", -1e5),
+            ("compute_seconds", 5.0),
+            ("cpu_busy_seconds", 60.0),
+            ("storage_byte_seconds", 1e9),
+            ("peak_storage_bytes", -1e6),
+            ("n_task_executions", 1),
+            ("n_transfers_in", 2),
+        ],
+    )
+    def test_doctored_scalar_is_caught(self, wf, field, delta):
+        result, env = _fresh(wf)
+        setattr(result, field, getattr(result, field) + delta)
+        _violations(result, wf, env)
+
+    def test_doctored_storage_integral_also_breaks_cost(self, wf):
+        result, env = _fresh(wf)
+        result.storage_byte_seconds *= 2.0
+        report = _violations(result, wf, env, "metric")
+        assert any(v.category == "cost" for v in report.violations)
+
+    def test_doctored_storage_curve_is_caught(self, wf):
+        result, env = _fresh(wf)
+        result.storage_curve.add(10.0, 12345.0)
+        _violations(result, wf, env, "metric")
+
+
+class TestInjectedEngineBug:
+    """The ISSUE's acceptance scenario: an engine that loses a transfer
+    record (while still accounting its bytes) must fail a live
+    ``simulate(..., audit=True)`` run."""
+
+    def test_engine_dropping_a_transfer_record_is_caught(self, monkeypatch):
+        wf = fork_join_workflow(10, runtime=30.0)
+        original = WorkflowExecutor.record_transfer
+        state = {"calls": 0}
+
+        def buggy(self, file_name, size_bytes, direction, start, end, task_id):
+            state["calls"] += 1
+            if state["calls"] == 3:
+                # The injected bug: bytes are billed, the record is lost.
+                self._bytes[direction] += size_bytes
+                self._n_transfers[direction] += 1
+                return
+            original(
+                self, file_name, size_bytes, direction, start, end, task_id
+            )
+
+        monkeypatch.setattr(WorkflowExecutor, "record_transfer", buggy)
+        with pytest.raises(AuditError) as excinfo:
+            simulate(wf, 2, "regular", audit=True)
+        assert not excinfo.value.report.ok
+        assert state["calls"] > 3  # the run went past the dropped record
+
+    def test_engine_misbilling_compute_is_caught(self, monkeypatch):
+        wf = diamond_workflow()
+
+        def forgetful(self, task_id):
+            # Engine bug: attempts run but compute time is never billed.
+            pass
+
+        original_execute = WorkflowExecutor._execute
+
+        def patched(self, task_id):
+            original_execute(self, task_id)
+            self._compute_seconds -= self.workflow.task(task_id).runtime / 2
+
+        monkeypatch.setattr(WorkflowExecutor, "_execute", patched)
+        with pytest.raises(AuditError):
+            simulate(wf, 2, "regular", audit=True)
+
+
+class TestAuditErrorBehaviour:
+    def test_error_is_picklable(self, wf):
+        import pickle
+
+        result, env = _fresh(wf)
+        result.makespan += 10.0
+        report = audit_simulation(result, wf, env)
+        err = AuditError(report)
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, AuditError)
+        assert clone.report.violations == report.violations
+
+    def test_error_message_lists_violations(self, wf):
+        result, env = _fresh(wf)
+        result.makespan += 10.0
+        with pytest.raises(AuditError, match="makespan"):
+            audit_simulation(result, wf, env).raise_if_failed()

@@ -1,0 +1,144 @@
+"""Positive audits: the engine must reconcile cleanly against itself.
+
+Every configuration the experiments use — all three data-management
+modes, both link models, task overhead, VM boot delay, storage gating and
+failure injection — must produce a trace from which the oracle re-derives
+exactly the figures the engine reported.
+"""
+
+import pytest
+
+from repro.audit import AuditError, audit_simulation
+from repro.sim.executor import ExecutionEnvironment, simulate
+from repro.sim.failures import FailureModel
+from repro.util.units import GB
+from repro.workflow.generators import (
+    chain_workflow,
+    diamond_workflow,
+    fork_join_workflow,
+)
+
+pytestmark = pytest.mark.audit
+
+MODES = ("regular", "cleanup", "remote-io")
+
+
+def _audit(wf, n, mode, **kwargs):
+    failures = kwargs.pop("failures", None)
+    result = simulate(wf, n, mode, failures=failures, **kwargs)
+    env = ExecutionEnvironment(n_processors=n, **kwargs)
+    return audit_simulation(result, wf, env)
+
+
+class TestCleanAudits:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_montage_all_modes(self, montage1, mode):
+        report = _audit(montage1, 8, mode)
+        assert report.ok, report.summary()
+        assert report.n_checks > 1000
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_task_overhead(self, mode):
+        wf = fork_join_workflow(12, runtime=20.0)
+        assert _audit(wf, 4, mode, task_overhead_seconds=7.5).ok
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_boot_delay(self, mode):
+        wf = diamond_workflow()
+        assert _audit(wf, 2, mode, compute_ready_seconds=120.0).ok
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("separate", [False, True])
+    def test_contended_link(self, mode, separate):
+        wf = fork_join_workflow(8, runtime=5.0)
+        assert _audit(
+            wf, 4, mode, link_contention=True, separate_links=separate
+        ).ok
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_storage_gated(self, montage1, mode):
+        assert _audit(
+            montage1, 8, mode, storage_capacity_bytes=6.0 * GB
+        ).ok
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_with_failures(self, mode):
+        wf = chain_workflow(15, runtime=8.0)
+        report = _audit(
+            wf, 2, mode,
+            failures=FailureModel(0.3, seed=17, max_retries=50),
+        )
+        assert report.ok, report.summary()
+
+    def test_single_processor_montage(self, montage1):
+        assert _audit(montage1, 1, "regular").ok
+
+    def test_audit_report_summary_format(self, montage1):
+        report = _audit(montage1, 4, "cleanup")
+        assert "OK" in report.summary()
+        assert report.raise_if_failed() is report
+
+
+class TestEntryPoints:
+    def test_simulate_audit_flag(self, montage1):
+        result = simulate(montage1, 8, "regular", audit=True)
+        assert result.makespan > 0
+
+    def test_audit_forces_trace(self, montage1):
+        result = simulate(
+            montage1, 8, "regular", record_trace=False, audit=True
+        )
+        assert result.task_records  # tracing was forced on
+
+    def test_traceless_result_rejected(self, montage1):
+        result = simulate(montage1, 8, "regular", record_trace=False)
+        env = ExecutionEnvironment(n_processors=8)
+        with pytest.raises(ValueError, match="record_trace"):
+            audit_simulation(result, montage1, env)
+
+    def test_empty_workflow_audits_clean(self):
+        from repro.workflow.dag import Workflow
+
+        wf = Workflow("empty")
+        result = simulate(wf, 1, "regular")
+        assert audit_simulation(
+            result, wf, ExecutionEnvironment(n_processors=1)
+        ).ok
+
+
+class TestRebilledRetries:
+    """Satellite: wasted (failed) attempt time must appear in CPU cost.
+
+    The auditor's compute_seconds reconciliation re-derives the billed
+    compute from *every* task record, including failed attempts, so a
+    FailureModel that stopped re-billing retries would flip the check.
+    """
+
+    def test_auditor_counts_failed_attempt_time(self):
+        wf = chain_workflow(10, runtime=10.0)
+        fm = FailureModel(0.4, seed=5, max_retries=50)
+        result = simulate(wf, 1, "regular", failures=fm)
+        assert result.n_task_failures > 0
+        report = audit_simulation(
+            result, wf, ExecutionEnvironment(n_processors=1)
+        )
+        assert report.ok, report.summary()
+        # The trace-derived figure includes a full runtime per retry.
+        assert result.compute_seconds == pytest.approx(
+            wf.total_runtime() + 10.0 * result.n_task_failures
+        )
+
+    def test_auditor_rejects_unbilled_retries(self):
+        """If the engine 'forgot' to bill wasted attempts, the audit fails."""
+        wf = chain_workflow(10, runtime=10.0)
+        fm = FailureModel(0.4, seed=5, max_retries=50)
+        result = simulate(wf, 1, "regular", failures=fm)
+        assert result.n_task_failures > 0
+        result.compute_seconds -= 10.0 * result.n_task_failures
+        report = audit_simulation(
+            result, wf, ExecutionEnvironment(n_processors=1)
+        )
+        assert not report.ok
+        assert any("compute_seconds" in v.message for v in report.violations)
+        with pytest.raises(AuditError):
+            report.raise_if_failed()

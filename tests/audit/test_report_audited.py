@@ -1,0 +1,44 @@
+"""End-to-end: the paper report runs with every simulation audited.
+
+This is the CI acceptance gate for the oracle: ``run_all(audit=True)``
+routes every experiment behind every figure through
+``run_jobs(audit=True)`` (caches bypassed, traces forced, every quantity
+reconciled) and must complete without a single violation.  Marked
+``slow``: the tier-1 default (``-m "not slow"``) skips it, CI runs it.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_all
+from repro.sweep import cache as cache_module
+
+pytestmark = [pytest.mark.slow, pytest.mark.audit]
+
+
+def test_fast_report_runs_fully_audited(monkeypatch):
+    monkeypatch.delenv(cache_module.CACHE_DIR_ENV, raising=False)
+    cache_module.reset_default_cache()
+    try:
+        text = run_all(fast=True, audit=True)
+    finally:
+        cache_module.reset_default_cache()
+    assert "audit mode" in text
+    # The report itself must be unchanged by auditing.
+    unaudited = run_all(fast=True)
+    assert text.replace(
+        "audit mode: every simulation runs fresh and is reconciled "
+        "against its event trace (caches bypassed)\n",
+        "",
+    ) == unaudited
+
+
+def test_cli_report_audit_flag(capsys):
+    from repro.cli import main
+
+    cache_module.reset_default_cache()
+    try:
+        assert main(["report", "--fast", "--audit"]) == 0
+    finally:
+        cache_module.reset_default_cache()
+    out = capsys.readouterr().out
+    assert "audit mode" in out

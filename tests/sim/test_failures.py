@@ -75,3 +75,62 @@ class TestSimulationWithFailures:
         wf = chain_workflow(50, runtime=1.0)
         with pytest.raises(WorkflowAbortedError):
             simulate(wf, 1, failures=FailureModel(0.9, seed=1, max_retries=0))
+
+
+class TestRetryRebilling:
+    """Same-processor retries re-bill the wasted attempt time in full.
+
+    Each attempt — failed or not — occupies the processor for
+    ``overhead + runtime`` and bills ``runtime`` of compute, so a task
+    with k failures costs (k+1) x runtime of on-demand CPU and stretches
+    the processor hold by (k+1) x (overhead + runtime).
+    """
+
+    def test_rebilling_math_pinned_per_attempt(self):
+        wf = chain_workflow(8, runtime=10.0)
+        overhead = 3.0
+        r = simulate(
+            wf, 1,
+            task_overhead_seconds=overhead,
+            failures=FailureModel(0.4, seed=21, max_retries=50),
+        )
+        n_attempts = len(wf.tasks) + r.n_task_failures
+        assert r.n_task_failures > 0
+        assert r.n_task_executions == n_attempts
+        # Compute billing: one full runtime per attempt, no discounts.
+        assert r.compute_seconds == pytest.approx(10.0 * n_attempts)
+        # Processor occupancy: overhead is also re-paid on every retry.
+        assert r.cpu_busy_seconds == pytest.approx(
+            (10.0 + overhead) * n_attempts
+        )
+        # Every attempt occupies the processor for overhead + runtime.
+        for rec in r.task_records:
+            assert rec.end - rec.start == pytest.approx(10.0 + overhead)
+        # Retries are contiguous on the held processor: each task's
+        # attempt k+1 starts exactly where attempt k ended.
+        by_task = {}
+        for rec in r.task_records:
+            by_task.setdefault(rec.task_id, []).append(rec)
+        for records in by_task.values():
+            records.sort(key=lambda rec: rec.attempt)
+            for prev, nxt in zip(records, records[1:]):
+                assert nxt.start == pytest.approx(prev.end)
+
+    def test_failed_attempts_raise_on_demand_cpu_cost(self):
+        from repro.core.costs import compute_cost
+        from repro.core.plans import ExecutionPlan
+        from repro.core.pricing import AWS_2008
+
+        wf = chain_workflow(8, runtime=10.0)
+        plan = ExecutionPlan.on_demand(1)
+        clean = compute_cost(simulate(wf, 1), AWS_2008, plan)
+        faulty_result = simulate(
+            wf, 1, failures=FailureModel(0.4, seed=21, max_retries=50)
+        )
+        faulty = compute_cost(faulty_result, AWS_2008, plan)
+        expected_extra = (
+            10.0 * faulty_result.n_task_failures * AWS_2008.cpu_per_second
+        )
+        assert faulty.cpu_cost == pytest.approx(
+            clean.cpu_cost + expected_extra
+        )

@@ -12,9 +12,14 @@ from __future__ import annotations
 
 from hypothesis import strategies as st
 
+from repro.sweep.job import FailureSpec, SimJob
 from repro.workflow.dag import FileSpec, Task, Workflow
+from repro.workflow.scaling import scale_file_sizes
 
-__all__ = ["workflows"]
+__all__ = ["workflows", "failure_specs", "sim_jobs", "ccr_scaled_pairs"]
+
+#: The paper's three data-management modes, for sampled_from().
+DATA_MODES = ("regular", "cleanup", "remote-io")
 
 
 @st.composite
@@ -94,3 +99,62 @@ def workflows(
                 wf.mark_output(consumed[j])
     wf.validate()
     return wf
+
+
+@st.composite
+def failure_specs(draw, max_probability: float = 0.3) -> FailureSpec:
+    """Draw a declarative failure injection.
+
+    The retry budget is kept far above what ``max_probability`` can
+    realistically exhaust, so generated runs always complete (a 0.3^50
+    streak never comes up) and properties see retries, not aborts.
+    """
+    return FailureSpec(
+        task_failure_probability=draw(
+            st.floats(0.0, max_probability, allow_nan=False)
+        ),
+        seed=draw(st.integers(0, 2**16)),
+        max_retries=50,
+    )
+
+
+@st.composite
+def sim_jobs(
+    draw,
+    max_tasks: int = 10,
+    with_failures: bool = True,
+) -> SimJob:
+    """Draw a fully-specified simulation point over an arbitrary DAG.
+
+    Covers all three data-management modes, both link models, per-task
+    overhead, VM boot delay and (optionally) failure injection — the full
+    cross-section the audit oracle must reconcile.
+    """
+    failures = None
+    if with_failures and draw(st.booleans()):
+        failures = draw(failure_specs())
+    contended = draw(st.booleans())
+    return SimJob(
+        workflow=draw(workflows(max_tasks=max_tasks)),
+        n_processors=draw(st.integers(1, 8)),
+        data_mode=draw(st.sampled_from(DATA_MODES)),
+        task_overhead_seconds=draw(st.sampled_from([0.0, 0.0, 2.5])),
+        compute_ready_seconds=draw(st.sampled_from([0.0, 0.0, 45.0])),
+        link_contention=contended,
+        separate_links=contended and draw(st.booleans()),
+        failures=failures,
+    )
+
+
+@st.composite
+def ccr_scaled_pairs(
+    draw, max_tasks: int = 10
+) -> tuple[Workflow, Workflow, float]:
+    """Draw ``(workflow, scaled workflow, factor)`` for CCR properties.
+
+    The scaled workflow has every file size multiplied by ``factor``
+    (the paper's CCRd/CCRr rescaling), runtimes untouched.
+    """
+    wf = draw(workflows(max_tasks=max_tasks))
+    factor = draw(st.sampled_from([0.25, 0.5, 2.0, 4.0, 10.0]))
+    return wf, scale_file_sizes(wf, factor), factor

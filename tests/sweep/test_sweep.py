@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.audit import AuditError
 from repro.experiments.ccr import run_ccr_sweep
 from repro.experiments.question1 import run_question1
 from repro.sweep import (
@@ -18,9 +19,12 @@ from repro.sweep import (
     SimCache,
     SimJob,
     SweepExecutor,
+    resolve_audit,
     run_jobs,
+    set_default_audit,
 )
 from repro.sweep import cache as cache_module
+from repro.sweep import executor as executor_module
 from repro.workflow.dag import FileSpec, Task, Workflow
 
 
@@ -104,6 +108,81 @@ class TestMemoization:
         second = SweepExecutor(workers=1, cache=SimCache()).run_one(job)
         assert first.n_task_failures > 0
         assert second == first
+
+
+@pytest.mark.audit
+class TestAuditedSweeps:
+    def test_audited_run_bypasses_cache(self, montage1):
+        cache = SimCache()
+        executor = SweepExecutor(workers=1, cache=cache, audit=True)
+        job = SimJob(montage1, 4)
+        first = executor.run_one(job)
+        second = executor.run_one(job)
+        assert len(cache) == 0  # nothing memoized under audit
+        assert executor.audited_jobs == 2
+        assert second == first  # deterministic, just recomputed
+
+    def test_audited_results_match_cached_results(self, montage1):
+        job = SimJob(montage1, 4, "cleanup")
+        plain = SweepExecutor(workers=1, cache=SimCache()).run_one(job)
+        audited = SweepExecutor(
+            workers=1, cache=SimCache(), audit=True
+        ).run_one(job)
+        # The audited run forces tracing; aggregates must be identical.
+        assert audited.makespan == plain.makespan
+        assert audited.bytes_in == plain.bytes_in
+        assert audited.storage_byte_seconds == plain.storage_byte_seconds
+        assert audited.task_records  # trace forced on
+
+    def test_audited_pool_run_propagates_audit_error(
+        self, montage1, monkeypatch
+    ):
+        # A worker whose audit fails must surface AuditError in the
+        # parent, not a pickling crash.
+        def broken(job):
+            from dataclasses import replace
+
+            from repro.audit import audit_simulation
+
+            traced = replace(job, record_trace=True)
+            result = traced.run()
+            result.makespan += 1.0  # corrupt before the audit
+            audit_simulation(
+                result, job.workflow, traced.environment()
+            ).raise_if_failed()
+            return result
+
+        monkeypatch.setattr(executor_module, "_execute_audited", broken)
+        executor = SweepExecutor(workers=1, cache=SimCache(), audit=True)
+        with pytest.raises(AuditError):
+            executor.run([SimJob(montage1, 2)])
+
+    def test_audit_env_var(self, monkeypatch):
+        monkeypatch.delenv(executor_module.AUDIT_ENV, raising=False)
+        assert resolve_audit() is False
+        monkeypatch.setenv(executor_module.AUDIT_ENV, "1")
+        assert resolve_audit() is True
+        monkeypatch.setenv(executor_module.AUDIT_ENV, "0")
+        assert resolve_audit() is False
+        monkeypatch.setenv(executor_module.AUDIT_ENV, "false")
+        assert resolve_audit() is False
+        # Explicit argument always wins.
+        assert resolve_audit(True) is True
+        monkeypatch.setenv(executor_module.AUDIT_ENV, "1")
+        assert resolve_audit(False) is False
+
+    def test_set_default_audit_round_trip(self, montage1, monkeypatch):
+        monkeypatch.delenv(executor_module.AUDIT_ENV, raising=False)
+        previous = set_default_audit(True)
+        try:
+            assert resolve_audit() is True
+            executor = SweepExecutor(workers=1, cache=SimCache())
+            assert executor.audit is True
+            executor.run([SimJob(montage1, 2)])
+            assert executor.audited_jobs == 1
+        finally:
+            set_default_audit(previous)
+        assert resolve_audit() is False
 
 
 def _tiny_workflow(name="wf", size=10.0):

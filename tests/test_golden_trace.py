@@ -1,0 +1,80 @@
+"""Golden-trace regression: the canonical 1° Montage event log is pinned.
+
+The paper-scoreboard tests compare aggregates within tolerances, so an
+engine refactor that reorders events or shifts timestamps can drift
+underneath them unnoticed.  These tests diff the *entire* task and
+transfer record streams of the canonical run (Montage 1°, 8 processors,
+Regular mode) against CSVs committed under ``tests/data/``.
+
+If a deliberate engine change breaks them, regenerate the fixtures with::
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.montage import montage_1_degree
+    from repro.sim.executor import simulate
+    from repro.sim.trace import task_records_csv, transfer_records_csv
+    r = simulate(montage_1_degree(), 8, "regular")
+    open("tests/data/montage1_regular_p8_tasks.csv", "w").write(
+        task_records_csv(r))
+    open("tests/data/montage1_regular_p8_transfers.csv", "w").write(
+        transfer_records_csv(r))
+    EOF
+
+and say so in the commit message — a golden-trace change is an
+intentional behaviour change, never a side effect.
+"""
+
+import difflib
+from pathlib import Path
+
+import pytest
+
+from repro.sim.executor import simulate
+from repro.sim.trace import task_records_csv, transfer_records_csv
+
+DATA = Path(__file__).parent / "data"
+
+
+@pytest.fixture(scope="module")
+def canonical_result(montage1):
+    return simulate(montage1, 8, "regular")
+
+
+def _assert_identical(fresh: str, golden_path: Path) -> None:
+    # csv emits \r\n; normalize both sides so the comparison is about
+    # events and timestamps, not platform line endings.
+    fresh = fresh.replace("\r\n", "\n")
+    golden = golden_path.read_text(encoding="utf-8").replace("\r\n", "\n")
+    if fresh != golden:
+        diff = "\n".join(
+            difflib.unified_diff(
+                golden.splitlines(),
+                fresh.splitlines(),
+                fromfile=str(golden_path.name),
+                tofile="fresh simulation",
+                lineterm="",
+                n=1,
+            )
+        )
+        pytest.fail(
+            f"simulated trace drifted from the golden fixture "
+            f"{golden_path.name}:\n{diff[:4000]}"
+        )
+
+
+def test_task_records_match_golden(canonical_result):
+    _assert_identical(
+        task_records_csv(canonical_result),
+        DATA / "montage1_regular_p8_tasks.csv",
+    )
+
+
+def test_transfer_records_match_golden(canonical_result):
+    _assert_identical(
+        transfer_records_csv(canonical_result),
+        DATA / "montage1_regular_p8_transfers.csv",
+    )
+
+
+def test_golden_trace_covers_every_task(montage1, canonical_result):
+    task_ids = {r.task_id for r in canonical_result.task_records}
+    assert task_ids == set(montage1.tasks)

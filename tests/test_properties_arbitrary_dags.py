@@ -19,6 +19,8 @@ from repro.workflow.dax import parse_dax, to_dax
 
 from tests.strategies import workflows
 
+pytestmark = pytest.mark.property
+
 BW = 1.25e6
 
 
