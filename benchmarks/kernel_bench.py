@@ -1,0 +1,223 @@
+"""Fast-kernel benchmark: per-run speedup and campaign-scale payoff.
+
+Three measurements, written to ``BENCH_kernel.json`` next to this
+script:
+
+1. **Per-run speedup** — the event engine vs. the fast kernel on the
+   paper's Montage-4° workflow (3,027 tasks), cleanup mode, 128
+   processors, traces off: the configuration ``BENCH_sweep.json``
+   tracks as the simulator's wall-clock floor.  Results are asserted
+   bit-identical before timing.  Acceptance target: >= 5x.
+2. **Whole-sky batch** — a slice of the Question 3 campaign: N
+   *distinct* 4° plates (runtime jitter keyed by plate index defeats
+   both the workflow build cache and the sweep memoizer) simulated
+   back-to-back under each kernel.  This is the campaign-scale picture:
+   lowering is amortized across plates via the kernel's per-workflow
+   cache, matching how ``SweepExecutor`` replays one mosaic family.
+3. **Full report** — cold ``run_all(fast=True)`` wall clock with the
+   kernel in its default ``auto`` mode vs. pinned to the event engine.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/kernel_bench.py [--plates N]
+    [--repeats N] [--skip-report]
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import platform
+import statistics
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+OUTPUT = BENCH_DIR / "BENCH_kernel.json"
+
+
+def _best(fn, repeats: int) -> tuple[float, list[float]]:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times), times
+
+
+def per_run_speedup(repeats: int) -> dict:
+    from repro.montage.generator import montage_workflow
+    from repro.sim import simulate
+
+    wf = montage_workflow(4.0)
+    kwargs = dict(data_mode="cleanup", record_trace=False)
+
+    event_result = simulate(wf, 128, kernel="event", **kwargs)
+    fast_result = simulate(wf, 128, kernel="fast", **kwargs)
+    identical = event_result == fast_result
+    if not identical:
+        raise SystemExit("fast kernel result differs from event engine")
+
+    event_s, event_all = _best(
+        lambda: simulate(wf, 128, kernel="event", **kwargs), repeats
+    )
+    fast_s, fast_all = _best(
+        lambda: simulate(wf, 128, kernel="fast", **kwargs), repeats
+    )
+    return {
+        "workflow": "montage-4deg (3027 tasks)",
+        "config": "cleanup, 128 processors, record_trace=False",
+        "repeats": repeats,
+        "event_best_seconds": event_s,
+        "event_mean_seconds": statistics.mean(event_all),
+        "fast_best_seconds": fast_s,
+        "fast_mean_seconds": statistics.mean(fast_all),
+        "speedup_best": event_s / fast_s,
+        "results_identical": identical,
+    }
+
+
+def whole_sky_batch(n_plates: int) -> dict:
+    """Time N distinct 4-degree plates under each kernel, serially."""
+    from repro.montage.generator import montage_workflow
+    from repro.sim import simulate
+
+    plates = [
+        montage_workflow(
+            4.0, jitter=0.05, seed=i, name=f"sky-plate-{i:04d}"
+        )
+        for i in range(n_plates)
+    ]
+    kwargs = dict(data_mode="cleanup", record_trace=False)
+
+    # The resident plate corpus is millions of objects; without freezing
+    # it, generational GC rescans it mid-loop and the measurement is of
+    # the collector, not the simulator.
+    import gc
+
+    gc.collect()
+    gc.freeze()
+    try:
+        timings = {}
+        for kernel in ("event", "fast"):
+            start = time.perf_counter()
+            makespans = [
+                simulate(wf, 128, kernel=kernel, **kwargs).makespan
+                for wf in plates
+            ]
+            timings[kernel] = time.perf_counter() - start
+    finally:
+        gc.unfreeze()
+    sky_total = 3900
+    return {
+        "n_plates": n_plates,
+        "config": "cleanup, 128 processors, record_trace=False",
+        "distinct_makespans": len(set(makespans)),
+        "event_seconds": timings["event"],
+        "fast_seconds": timings["fast"],
+        "speedup": timings["event"] / timings["fast"],
+        "projected_whole_sky_event_seconds": (
+            timings["event"] / n_plates * sky_total
+        ),
+        "projected_whole_sky_fast_seconds": (
+            timings["fast"] / n_plates * sky_total
+        ),
+    }
+
+
+def full_report(kernel: str) -> float:
+    """Cold run_all(fast=True) wall clock with the kernel pinned."""
+    from repro.experiments.runner import run_all
+    from repro.sweep import clear_build_caches, reset_default_cache
+
+    previous = os.environ.get("REPRO_SIM_KERNEL")
+    os.environ["REPRO_SIM_KERNEL"] = kernel
+    try:
+        reset_default_cache()
+        clear_build_caches()
+        start = time.perf_counter()
+        run_all(fast=True, stream=io.StringIO())
+        return time.perf_counter() - start
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_SIM_KERNEL", None)
+        else:
+            os.environ["REPRO_SIM_KERNEL"] = previous
+        reset_default_cache()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--plates", type=int, default=12,
+        help="distinct 4-degree plates in the whole-sky slice (default 12)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=7,
+        help="timing repetitions for the per-run comparison (default 7)",
+    )
+    parser.add_argument(
+        "--skip-report", action="store_true",
+        help="skip the full-report wall-clock measurement",
+    )
+    args = parser.parse_args(argv)
+
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    os.environ.pop("REPRO_SIM_KERNEL", None)
+    os.environ.pop("REPRO_SWEEP_CACHE", None)
+
+    report: dict = {
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+    }
+
+    print("== per-run: Montage-4deg, cleanup, 128p, traces off ==")
+    report["per_run"] = per_run_speedup(args.repeats)
+    print(
+        f"  event {report['per_run']['event_best_seconds'] * 1e3:.1f} ms"
+        f"  fast {report['per_run']['fast_best_seconds'] * 1e3:.2f} ms"
+        f"  speedup {report['per_run']['speedup_best']:.2f}x"
+        f"  (identical={report['per_run']['results_identical']})"
+    )
+
+    print(f"== whole-sky slice: {args.plates} distinct plates ==")
+    report["whole_sky"] = whole_sky_batch(args.plates)
+    print(
+        f"  event {report['whole_sky']['event_seconds']:.2f} s"
+        f"  fast {report['whole_sky']['fast_seconds']:.2f} s"
+        f"  speedup {report['whole_sky']['speedup']:.2f}x"
+        f"  (projected 3,900 plates: "
+        f"{report['whole_sky']['projected_whole_sky_event_seconds']:.0f} s"
+        f" -> "
+        f"{report['whole_sky']['projected_whole_sky_fast_seconds']:.0f} s)"
+    )
+
+    if not args.skip_report:
+        print("== full report (cold, fast=True) ==")
+        auto_s = full_report("auto")
+        event_s = full_report("event")
+        report["full_report"] = {
+            "auto_kernel_seconds": auto_s,
+            "event_kernel_seconds": event_s,
+            "speedup": event_s / auto_s,
+        }
+        print(
+            f"  auto {auto_s:.2f} s  event {event_s:.2f} s"
+            f"  speedup {event_s / auto_s:.2f}x"
+        )
+
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,10 +14,19 @@ speedups, and the sweep cache hit statistics.  Machine facts
 (cpu count, python version) are recorded so numbers from a 1-core
 container are not mistaken for a parallel-scaling claim.
 
+The script is also a regression *gate*: the fresh ``perf_suite`` means
+are compared against the committed ``BENCH_sweep.json`` before it is
+overwritten, and any benchmark slower than the baseline by more than the
+tolerance (default 25%, override via ``REPRO_PERF_TOLERANCE``, e.g.
+``0.4`` for 40%) makes the script exit non-zero.  ``--report-only``
+prints the comparison but always exits 0 (what CI uses on pull
+requests, where shared-runner noise would make a hard gate flaky).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_guard.py [--workers N]
     [--full]  # time run_all(fast=False) instead (slower, more points)
+    [--report-only]  # compare against baseline but never fail
 """
 
 from __future__ import annotations
@@ -36,6 +45,60 @@ from pathlib import Path
 BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 OUTPUT = BENCH_DIR / "BENCH_sweep.json"
+
+#: Environment override for the allowed fractional slowdown (0.25 = 25%).
+TOLERANCE_ENV = "REPRO_PERF_TOLERANCE"
+DEFAULT_TOLERANCE = 0.25
+
+
+def resolve_tolerance() -> float:
+    env = os.environ.get(TOLERANCE_ENV)
+    if env is None:
+        return DEFAULT_TOLERANCE
+    try:
+        tolerance = float(env)
+    except ValueError:
+        raise SystemExit(
+            f"{TOLERANCE_ENV} must be a number, got {env!r}"
+        ) from None
+    if tolerance < 0:
+        raise SystemExit(f"{TOLERANCE_ENV} must be >= 0, got {tolerance}")
+    return tolerance
+
+
+def compare_to_baseline(
+    baseline: dict | None, fresh: dict, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Compare fresh ``perf_suite`` stats against the committed baseline.
+
+    Returns ``(lines, regressions)``: human-readable comparison lines for
+    every benchmark present in both runs, and the subset describing
+    benchmarks slower than ``baseline * (1 + tolerance)``.  Benchmarks
+    missing from either side are reported but never fail the gate, so
+    adding or retiring a benchmark does not require lock-step baseline
+    updates.
+    """
+    lines: list[str] = []
+    regressions: list[str] = []
+    base_suite = (baseline or {}).get("perf_suite", {})
+    for name, entry in fresh.items():
+        base = base_suite.get(name)
+        if base is None or not base.get("mean_seconds"):
+            lines.append(f"  {name}: no baseline (new benchmark)")
+            continue
+        ratio = entry["mean_seconds"] / base["mean_seconds"]
+        line = (
+            f"  {name}: {entry['mean_seconds']:.4f} s vs baseline "
+            f"{base['mean_seconds']:.4f} s ({ratio:.2f}x)"
+        )
+        if ratio > 1.0 + tolerance:
+            line += f"  REGRESSION (>{tolerance:.0%} slower)"
+            regressions.append(line)
+        lines.append(line)
+    for name in base_suite:
+        if name not in fresh:
+            lines.append(f"  {name}: present in baseline only (retired?)")
+    return lines, regressions
 
 
 def run_perf_benchmark_suite() -> dict:
@@ -147,6 +210,10 @@ def main(argv: list[str] | None = None) -> int:
         "--skip-pytest", action="store_true",
         help="skip the pytest-benchmark suite (sweep timings only)",
     )
+    parser.add_argument(
+        "--report-only", action="store_true",
+        help="report baseline regressions without failing the run",
+    )
     args = parser.parse_args(argv)
     fast = not args.full
 
@@ -163,6 +230,14 @@ def main(argv: list[str] | None = None) -> int:
         "run_all_fast": fast,
     }
 
+    baseline = None
+    if OUTPUT.exists():
+        try:
+            baseline = json.loads(OUTPUT.read_text())
+        except (OSError, ValueError):
+            print(f"warning: unreadable baseline {OUTPUT}, gate skipped")
+
+    regressions: list[str] = []
     if not args.skip_pytest:
         print("== pytest-benchmark group='perf' ==")
         report["perf_suite"] = run_perf_benchmark_suite()
@@ -173,6 +248,14 @@ def main(argv: list[str] | None = None) -> int:
                 else ""
             )
             print(f"  {name}: {entry['mean_seconds']:.4f} s{extra}")
+
+        tolerance = resolve_tolerance()
+        print(f"== baseline comparison (tolerance {tolerance:.0%}) ==")
+        lines, regressions = compare_to_baseline(
+            baseline, report["perf_suite"], tolerance
+        )
+        for line in lines:
+            print(line)
 
     print("== run_all timings ==")
     serial_s, serial_text, cold_stats = _timed_run_all(fast)
@@ -202,6 +285,14 @@ def main(argv: list[str] | None = None) -> int:
 
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {OUTPUT}")
+    if regressions:
+        print("== perf regressions ==")
+        for line in regressions:
+            print(line)
+        if args.report_only:
+            print("(report-only mode: not failing)")
+        else:
+            return 1
     return 0
 
 

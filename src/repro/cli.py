@@ -98,6 +98,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         link_contention=args.contended,
         record_trace=args.trace_dir is not None,
         audit=args.audit,
+        kernel=args.kernel,
     )
     plan = (
         ExecutionPlan.on_demand(args.processors, args.mode)
@@ -340,6 +341,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--audit", action="store_true",
         help="reconcile the result against its event trace (repro.audit)",
+    )
+    p.add_argument(
+        "--kernel", choices=["auto", "event", "fast"], default=None,
+        help="simulation backend (default: REPRO_SIM_KERNEL, else auto — "
+             "the fast array kernel when the configuration allows it)",
     )
     p.set_defaults(handler=_cmd_simulate)
 

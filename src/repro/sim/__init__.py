@@ -16,6 +16,10 @@ workflow execution."  This subpackage is a from-scratch Python equivalent:
   the paper flags resource reliability as an open question);
 * :mod:`repro.sim.executor` — the workflow execution engine tying it all
   together; :func:`repro.sim.simulate` is the main entry point;
+* :mod:`repro.sim.kernel` — the array-based fast-path kernel for the
+  paper's simple resource model (contention-free link, infinite storage,
+  no failures), numerically identical to the event engine and selected
+  automatically by ``simulate(..., kernel="auto")``;
 * :mod:`repro.sim.results` — the measured metrics (makespan, bytes moved
   in/out, storage byte-seconds, per-task records).
 """
@@ -38,6 +42,13 @@ from repro.sim.scheduler import (
 )
 from repro.sim.failures import FailureModel
 from repro.sim.executor import ExecutionEnvironment, WorkflowExecutor, simulate
+from repro.sim.kernel import (
+    KERNEL_ENV,
+    KernelIneligibleError,
+    kernel_eligible,
+    resolve_kernel,
+    run_fast_kernel,
+)
 from repro.sim.results import SimulationResult, TaskRecord, TransferRecord
 
 __all__ = [
@@ -59,6 +70,11 @@ __all__ = [
     "ExecutionEnvironment",
     "WorkflowExecutor",
     "simulate",
+    "KERNEL_ENV",
+    "KernelIneligibleError",
+    "kernel_eligible",
+    "resolve_kernel",
+    "run_fast_kernel",
     "SimulationResult",
     "TaskRecord",
     "TransferRecord",

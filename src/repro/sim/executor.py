@@ -411,6 +411,7 @@ def simulate(
     failures: FailureModel | None = None,
     record_trace: bool = True,
     audit: bool = False,
+    kernel: str | None = None,
 ) -> SimulationResult:
     """Simulate one workflow execution (the main library entry point).
 
@@ -418,6 +419,21 @@ def simulate(
     trace by :func:`repro.audit.audit_simulation` before being returned
     (raising :class:`repro.audit.AuditError` on any violation); this
     forces ``record_trace`` on.
+
+    ``kernel`` selects the execution backend (default: the
+    ``REPRO_SIM_KERNEL`` environment variable, else ``"auto"``):
+
+    * ``"auto"`` — use the fast array kernel
+      (:mod:`repro.sim.kernel`) when the configuration is eligible
+      (contention-free link, infinite storage, no failures) and the run
+      is not audited; otherwise the event engine.  Both produce
+      numerically identical results, so the choice is invisible except
+      in wall-clock time.
+    * ``"event"`` — always the callback event engine.
+    * ``"fast"`` — force the fast kernel; raises
+      :class:`repro.sim.kernel.KernelIneligibleError` on an ineligible
+      configuration.  Unlike ``"auto"``, an audited run keeps the fast
+      kernel and the oracle reconciles the kernel-emitted records.
 
     Example
     -------
@@ -427,6 +443,14 @@ def simulate(
     >>> result.makespan > 0
     True
     """
+    # Imported lazily to avoid a cycle (the kernel reuses sim types).
+    from repro.sim.kernel import (
+        KernelIneligibleError,
+        kernel_eligible,
+        resolve_kernel,
+        run_fast_kernel,
+    )
+
     env = ExecutionEnvironment(
         n_processors=n_processors,
         bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
@@ -437,9 +461,27 @@ def simulate(
         separate_links=separate_links,
         record_trace=record_trace or audit,
     )
-    result = WorkflowExecutor(
-        workflow, env, data_mode, ordering=ordering, failures=failures
-    ).run()
+    resolved = resolve_kernel(kernel)
+    if resolved == "fast":
+        if not kernel_eligible(env, failures):
+            raise KernelIneligibleError(
+                "kernel='fast' cannot reproduce this configuration "
+                "(it requires link_contention=False, infinite storage "
+                "and no failure model); use kernel='event' or 'auto'"
+            )
+        use_fast = True
+    elif resolved == "auto":
+        # The audit path stays on the event engine so the oracle always
+        # exercises the reference implementation, never only the kernel.
+        use_fast = kernel_eligible(env, failures) and not audit
+    else:
+        use_fast = False
+    if use_fast:
+        result = run_fast_kernel(workflow, env, data_mode, ordering=ordering)
+    else:
+        result = WorkflowExecutor(
+            workflow, env, data_mode, ordering=ordering, failures=failures
+        ).run()
     if audit:
         # Imported lazily: repro.audit sits above the sim layer.
         from repro.audit import audit_simulation

@@ -1,0 +1,642 @@
+"""Array-based fast-path simulation kernel.
+
+The paper's published figures all use the *simple* resource model — a
+contention-free link, infinite storage, no failures.  For that class the
+generic event engine's flexibility (arbitrary callbacks, pluggable data
+managers, admission control) is pure overhead: every event allocates a
+closure, every file lookup hashes a string, every availability
+notification re-sorts a consumer set.
+
+This module is a specialized replacement.  The workflow is first
+*lowered* to integer-indexed arrays — index maps, per-task input/output
+index lists, pre-sorted consumer lists, numpy-built size/runtime vectors
+— and the lowering is memoized per workflow (held weakly, guarded by the
+workflow's mutation :attr:`~repro.workflow.dag.Workflow.version`), so
+sweeps re-simulating one DAG under many environments pay it once.  The run itself is a single flat event loop
+over ``(time, seq, kind, ...)`` tuples that replicates the engine's
+scheduling discipline *exactly*:
+
+* events are ordered by ``(time, sequence)`` and the sequence counter is
+  incremented at precisely the program points where the engine would call
+  ``SimulationEngine.schedule``, so ties resolve identically;
+* every float expression matches the engine's parenthesization
+  (``now + size / bandwidth`` for transfers, ``now + (overhead +
+  runtime)`` for completions) and every accumulator (bytes, CPU-busy
+  seconds, compute seconds) is summed in the same order;
+* storage and processor occupancy deltas are recorded in engine order and
+  replayed through the same :class:`~repro.util.curve.StepCurve`, so the
+  byte-seconds integral, the peak and the curves themselves are
+  bit-identical (StepCurve coalescing of same-time deltas is
+  order-sensitive under float arithmetic);
+* a ready task finding a free processor and an empty ready queue is
+  dispatched without touching the queue at all — observationally
+  identical to the engine's push-then-pop, and the common case on the
+  wide phases of Montage-like workflows.
+
+The result is numerically identical to the event engine — enforced by the
+differential Hypothesis suite in ``tests/sim/test_kernel_differential.py``
+and by running the :mod:`repro.audit` oracle over kernel-emitted records —
+at a fraction of the interpreter work per event.
+
+Eligibility
+-----------
+The kernel reproduces any data mode (regular / cleanup / remote-I/O),
+task overhead, VM boot delay and every built-in task ordering, but only
+under the paper's simple resource model:
+
+* ``link_contention=False`` (a FIFO-serialized link couples transfer
+  timings together; the ablation keeps the event engine),
+* ``storage_capacity_bytes=None`` (admission control and reservation
+  retries need the full callback machinery),
+* no failure model (retries consume an RNG stream mid-flight).
+
+:func:`repro.sim.simulate` dispatches here automatically under
+``kernel="auto"`` (the default, overridable via the ``REPRO_SIM_KERNEL``
+environment variable) and falls back to the event engine for ineligible
+configurations; ``kernel="fast"`` on an ineligible configuration raises
+:class:`KernelIneligibleError`.
+"""
+
+from __future__ import annotations
+
+import os
+from heapq import heappop, heappush
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
+from repro.sim.datamanager import DataMode
+from repro.sim.results import SimulationResult, TaskRecord, TransferRecord
+from repro.sim.scheduler import FIFO_ORDER, TaskOrdering
+from repro.util.curve import StepCurve
+from repro.workflow.dag import Workflow
+
+__all__ = [
+    "KERNEL_ENV",
+    "KERNELS",
+    "KernelIneligibleError",
+    "kernel_eligible",
+    "resolve_kernel",
+    "run_fast_kernel",
+]
+
+#: Environment override for the kernel choice ("auto", "event", "fast").
+KERNEL_ENV = "REPRO_SIM_KERNEL"
+
+#: Valid kernel names.
+KERNELS = ("auto", "event", "fast")
+
+
+class KernelIneligibleError(ValueError):
+    """``kernel="fast"`` requested for a configuration it cannot handle."""
+
+
+def resolve_kernel(kernel: str | None = None) -> str:
+    """Effective kernel name: explicit argument, else env var, else auto."""
+    if kernel is None:
+        kernel = os.environ.get(KERNEL_ENV, "").strip().lower() or "auto"
+    if kernel not in KERNELS:
+        raise ValueError(
+            f"unknown simulation kernel {kernel!r}; expected one of {KERNELS}"
+        )
+    return kernel
+
+
+def kernel_eligible(environment, failures=None) -> bool:
+    """Can the fast kernel reproduce this configuration exactly?"""
+    return (
+        not environment.link_contention
+        and environment.storage_capacity_bytes is None
+        and failures is None
+    )
+
+
+# ------------------------------------------------------------------ #
+# workflow lowering (memoized)
+# ------------------------------------------------------------------ #
+class _Lowering:
+    """Integer-indexed view of one workflow, shared across runs."""
+
+    __slots__ = (
+        "version",
+        "n_tasks",
+        "n_files",
+        "task_ids",
+        "fnames",
+        "transformations",
+        "runtimes_arr",
+        "runtimes",
+        "sizes_arr",
+        "sizes",
+        "task_inputs",
+        "task_outputs",
+        "n_inputs",
+        "consumers",
+        "input_fidx",
+        "output_fidx",
+        "release_candidates",
+        "release_need",
+    )
+
+    def __init__(self, workflow: Workflow, version: int) -> None:
+        workflow.validate()
+        self.version = version
+        task_ids = list(workflow.tasks.keys())
+        tasks = list(workflow.tasks.values())
+        fnames = list(workflow.files.keys())
+        findex = {f: i for i, f in enumerate(fnames)}
+        n_tasks = len(tasks)
+        n_files = len(fnames)
+        self.n_tasks = n_tasks
+        self.n_files = n_files
+        self.task_ids = task_ids
+        self.fnames = fnames
+        self.transformations = [t.transformation for t in tasks]
+        self.runtimes_arr = np.array(
+            [t.runtime for t in tasks], dtype=np.float64
+        )
+        self.runtimes = self.runtimes_arr.tolist()
+        self.sizes_arr = np.array(
+            [workflow.files[f].size_bytes for f in fnames], dtype=np.float64
+        )
+        self.sizes = self.sizes_arr.tolist()
+        task_inputs = [[findex[f] for f in t.inputs] for t in tasks]
+        task_outputs = [[findex[f] for f in t.outputs] for t in tasks]
+        self.task_inputs = task_inputs
+        self.task_outputs = task_outputs
+        self.n_inputs = [len(t.inputs) for t in tasks]
+        # The engine notifies a file's consumers in sorted(task_id) order;
+        # visiting tasks in that order makes each per-file list come out
+        # pre-sorted from a single linear pass.
+        consumers: list[list[int]] = [[] for _ in range(n_files)]
+        for t in sorted(range(n_tasks), key=task_ids.__getitem__):
+            for f in task_inputs[t]:
+                consumers[f].append(t)
+        self.consumers = consumers
+        self.input_fidx = [findex[f] for f in workflow.input_files()]
+        self.output_fidx = [findex[f] for f in workflow.output_files()]
+        # Cleanup-mode analysis, built on first cleanup run.
+        self.release_candidates: list[list[int]] | None = None
+        self.release_need: list[int] | None = None
+
+    def cleanup_tables(self) -> tuple[list[list[int]], list[int]]:
+        """Per-task release candidates + releaser counts (lazy, cached).
+
+        Same analysis as :func:`repro.workflow.cleanup.cleanup_plan` /
+        :func:`~repro.workflow.cleanup.releasers_index` (a non-output
+        file is released once all its consumers — or, if it has none,
+        its producer — have completed), rebuilt directly on the lowered
+        arrays: candidate lists match the engine's, file order included.
+        """
+        if self.release_candidates is None:
+            candidates: list[list[int]] = [[] for _ in range(self.n_tasks)]
+            need = [0] * self.n_files
+            producer = [-1] * self.n_files
+            for t, outs in enumerate(self.task_outputs):
+                for f in outs:
+                    producer[f] = t
+            protected = set(self.output_fidx)
+            for f, cons in enumerate(self.consumers):
+                if f in protected:
+                    continue
+                releasers = cons if cons else (
+                    [producer[f]] if producer[f] >= 0 else ()
+                )
+                need[f] = len(releasers)
+                for t in releasers:
+                    candidates[t].append(f)
+            self.release_candidates = candidates
+            self.release_need = need
+        return self.release_candidates, self.release_need
+
+
+_LOWERINGS: "WeakKeyDictionary[Workflow, _Lowering]" = WeakKeyDictionary()
+
+
+def _lowering(workflow: Workflow) -> _Lowering:
+    version = workflow.version  # bumped by every structural mutation
+    low = _LOWERINGS.get(workflow)
+    if low is None or low.version != version:
+        low = _Lowering(workflow, version)
+        _LOWERINGS[workflow] = low
+    return low
+
+
+# Event kinds (only reached if (time, seq) ever tied, which it cannot —
+# seq is unique — so their relative values carry no scheduling meaning).
+_BOOT = 0  # boot-delay wakeup
+_SIN = 1  # shared-storage stage-in arrival          a = file index
+_DONE = 2  # task completion                          a = task index
+_SOUT = 3  # shared-storage stage-out completion      a = file index
+_COPY = 4  # remote-I/O input copy arrival            a = task, b = file
+_ROUT = 5  # remote-I/O per-task stage-out completion a = task, b = file
+
+
+def run_fast_kernel(
+    workflow: Workflow,
+    environment,
+    data_mode: DataMode | str = DataMode.REGULAR,
+    ordering: TaskOrdering = FIFO_ORDER,
+) -> SimulationResult:
+    """Execute one workflow under the simple resource model.
+
+    Raises :class:`KernelIneligibleError` when the environment needs the
+    event engine (contended link, finite storage); failure models are not
+    representable here at all, so callers gate on :func:`kernel_eligible`.
+    """
+    if isinstance(data_mode, str):
+        data_mode = DataMode(data_mode)
+    if environment.n_processors < 1:
+        raise ValueError(
+            f"need at least one processor, got {environment.n_processors}"
+        )
+    if not kernel_eligible(environment):
+        raise KernelIneligibleError(
+            "fast kernel requires link_contention=False and infinite "
+            "storage; use kernel='event' (or 'auto') for "
+            f"{environment!r}"
+        )
+
+    remote = data_mode is DataMode.REMOTE_IO
+    cleanup = data_mode is DataMode.CLEANUP
+    trace = environment.record_trace
+
+    low = _lowering(workflow)
+    n_tasks = low.n_tasks
+    task_ids = low.task_ids
+    fnames = low.fnames
+    transformations = low.transformations
+    runtimes = low.runtimes
+    sizes = low.sizes
+    task_inputs = low.task_inputs
+    task_outputs = low.task_outputs
+    n_inputs = low.n_inputs
+    consumers = low.consumers
+    input_fidx = low.input_fidx
+    output_fidx = low.output_fidx
+
+    bandwidth = environment.bandwidth_bytes_per_sec
+    overhead = environment.task_overhead_seconds
+    # Bit-identical to the engine's per-transfer size / bandwidth and
+    # per-dispatch overhead + runtime (same IEEE ops, vectorized).
+    tr_dur = (low.sizes_arr / bandwidth).tolist()
+    exec_dur = (overhead + low.runtimes_arr).tolist()
+
+    if cleanup:
+        release_candidates, need = low.cleanup_tables()
+        release_need = list(need)
+    else:
+        release_candidates = release_need = None
+
+    fifo = ordering is FIFO_ORDER
+    okey = ordering.key
+
+    # ---------------------------------------------------------------- #
+    # mutable run state
+    # ---------------------------------------------------------------- #
+    now = 0.0
+    seq = 0  # engine schedule counter (relative order is what matters)
+    rseq = 0  # ready-queue arrival counter (non-FIFO tie-break)
+    heap: list = []
+    ready: list = []  # FIFO: list-as-queue with pop cursor; else a heap
+    ready_head = 0
+    free = environment.n_processors
+    ready_at = environment.compute_ready_seconds
+    booting = ready_at > 0.0
+    boot_scheduled = False
+    n_done = 0
+    n_exec = 0
+    compute_seconds = 0.0
+    held_seconds = 0.0
+    bytes_in = 0.0
+    bytes_out = 0.0
+    n_in = 0
+    n_out = 0
+    outstanding = 0  # in-flight transfers (remote-I/O finish condition)
+    stage_outs_left = 0
+    finished_at: float | None = None
+    acquired_at = [0.0] * n_tasks
+    started_at = [0.0] * n_tasks
+    pending = list(n_inputs)  # files still missing per task
+    copies_pending = [0] * n_tasks  # remote: input copies still in flight
+    refcount = [0] * low.n_files  # remote: current holders per file
+    store: dict[int, float] = {}  # storage objects, insertion-ordered
+    # Occupancy deltas in exact engine order, replayed through StepCurve
+    # after the loop (same-time coalescing is order-sensitive).
+    storage_deltas: list = []
+    busy_deltas: list = [] if trace else None
+
+    task_records: list[TaskRecord] = []
+    transfer_records: list[TransferRecord] = []
+
+    def start_task(t: int) -> None:
+        """One processor is held for ``t``; pull copies or execute."""
+        nonlocal seq, n_exec, compute_seconds, bytes_in, n_in, outstanding
+        acquired_at[t] = now
+        if busy_deltas is not None:
+            busy_deltas.append((now, 1.0))
+        if remote and n_inputs[t]:
+            # prepare_task: the processor waits while the copies arrive.
+            copies_pending[t] = n_inputs[t]
+            for f in task_inputs[t]:
+                bytes_in += sizes[f]
+                n_in += 1
+                end = now + tr_dur[f]
+                if trace:
+                    transfer_records.append(
+                        TransferRecord(
+                            fnames[f], sizes[f], "in", now, end, task_ids[t]
+                        )
+                    )
+                heappush(heap, (end, seq, _COPY, t, f))
+                seq += 1
+                outstanding += 1
+        else:
+            # _execute: compute accrues at dispatch, in dispatch order.
+            n_exec += 1
+            compute_seconds += runtimes[t]
+            started_at[t] = now
+            heappush(heap, (now + exec_dur[t], seq, _DONE, t, 0))
+            seq += 1
+
+    def dispatch() -> None:
+        """Mirror of WorkflowExecutor._dispatch for the eligible class."""
+        nonlocal seq, free, boot_scheduled, booting, ready_head
+        nonlocal n_exec, compute_seconds
+        if booting:
+            if now < ready_at:
+                if not boot_scheduled and ready_head < len(ready):
+                    boot_scheduled = True
+                    heappush(heap, (ready_at, seq, _BOOT, 0, 0))
+                    seq += 1
+                return
+            booting = False
+        fast_exec = not remote and busy_deltas is None
+        while free and ready_head < len(ready):
+            if fifo:
+                t = ready[ready_head]
+                ready_head += 1
+                if ready_head > 64 and ready_head * 2 > len(ready):
+                    del ready[:ready_head]
+                    ready_head = 0
+            else:
+                t = heappop(ready)[2]
+            free -= 1
+            if fast_exec:
+                acquired_at[t] = now
+                n_exec += 1
+                compute_seconds += runtimes[t]
+                started_at[t] = now
+                heappush(heap, (now + exec_dur[t], seq, _DONE, t, 0))
+                seq += 1
+            else:
+                start_task(t)
+
+    def ready_task(t: int) -> None:
+        """Mirror of task_data_ready: queue, then try to dispatch.
+
+        When a processor is free and the queue is empty the engine's
+        push-then-pop provably hands the processor to ``t``; shortcut
+        the queue entirely in that case (with the common shared-storage
+        execute inlined — this is the hot path on wide DAG phases).
+        """
+        nonlocal rseq, free, seq, n_exec, compute_seconds
+        if free and ready_head == len(ready) and not booting:
+            free -= 1
+            if remote or busy_deltas is not None:
+                start_task(t)
+            else:
+                acquired_at[t] = now
+                n_exec += 1
+                compute_seconds += runtimes[t]
+                started_at[t] = now
+                heappush(heap, (now + exec_dur[t], seq, _DONE, t, 0))
+                seq += 1
+            return
+        if fifo:
+            ready.append(t)
+        else:
+            heappush(ready, (okey(workflow, task_ids[t]), rseq, t))
+        rseq += 1
+        if free:
+            # free == 0 makes dispatch a provable no-op (and free stays
+            # at n_processors throughout boot, so the boot-wakeup branch
+            # is still reachable through here).
+            dispatch()
+
+    def mark_user_available(f: int) -> None:
+        """Remote-I/O: a file landed at the user; wake its consumers."""
+        for c in consumers[f]:
+            pending[c] -= 1
+            if not pending[c]:
+                ready_task(c)
+
+    # ---------------------------------------------------------------- #
+    # t = 0: the engine's _begin / data_manager.on_start
+    # ---------------------------------------------------------------- #
+    if not n_tasks:
+        finished_at = 0.0
+    elif remote:
+        for t in range(n_tasks):
+            if not n_inputs[t]:
+                ready_task(t)
+        for f in input_fidx:
+            mark_user_available(f)
+    else:
+        for t in range(n_tasks):
+            if not n_inputs[t]:
+                ready_task(t)
+        # Infinite capacity: every stage-in is submitted immediately and
+        # runs uncontended, arriving after size / bandwidth.
+        for f in input_fidx:
+            bytes_in += sizes[f]
+            n_in += 1
+            end = now + tr_dur[f]
+            if trace:
+                transfer_records.append(
+                    TransferRecord(fnames[f], sizes[f], "in", now, end, None)
+                )
+            heappush(heap, (end, seq, _SIN, f, 0))
+            seq += 1
+
+    # ---------------------------------------------------------------- #
+    # the event loop
+    # ---------------------------------------------------------------- #
+    while heap:
+        now, _, kind, a, b = heappop(heap)
+        if kind == _DONE:
+            t = a
+            if trace:
+                task_records.append(
+                    TaskRecord(
+                        task_ids[t], transformations[t], started_at[t], now, 1
+                    )
+                )
+            n_done += 1
+            held_seconds += now - acquired_at[t]
+            free += 1
+            if busy_deltas is not None:
+                busy_deltas.append((now, -1.0))
+            if remote:
+                for f in task_inputs[t]:
+                    refcount[f] -= 1
+                    if not refcount[f]:
+                        del store[f]
+                        storage_deltas.append((now, -sizes[f]))
+                for f in task_outputs[t]:
+                    if not refcount[f]:
+                        store[f] = sizes[f]
+                        storage_deltas.append((now, sizes[f]))
+                    refcount[f] += 1
+                    bytes_out += sizes[f]
+                    n_out += 1
+                    end = now + tr_dur[f]
+                    if trace:
+                        transfer_records.append(
+                            TransferRecord(
+                                fnames[f], sizes[f], "out", now, end,
+                                task_ids[t],
+                            )
+                        )
+                    heappush(heap, (end, seq, _ROUT, t, f))
+                    seq += 1
+                    outstanding += 1
+                if n_done == n_tasks and not outstanding:
+                    finished_at = now
+                    break
+            else:
+                for f in task_outputs[t]:
+                    store[f] = sizes[f]
+                    storage_deltas.append((now, sizes[f]))
+                if cleanup:
+                    for f in release_candidates[t]:
+                        release_need[f] -= 1
+                        if not release_need[f] and f in store:
+                            del store[f]
+                            storage_deltas.append((now, -sizes[f]))
+                for f in task_outputs[t]:
+                    for c in consumers[f]:
+                        pending[c] -= 1
+                        if not pending[c]:
+                            ready_task(c)
+                if n_done == n_tasks:
+                    if not output_fidx:
+                        for f, sz in store.items():
+                            storage_deltas.append((now, -sz))
+                        store.clear()
+                        finished_at = now
+                        break
+                    stage_outs_left = len(output_fidx)
+                    for f in output_fidx:
+                        bytes_out += sizes[f]
+                        n_out += 1
+                        end = now + tr_dur[f]
+                        if trace:
+                            transfer_records.append(
+                                TransferRecord(
+                                    fnames[f], sizes[f], "out", now, end, None
+                                )
+                            )
+                        heappush(heap, (end, seq, _SOUT, f, 0))
+                        seq += 1
+            if ready_head < len(ready):
+                # Queue empty makes dispatch a no-op here; `booting` is
+                # then cleared lazily by the next queuing ready_task.
+                dispatch()
+        elif kind == _SIN:
+            f = a
+            store[f] = sizes[f]
+            storage_deltas.append((now, sizes[f]))
+            for c in consumers[f]:
+                pending[c] -= 1
+                if not pending[c]:
+                    ready_task(c)
+        elif kind == _COPY:
+            outstanding -= 1
+            t, f = a, b
+            if not refcount[f]:
+                store[f] = sizes[f]
+                storage_deltas.append((now, sizes[f]))
+            refcount[f] += 1
+            copies_pending[t] -= 1
+            if not copies_pending[t]:
+                n_exec += 1
+                compute_seconds += runtimes[t]
+                started_at[t] = now
+                heappush(heap, (now + exec_dur[t], seq, _DONE, t, 0))
+                seq += 1
+        elif kind == _ROUT:
+            outstanding -= 1
+            t, f = a, b
+            refcount[f] -= 1
+            if not refcount[f]:
+                del store[f]
+                storage_deltas.append((now, -sizes[f]))
+            mark_user_available(f)
+            if n_done == n_tasks and not outstanding:
+                finished_at = now
+                break
+        elif kind == _SOUT:
+            f = a
+            if cleanup:
+                del store[f]
+                storage_deltas.append((now, -sizes[f]))
+            stage_outs_left -= 1
+            if not stage_outs_left:
+                # _finalize: remaining objects go in insertion order.
+                for g, sz in store.items():
+                    storage_deltas.append((now, -sz))
+                store.clear()
+                finished_at = now
+                break
+        else:  # _BOOT
+            dispatch()
+
+    if finished_at is None:
+        raise RuntimeError(
+            "simulation deadlocked or unfinished: "
+            f"{n_tasks - n_done} tasks incomplete"
+        )
+
+    # ---------------------------------------------------------------- #
+    # replay occupancy deltas into StepCurves (bit-identical curves)
+    # ---------------------------------------------------------------- #
+    # Delta times are non-decreasing (heap-ordered events), so this is
+    # exactly StepCurve.add's tail path: skip zero deltas, coalesce
+    # same-time deltas into the last value, append otherwise.
+    def _replay(deltas: list) -> StepCurve:
+        times: list[float] = []
+        values: list[float] = []
+        for time, delta in deltas:
+            if delta == 0.0:
+                continue
+            if times and time == times[-1]:
+                values[-1] += delta
+            else:
+                values.append((values[-1] if values else 0.0) + delta)
+                times.append(time)
+        return StepCurve.from_changes(times, values)
+
+    storage_curve = _replay(storage_deltas)
+    busy_curve = _replay(busy_deltas) if busy_deltas is not None else None
+
+    return SimulationResult(
+        workflow_name=workflow.name,
+        n_processors=environment.n_processors,
+        data_mode=data_mode.value,
+        makespan=finished_at,
+        bytes_in=bytes_in,
+        bytes_out=bytes_out,
+        storage_byte_seconds=storage_curve.integral(0.0, finished_at),
+        peak_storage_bytes=storage_curve.max_value(),
+        cpu_busy_seconds=held_seconds,
+        compute_seconds=compute_seconds,
+        n_transfers_in=n_in,
+        n_transfers_out=n_out,
+        n_task_executions=n_exec,
+        n_task_failures=0,
+        task_records=task_records,
+        transfer_records=transfer_records,
+        storage_curve=storage_curve if trace else None,
+        busy_curve=busy_curve,
+    )

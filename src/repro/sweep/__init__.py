@@ -23,6 +23,7 @@ from repro.sweep.cache import SimCache, default_cache, reset_default_cache
 from repro.sweep.executor import (
     SweepExecutor,
     resolve_audit,
+    resolve_min_batch,
     resolve_workers,
     run_jobs,
     set_default_audit,
@@ -36,6 +37,7 @@ __all__ = [
     "SweepExecutor",
     "run_jobs",
     "resolve_workers",
+    "resolve_min_batch",
     "resolve_audit",
     "set_default_audit",
     "default_cache",

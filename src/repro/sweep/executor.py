@@ -10,14 +10,17 @@ many workers actually ran.  The pipeline per batch is:
    contains the same point twice — e.g. Question 1 asks for regular and
    cleanup storage of the same ladder);
 3. execute the unique misses — serially, or over a
-   ``ProcessPoolExecutor`` when more than one worker is configured and
-   there is more than one job to run;
+   ``ProcessPoolExecutor`` when more than one worker resolves *and* the
+   batch of misses is at least ``MIN_PARALLEL_BATCH`` jobs
+   (``REPRO_SWEEP_MIN_BATCH``); smaller batches never amortize the pool
+   spawn + pickle cost;
 4. populate the cache and reassemble the results in input order.
 
 Worker count resolution: an explicit ``workers=`` argument wins, then the
-``REPRO_SWEEP_WORKERS`` environment variable, then one worker per
-available core (capped).  One worker means the serial fallback — no
-subprocesses, no pickling.
+``REPRO_SWEEP_WORKERS`` environment variable, then ``MAX_AUTO_WORKERS``
+— and the result is always capped at the machine's core count, so a
+1-core machine takes the serial fallback (no subprocesses, no pickling)
+no matter what was requested.
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ __all__ = [
     "SweepExecutor",
     "run_jobs",
     "resolve_workers",
+    "resolve_min_batch",
     "resolve_audit",
     "set_default_audit",
 ]
@@ -50,9 +54,23 @@ AUDIT_ENV = "REPRO_SWEEP_AUDIT"
 #: jobs, so more workers than that only buys pickling overhead.
 MAX_AUTO_WORKERS = 8
 
+#: Environment override for the minimum batch size worth a process pool.
+MIN_BATCH_ENV = "REPRO_SWEEP_MIN_BATCH"
+
+#: Smallest number of cache-missing jobs for which spawning a pool can
+#: beat the serial loop (spawn + pickle costs ~a second; a traceless
+#: Montage run is tens of milliseconds).
+MIN_PARALLEL_BATCH = 4
+
 
 def resolve_workers(workers: int | None = None) -> int:
-    """Resolve the effective worker count (see module docstring)."""
+    """Resolve the effective worker count (see module docstring).
+
+    The count is capped at the machine's core count: the simulator is
+    pure CPU, so oversubscribing only adds spawn and pickling overhead —
+    on a 1-core box even an explicit ``REPRO_SWEEP_WORKERS=4`` resolves
+    to the serial path.
+    """
     if workers is None:
         env = os.environ.get(WORKERS_ENV)
         if env is not None:
@@ -63,10 +81,23 @@ def resolve_workers(workers: int | None = None) -> int:
                     f"{WORKERS_ENV} must be an integer, got {env!r}"
                 ) from None
     if workers is None:
-        workers = min(os.cpu_count() or 1, MAX_AUTO_WORKERS)
+        workers = MAX_AUTO_WORKERS
     if workers < 1:
         raise ValueError(f"need at least one worker, got {workers}")
-    return workers
+    return min(workers, os.cpu_count() or 1)
+
+
+def resolve_min_batch() -> int:
+    """Smallest pending batch that justifies a process pool (env override)."""
+    env = os.environ.get(MIN_BATCH_ENV)
+    if env is not None:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"{MIN_BATCH_ENV} must be an integer, got {env!r}"
+            ) from None
+    return MIN_PARALLEL_BATCH
 
 
 _default_audit = False
@@ -104,9 +135,13 @@ def _execute_audited(job: SimJob) -> SimulationResult:
     """Run one job with tracing forced on and audit the result.
 
     Raises :class:`repro.audit.AuditError` (picklable, so it propagates
-    out of pool workers) on any reconciliation violation.
+    out of pool workers) on any reconciliation violation.  The audited
+    run is pinned to the event engine: the audit's whole point is to
+    exercise the engine against the oracle, and the kernel's own
+    equivalence is established separately (differential suite + audited
+    kernel traces in ``tests/sim/``).
     """
-    traced = replace(job, record_trace=True)
+    traced = replace(job, record_trace=True, kernel="event")
     result = traced.run()
     audit_simulation(
         result, job.workflow, traced.environment()
@@ -131,6 +166,8 @@ class SweepExecutor:
         self.audit = resolve_audit(audit)
         #: jobs run under the auditor so far (observability/tests)
         self.audited_jobs = 0
+        #: did the last run() batch actually spawn a process pool?
+        self.used_process_pool = False
 
     def run(self, jobs: Sequence[SimJob]) -> list[SimulationResult]:
         """Execute ``jobs``; results are aligned with the input order."""
@@ -149,9 +186,11 @@ class SweepExecutor:
                     continue
             pending.append((key, job))
 
+        self.used_process_pool = False
         if pending:
             worker = _execute_audited if self.audit else _execute
-            if self.workers > 1 and len(pending) > 1:
+            if self.workers > 1 and len(pending) >= resolve_min_batch():
+                self.used_process_pool = True
                 n = min(self.workers, len(pending))
                 with ProcessPoolExecutor(max_workers=n) as pool:
                     computed = list(

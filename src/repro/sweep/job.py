@@ -29,6 +29,7 @@ from repro.sim.executor import (
     simulate,
 )
 from repro.sim.failures import FailureModel
+from repro.sim.kernel import resolve_kernel
 from repro.sim.results import SimulationResult
 from repro.sim.scheduler import ordering_by_name
 from repro.workflow.dag import Workflow
@@ -79,6 +80,7 @@ class SimJob:
     ordering: str = "fifo"
     failures: FailureSpec | None = None
     record_trace: bool = False
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.data_mode, DataMode):
@@ -87,6 +89,10 @@ class SimJob:
         # not inside a worker process.
         DataMode(self.data_mode)
         ordering_by_name(self.ordering)
+        # Resolve the kernel (arg > REPRO_SIM_KERNEL > "auto") *now*, so
+        # the fingerprint — and therefore the cache key — never depends
+        # on the environment of whichever process later runs the job.
+        object.__setattr__(self, "kernel", resolve_kernel(self.kernel))
 
     def fingerprint(self) -> str:
         """Content-addressed key (hex SHA-256) over workflow + parameters.
@@ -104,6 +110,7 @@ class SimJob:
             f"\x1e{self.ordering}"
             f"\x1e{self.failures!r}"
             f"\x1e{int(self.record_trace)}"
+            f"\x1e{self.kernel}"
         )
         return hashlib.sha256(spec.encode()).hexdigest()
 
@@ -142,4 +149,5 @@ class SimJob:
             ordering=ordering_by_name(self.ordering),
             failures=self.failures.build() if self.failures else None,
             record_trace=self.record_trace,
+            kernel=self.kernel,
         )

@@ -68,6 +68,23 @@ class StepCurve:
         for j in range(idx + 1, len(self._values)):
             self._values[j] += delta
 
+    @classmethod
+    def from_changes(
+        cls, times: list[float], values: list[float], initial: float = 0.0
+    ) -> "StepCurve":
+        """Adopt presorted change points (as built by repeated tail adds).
+
+        ``times`` must be strictly increasing and ``values[i]`` the curve
+        value on ``[times[i], times[i+1])``; the lists are adopted, not
+        copied.  This is the bulk-construction fast path for callers that
+        already replicate :meth:`add`'s tail semantics (zero-delta skip,
+        same-time coalescing) while accumulating.
+        """
+        curve = cls(initial)
+        curve._times = times
+        curve._values = values
+        return curve
+
     def set_value(self, time: float, value: float) -> None:
         """Force the curve to ``value`` from ``time`` onwards."""
         current = self.value_at(time)

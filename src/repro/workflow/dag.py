@@ -131,6 +131,18 @@ class Workflow:
         self._parents_cache: dict[str, frozenset[str]] = {}
         self._children_cache: dict[str, frozenset[str]] = {}
         self._fingerprint_cache: str | None = None
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (bumped by every structural change).
+
+        An ``(object, version)`` pair identifies a workflow snapshot
+        without hashing its contents — the cheap alternative to
+        :meth:`fingerprint` for in-process caches such as the fast
+        kernel's lowering cache.
+        """
+        return self._version
 
     # ------------------------------------------------------------------ #
     # construction
@@ -179,6 +191,7 @@ class Workflow:
             raise WorkflowValidationError(f"unknown file {file_name!r}")
         self._explicit_outputs.add(file_name)
         self._fingerprint_cache = None
+        self._version += 1
 
     def _invalidate(self) -> None:
         self._topo_cache = None
@@ -186,6 +199,7 @@ class Workflow:
         self._parents_cache.clear()
         self._children_cache.clear()
         self._fingerprint_cache = None
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # basic accessors

@@ -1,0 +1,239 @@
+"""Fast-kernel unit tests: dispatch policy, eligibility, exact equality.
+
+The statistical heavy lifting (kernel ≡ engine on arbitrary DAGs) lives
+in ``test_kernel_differential.py``; this file pins the dispatch rules of
+``simulate(..., kernel=...)``, the eligibility boundary, the lowering
+cache's mutation safety, and exact equality — records and curves
+included — on the golden Montage workflow.
+"""
+
+import pytest
+
+from repro.montage.generator import montage_workflow
+from repro.sim import (
+    FIFO_ORDER,
+    LEVEL_ORDER,
+    LONGEST_FIRST,
+    SHORTEST_FIRST,
+    ExecutionEnvironment,
+    FailureModel,
+    KernelIneligibleError,
+    kernel_eligible,
+    resolve_kernel,
+    run_fast_kernel,
+    simulate,
+)
+from repro.sim.kernel import KERNEL_ENV
+from repro.workflow.dag import FileSpec, Task, Workflow
+
+
+def small_workflow() -> Workflow:
+    wf = Workflow("diamond")
+    wf.add_file(FileSpec("raw", 4e6))
+    wf.add_file(FileSpec("a", 2e6))
+    wf.add_file(FileSpec("b", 1e6))
+    wf.add_file(FileSpec("out", 3e6))
+    wf.add_task(Task("t0", 10.0, inputs=("raw",), outputs=("a", "b")))
+    wf.add_task(Task("t1", 5.0, inputs=("a",), outputs=()))
+    wf.add_task(Task("t2", 7.0, inputs=("a", "b"), outputs=("out",)))
+    return wf
+
+
+class TestResolveKernel:
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        assert resolve_kernel() == "auto"
+        assert resolve_kernel(None) == "auto"
+
+    def test_explicit_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "event")
+        assert resolve_kernel("fast") == "fast"
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "event")
+        assert resolve_kernel() == "event"
+        monkeypatch.setenv(KERNEL_ENV, " FAST ")
+        assert resolve_kernel() == "fast"
+
+    def test_unknown_name_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown simulation kernel"):
+            resolve_kernel("turbo")
+        monkeypatch.setenv(KERNEL_ENV, "warp")
+        with pytest.raises(ValueError, match="unknown simulation kernel"):
+            resolve_kernel()
+
+
+class TestEligibility:
+    def test_simple_model_is_eligible(self):
+        env = ExecutionEnvironment(n_processors=4)
+        assert kernel_eligible(env)
+
+    def test_contention_ineligible(self):
+        env = ExecutionEnvironment(n_processors=4, link_contention=True)
+        assert not kernel_eligible(env)
+
+    def test_finite_storage_ineligible(self):
+        env = ExecutionEnvironment(
+            n_processors=4, storage_capacity_bytes=1e9
+        )
+        assert not kernel_eligible(env)
+
+    def test_failures_ineligible(self):
+        env = ExecutionEnvironment(n_processors=4)
+        assert not kernel_eligible(env, FailureModel(0.1, seed=1))
+
+    def test_fast_raises_on_ineligible_config(self):
+        with pytest.raises(KernelIneligibleError):
+            simulate(small_workflow(), 2, kernel="fast",
+                     link_contention=True)
+        with pytest.raises(KernelIneligibleError):
+            simulate(small_workflow(), 2, kernel="fast",
+                     storage_capacity_bytes=1e9)
+        with pytest.raises(KernelIneligibleError):
+            simulate(small_workflow(), 2, kernel="fast",
+                     failures=FailureModel(0.5, seed=3))
+
+    def test_run_fast_kernel_rejects_directly(self):
+        env = ExecutionEnvironment(n_processors=2, link_contention=True)
+        with pytest.raises(KernelIneligibleError):
+            run_fast_kernel(small_workflow(), env)
+
+    def test_kernel_validates_processor_count(self):
+        env = ExecutionEnvironment(n_processors=0)
+        with pytest.raises(ValueError, match="at least one processor"):
+            run_fast_kernel(small_workflow(), env)
+
+
+class TestAutoFallback:
+    """kernel='auto' must silently take the event engine when needed."""
+
+    def test_auto_matches_event_on_ineligible_configs(self):
+        wf = small_workflow()
+        for kwargs in (
+            {"link_contention": True},
+            {"storage_capacity_bytes": 1e9},
+            {"failures": FailureModel(0.3, seed=7)},
+        ):
+            if "failures" in kwargs:
+                # fresh model per run: the RNG stream is consumed
+                a = simulate(wf, 2, kernel="auto",
+                             failures=FailureModel(0.3, seed=7))
+                b = simulate(wf, 2, kernel="event",
+                             failures=FailureModel(0.3, seed=7))
+            else:
+                a = simulate(wf, 2, kernel="auto", **kwargs)
+                b = simulate(wf, 2, kernel="event", **kwargs)
+            assert a == b
+
+    def test_audited_auto_run_uses_event_engine(self):
+        # audit=True forces the event path under "auto" (the oracle's
+        # job is to check the engine); the result must not change.
+        wf = small_workflow()
+        audited = simulate(wf, 2, kernel="auto", audit=True)
+        plain = simulate(wf, 2, kernel="event")
+        assert audited == plain
+
+    def test_env_kernel_steers_simulate(self, monkeypatch):
+        wf = small_workflow()
+        monkeypatch.setenv(KERNEL_ENV, "fast")
+        with pytest.raises(KernelIneligibleError):
+            simulate(wf, 2, link_contention=True)
+        monkeypatch.setenv(KERNEL_ENV, "event")
+        assert simulate(wf, 2) == simulate(wf, 2, kernel="fast")
+
+
+class TestExactEquality:
+    @pytest.mark.parametrize("mode", ["regular", "cleanup", "remote-io"])
+    @pytest.mark.parametrize("overhead,boot", [(0.0, 0.0), (2.5, 45.0)])
+    def test_montage_identical_with_traces(self, mode, overhead, boot):
+        wf = montage_workflow(1.0)
+        kwargs = dict(
+            data_mode=mode,
+            task_overhead_seconds=overhead,
+            compute_ready_seconds=boot,
+            record_trace=True,
+        )
+        a = simulate(wf, 8, kernel="event", **kwargs)
+        b = simulate(wf, 8, kernel="fast", **kwargs)
+        # dataclass equality covers every scalar, all task/transfer
+        # records, and exact StepCurve breakpoints/values
+        assert a == b
+        assert a.storage_curve == b.storage_curve
+        assert a.busy_curve == b.busy_curve
+        assert a.task_records == b.task_records
+        assert a.transfer_records == b.transfer_records
+
+    @pytest.mark.parametrize(
+        "ordering", [FIFO_ORDER, LONGEST_FIRST, SHORTEST_FIRST, LEVEL_ORDER]
+    )
+    def test_montage_identical_under_orderings(self, ordering):
+        wf = montage_workflow(1.0)
+        for mode in ("regular", "cleanup"):
+            a = simulate(wf, 4, data_mode=mode, ordering=ordering,
+                         kernel="event")
+            b = simulate(wf, 4, data_mode=mode, ordering=ordering,
+                         kernel="fast")
+            assert a == b
+
+    def test_empty_workflow(self):
+        wf = Workflow("empty")
+        a = simulate(wf, 2, kernel="event")
+        b = simulate(wf, 2, kernel="fast")
+        assert a == b
+        assert b.makespan == 0.0
+
+    def test_traceless_results_match(self):
+        wf = montage_workflow(1.0)
+        a = simulate(wf, 16, data_mode="cleanup", record_trace=False,
+                     kernel="event")
+        b = simulate(wf, 16, data_mode="cleanup", record_trace=False,
+                     kernel="fast")
+        assert a == b
+        assert b.storage_curve is None and b.busy_curve is None
+
+
+@pytest.mark.audit
+class TestKernelUnderAudit:
+    def test_oracle_passes_on_kernel_records(self):
+        # kernel="fast" + audit=True reconciles the kernel's own emitted
+        # records against the oracle — the second, independent proof of
+        # equivalence (the first is the differential suite).
+        wf = montage_workflow(1.0)
+        for mode in ("regular", "cleanup", "remote-io"):
+            result = simulate(wf, 8, data_mode=mode, kernel="fast",
+                              audit=True)
+            assert result.n_task_executions == len(wf.tasks)
+
+    def test_oracle_passes_with_overhead_and_boot(self):
+        result = simulate(
+            small_workflow(), 2, data_mode="cleanup",
+            task_overhead_seconds=1.5, compute_ready_seconds=30.0,
+            kernel="fast", audit=True,
+        )
+        assert result.makespan > 30.0
+
+
+class TestLoweringCache:
+    def test_mutation_invalidates_cached_lowering(self):
+        wf = small_workflow()
+        before = simulate(wf, 2, kernel="fast")
+        # Structural mutation after a kernel run: the cached lowering
+        # must be rebuilt, not reused.
+        wf.add_file(FileSpec("extra", 5e6))
+        wf.add_task(Task("t3", 11.0, inputs=("out", "extra"), outputs=()))
+        after_fast = simulate(wf, 2, kernel="fast")
+        after_event = simulate(wf, 2, kernel="event")
+        assert after_fast == after_event
+        assert after_fast.makespan > before.makespan
+
+    def test_version_counter_bumps_on_mutation(self):
+        wf = Workflow("v")
+        v0 = wf.version
+        wf.add_file(FileSpec("x", 1.0))
+        assert wf.version > v0
+        v1 = wf.version
+        wf.add_task(Task("t", 1.0, inputs=("x",), outputs=()))
+        assert wf.version > v1
+        v2 = wf.version
+        wf.mark_output("x")
+        assert wf.version > v2

@@ -227,9 +227,23 @@ class TestFingerprints:
             SimJob(wf, 2, ordering="longest-first").fingerprint(),
             SimJob(wf, 2, failures=FailureSpec(0.1)).fingerprint(),
             SimJob(wf, 2, record_trace=True).fingerprint(),
+            SimJob(wf, 2, kernel="event").fingerprint(),
             base.fingerprint(),
         }
-        assert len(distinct) == 8
+        assert len(distinct) == 9
+
+    def test_kernel_resolved_at_construction(self, monkeypatch):
+        # The env var is applied when the job is built, so fingerprints
+        # (and cache keys) never depend on the executing process's env.
+        wf = _tiny_workflow()
+        monkeypatch.delenv("REPRO_SIM_KERNEL", raising=False)
+        assert SimJob(wf, 2).kernel == "auto"
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "event")
+        env_job = SimJob(wf, 2)
+        assert env_job.kernel == "event"
+        assert env_job.fingerprint() == SimJob(wf, 2, kernel="event").fingerprint()
+        with pytest.raises(ValueError):
+            SimJob(wf, 2, kernel="turbo")
 
     def test_invalid_mode_and_ordering_rejected_eagerly(self):
         wf = _tiny_workflow()
@@ -237,3 +251,79 @@ class TestFingerprints:
             SimJob(wf, 2, "no-such-mode")
         with pytest.raises(KeyError):
             SimJob(wf, 2, ordering="no-such-ordering")
+
+
+class TestSerialFallback:
+    """A 1-core machine (or a small batch) must never pay for a pool."""
+
+    def test_workers_capped_at_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 2)
+        assert executor_module.resolve_workers(8) == 2
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 1)
+        assert executor_module.resolve_workers(8) == 1
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "4")
+        assert executor_module.resolve_workers() == 1
+
+    def test_workers_still_validated(self):
+        with pytest.raises(ValueError):
+            executor_module.resolve_workers(0)
+
+    def test_min_batch_default_and_env(self, monkeypatch):
+        monkeypatch.delenv(executor_module.MIN_BATCH_ENV, raising=False)
+        assert (
+            executor_module.resolve_min_batch()
+            == executor_module.MIN_PARALLEL_BATCH
+        )
+        monkeypatch.setenv(executor_module.MIN_BATCH_ENV, "2")
+        assert executor_module.resolve_min_batch() == 2
+        monkeypatch.setenv(executor_module.MIN_BATCH_ENV, "nope")
+        with pytest.raises(ValueError):
+            executor_module.resolve_min_batch()
+
+    def test_small_batch_stays_serial(self, montage1, monkeypatch):
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 8)
+        executor = SweepExecutor(workers=4, cache=SimCache())
+        assert executor.workers == 4
+        executor.run([SimJob(montage1, p) for p in (1, 2, 3)])
+        assert not executor.used_process_pool
+
+    def test_single_worker_stays_serial(self, montage1):
+        executor = SweepExecutor(workers=1, cache=SimCache())
+        executor.run([SimJob(montage1, p) for p in (1, 2, 3, 4, 5)])
+        assert not executor.used_process_pool
+
+    @pytest.mark.slow
+    def test_large_batch_uses_pool_and_matches_serial(
+        self, montage1, monkeypatch
+    ):
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 8)
+        jobs = [SimJob(montage1, p) for p in (1, 2, 4, 8)]
+        serial = SweepExecutor(workers=1, cache=SimCache()).run(jobs)
+        pooled_executor = SweepExecutor(workers=2, cache=SimCache())
+        pooled = pooled_executor.run(jobs)
+        assert pooled_executor.used_process_pool
+        assert pooled == serial
+
+
+class TestKernelDispatch:
+    def test_sweep_default_kernel_matches_event(self, montage1):
+        # auto-mode sweeps take the fast kernel for eligible jobs; the
+        # results must be indistinguishable from event-engine sweeps.
+        auto = SweepExecutor(workers=1, cache=SimCache()).run(
+            [SimJob(montage1, p, "cleanup") for p in (2, 8)]
+        )
+        event = SweepExecutor(workers=1, cache=SimCache()).run(
+            [SimJob(montage1, p, "cleanup", kernel="event") for p in (2, 8)]
+        )
+        assert auto == event
+
+    def test_audited_sweep_pins_event_engine(self, montage1):
+        # kernel="fast" jobs under audit are re-run on the event engine
+        # (the oracle's subject), traced, and still reconcile.
+        executor = SweepExecutor(workers=1, cache=SimCache(), audit=True)
+        results = executor.run([SimJob(montage1, 4, kernel="fast")])
+        assert executor.audited_jobs == 1
+        reference = SimJob(
+            montage1, 4, record_trace=True, kernel="event"
+        ).run()
+        assert results[0] == reference

@@ -55,6 +55,21 @@ class TestSimulate:
         slow = capsys.readouterr().out
         assert fast != slow
 
+    def test_kernel_choice_is_invisible_in_output(self, capsys):
+        base = ["simulate", "--degree", "1", "--mode", "cleanup"]
+        assert main([*base, "--kernel", "event"]) == 0
+        event_out = capsys.readouterr().out
+        assert main([*base, "--kernel", "fast"]) == 0
+        fast_out = capsys.readouterr().out
+        assert fast_out == event_out
+
+    def test_kernel_fast_rejects_contended_link(self):
+        from repro.sim import KernelIneligibleError
+
+        with pytest.raises(KernelIneligibleError):
+            main(["simulate", "--degree", "1", "--contended",
+                  "--kernel", "fast"])
+
 
 class TestSweepsAndModes:
     def test_sweep_custom_ladder(self, capsys):
