@@ -14,7 +14,17 @@ script:
    back-to-back under each kernel.  This is the campaign-scale picture:
    lowering is amortized across plates via the kernel's per-workflow
    cache, matching how ``SweepExecutor`` replays one mosaic family.
-3. **Full report** — cold ``run_all(fast=True)`` wall clock with the
+3. **Batched sweeps** — the same sweep executed three ways: one
+   ``run_fast_kernel_batch`` call (the DAG is lowered once and every
+   configuration replays against shared derived vectors), independent
+   per-run fast-kernel calls, and the event engine.  Two shapes are
+   timed: Question 1's full 128-point processor ladder on one plate
+   (``batch.q1_sweep``) and per-plate provisioning ladders across N
+   distinct whole-sky plates (``batch.whole_sky_sweep``).  All three
+   ways must agree bit-for-bit (``results_identical``); the committed
+   ``speedup_vs_per_run_fast`` for the Q1 ladder is gated at >= 1.5x
+   by ``perf_guard.py``.
+4. **Full report** — cold ``run_all(fast=True)`` wall clock with the
    kernel in its default ``auto`` mode vs. pinned to the event engine.
 
 Usage::
@@ -128,6 +138,135 @@ def whole_sky_batch(n_plates: int) -> dict:
     }
 
 
+def batch_q1_sweep(repeats: int) -> dict:
+    """Question 1's processor ladder (P = 1..128), three ways.
+
+    The batched path lowers the 4-degree DAG once and replays all 128
+    configurations through ``run_fast_kernel_batch``; the per-run path
+    makes 128 independent ``simulate(kernel="fast")`` calls (each hits
+    the lowering cache but rebuilds its derived state); the event path
+    is ground truth.  All three result lists must be bit-identical.
+    """
+    from repro.montage.generator import montage_workflow
+    from repro.sim import ExecutionEnvironment, KernelConfig, simulate
+    from repro.sim.kernel import run_fast_kernel_batch
+
+    wf = montage_workflow(4.0)
+    ladder = list(range(1, 129))
+    kwargs = dict(data_mode="cleanup", record_trace=False)
+    configs = [
+        KernelConfig(
+            environment=ExecutionEnvironment(
+                n_processors=p, record_trace=False
+            ),
+            data_mode="cleanup",
+        )
+        for p in ladder
+    ]
+
+    def run_batched():
+        return run_fast_kernel_batch(wf, configs)
+
+    def run_per_run():
+        return [simulate(wf, p, kernel="fast", **kwargs) for p in ladder]
+
+    batched = run_batched()
+    per_run = run_per_run()
+    start = time.perf_counter()
+    event = [simulate(wf, p, kernel="event", **kwargs) for p in ladder]
+    event_s = time.perf_counter() - start
+    identical = batched == per_run == event
+    if not identical:
+        raise SystemExit("batched kernel diverged from per-run/event runs")
+
+    batch_s, batch_all = _best(run_batched, repeats)
+    fast_s, fast_all = _best(run_per_run, repeats)
+    return {
+        "workflow": "montage-4deg (3027 tasks)",
+        "config": "cleanup, processors 1..128, record_trace=False",
+        "n_configs": len(ladder),
+        "repeats": repeats,
+        "batched_best_seconds": batch_s,
+        "batched_mean_seconds": statistics.mean(batch_all),
+        "per_run_fast_best_seconds": fast_s,
+        "per_run_fast_mean_seconds": statistics.mean(fast_all),
+        "event_seconds": event_s,
+        "speedup_vs_per_run_fast": fast_s / batch_s,
+        "speedup_vs_event": event_s / batch_s,
+        "results_identical": identical,
+    }
+
+
+def batch_whole_sky_sweep(n_plates: int) -> dict:
+    """Per-plate provisioning ladders over N distinct plates, batched.
+
+    Each plate is swept over a small processor ladder — the shape
+    ``SweepExecutor`` dispatches when a sweep mixes plates: one batch
+    per workflow fingerprint.  Timed once per way (the plate corpus is
+    too large to rebuild per repeat); identity is still asserted.
+    """
+    from repro.montage.generator import montage_workflow
+    from repro.sim import ExecutionEnvironment, KernelConfig, simulate
+    from repro.sim.kernel import run_fast_kernel_batch
+
+    ladder = (8, 32, 128)
+    plates = [
+        montage_workflow(
+            4.0, jitter=0.05, seed=i, name=f"sky-plate-{i:04d}"
+        )
+        for i in range(n_plates)
+    ]
+    kwargs = dict(data_mode="cleanup", record_trace=False)
+    configs = [
+        KernelConfig(
+            environment=ExecutionEnvironment(
+                n_processors=p, record_trace=False
+            ),
+            data_mode="cleanup",
+        )
+        for p in ladder
+    ]
+
+    import gc
+
+    gc.collect()
+    gc.freeze()
+    try:
+        start = time.perf_counter()
+        batched = [run_fast_kernel_batch(wf, configs) for wf in plates]
+        batch_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        per_run = [
+            [simulate(wf, p, kernel="fast", **kwargs) for p in ladder]
+            for wf in plates
+        ]
+        fast_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        event = [
+            [simulate(wf, p, kernel="event", **kwargs) for p in ladder]
+            for wf in plates
+        ]
+        event_s = time.perf_counter() - start
+    finally:
+        gc.unfreeze()
+    identical = batched == per_run == event
+    if not identical:
+        raise SystemExit("whole-sky batched results diverged")
+    return {
+        "n_plates": n_plates,
+        "ladder": list(ladder),
+        "config": "cleanup, record_trace=False",
+        "batched_seconds": batch_s,
+        "per_run_fast_seconds": fast_s,
+        "event_seconds": event_s,
+        "speedup_vs_per_run_fast": fast_s / batch_s,
+        "speedup_vs_event": event_s / batch_s,
+        "results_identical": identical,
+    }
+
+
 def full_report(kernel: str) -> float:
     """Cold run_all(fast=True) wall clock with the kernel pinned."""
     from repro.experiments.runner import run_all
@@ -198,6 +337,31 @@ def main(argv: list[str] | None = None) -> int:
         f"{report['whole_sky']['projected_whole_sky_event_seconds']:.0f} s"
         f" -> "
         f"{report['whole_sky']['projected_whole_sky_fast_seconds']:.0f} s)"
+    )
+
+    print("== batched kernel: Q1 processor ladder (1..128) ==")
+    q1 = batch_q1_sweep(args.repeats)
+    report["batch"] = {"q1_sweep": q1}
+    print(
+        f"  batched {q1['batched_best_seconds']:.2f} s"
+        f"  per-run fast {q1['per_run_fast_best_seconds']:.2f} s"
+        f"  event {q1['event_seconds']:.2f} s"
+        f"  speedup {q1['speedup_vs_per_run_fast']:.2f}x vs per-run fast"
+        f"  (identical={q1['results_identical']})"
+    )
+
+    print(
+        f"== batched kernel: whole-sky ladders "
+        f"({args.plates} plates x {{8,32,128}}p) =="
+    )
+    sky = batch_whole_sky_sweep(args.plates)
+    report["batch"]["whole_sky_sweep"] = sky
+    print(
+        f"  batched {sky['batched_seconds']:.2f} s"
+        f"  per-run fast {sky['per_run_fast_seconds']:.2f} s"
+        f"  event {sky['event_seconds']:.2f} s"
+        f"  speedup {sky['speedup_vs_per_run_fast']:.2f}x vs per-run fast"
+        f"  (identical={sky['results_identical']})"
     )
 
     if not args.skip_report:

@@ -18,7 +18,10 @@ The script is also a regression *gate*: the fresh ``perf_suite`` means
 are compared against the committed ``BENCH_sweep.json`` before it is
 overwritten, and any benchmark slower than the baseline by more than the
 tolerance (default 25%, override via ``REPRO_PERF_TOLERANCE``, e.g.
-``0.4`` for 40%) makes the script exit non-zero.  ``--report-only``
+``0.4`` for 40%) makes the script exit non-zero.  The batched-kernel
+numbers in ``BENCH_kernel.json`` are gated too: ``batch.q1_sweep`` must
+report ``results_identical`` and a ``speedup_vs_per_run_fast`` of at
+least 1.5x (relaxed by the same tolerance).  ``--report-only``
 prints the comparison but always exits 0 (what CI uses on pull
 requests, where shared-runner noise would make a hard gate flaky).
 
@@ -45,10 +48,15 @@ from pathlib import Path
 BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 OUTPUT = BENCH_DIR / "BENCH_sweep.json"
+KERNEL_BENCH = BENCH_DIR / "BENCH_kernel.json"
 
 #: Environment override for the allowed fractional slowdown (0.25 = 25%).
 TOLERANCE_ENV = "REPRO_PERF_TOLERANCE"
 DEFAULT_TOLERANCE = 0.25
+
+#: The batched fast kernel must beat per-run fast-kernel calls on the
+#: Question 1 ladder by this factor (the issue's acceptance floor).
+BATCH_SPEEDUP_FLOOR = 1.5
 
 
 def resolve_tolerance() -> float:
@@ -99,6 +107,44 @@ def compare_to_baseline(
         if name not in fresh:
             lines.append(f"  {name}: present in baseline only (retired?)")
     return lines, regressions
+
+
+def check_kernel_batch(tolerance: float) -> list[str]:
+    """Gate the batched-kernel numbers committed in BENCH_kernel.json.
+
+    Returns failure lines (empty list = pass).  The 1.5x floor is
+    relaxed by the tolerance so shared-runner noise in the committed
+    numbers does not flap the gate; ``results_identical`` is absolute.
+    """
+    if not KERNEL_BENCH.exists():
+        return [
+            f"  {KERNEL_BENCH.name}: missing (run benchmarks/kernel_bench.py)"
+        ]
+    try:
+        data = json.loads(KERNEL_BENCH.read_text())
+    except (OSError, ValueError):
+        return [f"  {KERNEL_BENCH.name}: unreadable"]
+    q1 = data.get("batch", {}).get("q1_sweep")
+    if q1 is None:
+        return [
+            f"  {KERNEL_BENCH.name}: no batch.q1_sweep section "
+            "(re-run benchmarks/kernel_bench.py)"
+        ]
+    failures = []
+    if not q1.get("results_identical"):
+        failures.append(
+            "  batch.q1_sweep.results_identical is not true — the batched "
+            "kernel no longer reproduces per-run results"
+        )
+    floor = BATCH_SPEEDUP_FLOOR / (1.0 + tolerance)
+    speedup = q1.get("speedup_vs_per_run_fast") or 0.0
+    if speedup < floor:
+        failures.append(
+            f"  batch.q1_sweep.speedup_vs_per_run_fast {speedup:.2f}x below "
+            f"the {BATCH_SPEEDUP_FLOOR}x floor "
+            f"(tolerance-adjusted: {floor:.2f}x)"
+        )
+    return failures
 
 
 def run_perf_benchmark_suite() -> dict:
@@ -256,6 +302,18 @@ def main(argv: list[str] | None = None) -> int:
         )
         for line in lines:
             print(line)
+
+    print("== batched-kernel gate (BENCH_kernel.json) ==")
+    kernel_failures = check_kernel_batch(resolve_tolerance())
+    if kernel_failures:
+        for line in kernel_failures:
+            print(line)
+        regressions.extend(kernel_failures)
+    else:
+        print(
+            f"  batch.q1_sweep ok "
+            f"(speedup >= {BATCH_SPEEDUP_FLOOR}x, results identical)"
+        )
 
     print("== run_all timings ==")
     serial_s, serial_text, cold_stats = _timed_run_all(fast)

@@ -16,10 +16,12 @@ workflow execution."  This subpackage is a from-scratch Python equivalent:
   the paper flags resource reliability as an open question);
 * :mod:`repro.sim.executor` — the workflow execution engine tying it all
   together; :func:`repro.sim.simulate` is the main entry point;
-* :mod:`repro.sim.kernel` — the array-based fast-path kernel for the
-  paper's simple resource model (contention-free link, infinite storage,
-  no failures), numerically identical to the event engine and selected
-  automatically by ``simulate(..., kernel="auto")``;
+* :mod:`repro.sim.kernel` — the array-based fast-path kernel covering
+  every resource model except failure injection (contended links and
+  finite storage capacities included), numerically identical to the
+  event engine, selected automatically by ``simulate(..., kernel="auto")``
+  and batched across whole sweeps by
+  :func:`repro.sim.kernel.run_fast_kernel_batch`;
 * :mod:`repro.sim.results` — the measured metrics (makespan, bytes moved
   in/out, storage byte-seconds, per-task records).
 """
@@ -44,10 +46,12 @@ from repro.sim.failures import FailureModel
 from repro.sim.executor import ExecutionEnvironment, WorkflowExecutor, simulate
 from repro.sim.kernel import (
     KERNEL_ENV,
+    KernelConfig,
     KernelIneligibleError,
     kernel_eligible,
     resolve_kernel,
     run_fast_kernel,
+    run_fast_kernel_batch,
 )
 from repro.sim.results import SimulationResult, TaskRecord, TransferRecord
 
@@ -71,10 +75,12 @@ __all__ = [
     "WorkflowExecutor",
     "simulate",
     "KERNEL_ENV",
+    "KernelConfig",
     "KernelIneligibleError",
     "kernel_eligible",
     "resolve_kernel",
     "run_fast_kernel",
+    "run_fast_kernel_batch",
     "SimulationResult",
     "TaskRecord",
     "TransferRecord",

@@ -425,14 +425,15 @@ def simulate(
 
     * ``"auto"`` — use the fast array kernel
       (:mod:`repro.sim.kernel`) when the configuration is eligible
-      (contention-free link, infinite storage, no failures) and the run
-      is not audited; otherwise the event engine.  Both produce
-      numerically identical results, so the choice is invisible except
-      in wall-clock time.
+      (no failure model — contended links and finite storage capacities
+      are handled natively) and the run is not audited; otherwise the
+      event engine.  Both produce numerically identical results, so the
+      choice is invisible except in wall-clock time.
     * ``"event"`` — always the callback event engine.
     * ``"fast"`` — force the fast kernel; raises
-      :class:`repro.sim.kernel.KernelIneligibleError` on an ineligible
-      configuration.  Unlike ``"auto"``, an audited run keeps the fast
+      :class:`repro.sim.kernel.KernelIneligibleError` when a failure
+      model is supplied (retries consume an RNG stream the kernel does
+      not model).  Unlike ``"auto"``, an audited run keeps the fast
       kernel and the oracle reconciles the kernel-emitted records.
 
     Example
@@ -466,8 +467,8 @@ def simulate(
         if not kernel_eligible(env, failures):
             raise KernelIneligibleError(
                 "kernel='fast' cannot reproduce this configuration "
-                "(it requires link_contention=False, infinite storage "
-                "and no failure model); use kernel='event' or 'auto'"
+                "(failure injection requires the event engine); use "
+                "kernel='event' or 'auto'"
             )
         use_fast = True
     elif resolved == "auto":

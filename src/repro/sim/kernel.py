@@ -1,28 +1,28 @@
-"""Array-based fast-path simulation kernel.
+"""Array-based fast-path simulation kernel (single-run and batched).
 
-The paper's published figures all use the *simple* resource model — a
-contention-free link, infinite storage, no failures.  For that class the
-generic event engine's flexibility (arbitrary callbacks, pluggable data
-managers, admission control) is pure overhead: every event allocates a
-closure, every file lookup hashes a string, every availability
-notification re-sorts a consumer set.
+The generic event engine's flexibility (arbitrary callbacks, pluggable
+data managers, admission control) is pure overhead for the resource
+models this repo actually sweeps: every event allocates a closure, every
+file lookup hashes a string, every availability notification re-sorts a
+consumer set.
 
 This module is a specialized replacement.  The workflow is first
 *lowered* to integer-indexed arrays — index maps, per-task input/output
 index lists, pre-sorted consumer lists, numpy-built size/runtime vectors
 — and the lowering is memoized per workflow (held weakly, guarded by the
 workflow's mutation :attr:`~repro.workflow.dag.Workflow.version`), so
-sweeps re-simulating one DAG under many environments pay it once.  The run itself is a single flat event loop
-over ``(time, seq, kind, ...)`` tuples that replicates the engine's
-scheduling discipline *exactly*:
+sweeps re-simulating one DAG under many environments pay it once.  The
+run itself is a single flat event loop over ``(time, seq, kind, ...)``
+tuples that replicates the engine's scheduling discipline *exactly*:
 
 * events are ordered by ``(time, sequence)`` and the sequence counter is
   incremented at precisely the program points where the engine would call
   ``SimulationEngine.schedule``, so ties resolve identically;
 * every float expression matches the engine's parenthesization
-  (``now + size / bandwidth`` for transfers, ``now + (overhead +
-  runtime)`` for completions) and every accumulator (bytes, CPU-busy
-  seconds, compute seconds) is summed in the same order;
+  (``now + size / bandwidth`` for transfers, ``max(now, busy_until)``
+  for a contended link's queue drain, ``now + (overhead + runtime)`` for
+  completions) and every accumulator (bytes, CPU-busy seconds, compute
+  seconds) is summed in the same order;
 * storage and processor occupancy deltas are recorded in engine order and
   replayed through the same :class:`~repro.util.curve.StepCurve`, so the
   byte-seconds integral, the peak and the curves themselves are
@@ -33,34 +33,45 @@ scheduling discipline *exactly*:
   identical to the engine's push-then-pop, and the common case on the
   wide phases of Montage-like workflows.
 
+Three execution paths share the lowering:
+
+* :func:`run_fast_kernel` — one configuration, any data mode, traced or
+  not.  Contended (FIFO) links are modelled inline by tracking each
+  lane's ``busy_until``; finite storage capacities take the dedicated
+  :func:`_run_capacity` loop, which mirrors the engine's reservation /
+  admission-control cascade (head-of-line dispatch reservations, gated
+  stage-in pumping with output headroom, space-freed retry order)
+  statement for statement.
+* :func:`run_fast_kernel_batch` — many configurations over one DAG.  The
+  lowering, per-bandwidth transfer durations, per-overhead execution
+  durations and the sorted stage-in arrival schedule are computed once
+  per batch; traceless shared-storage configurations then run on a
+  further-specialized "turbo" loop that merges the precomputed arrival
+  stream with a small completion heap and integrates the storage curve
+  incrementally instead of materializing it.
+* the event engine remains the reference for failure injection (retries
+  consume an RNG stream mid-flight), which is the one remaining
+  ineligible configuration — see :func:`kernel_eligible`.
+
 The result is numerically identical to the event engine — enforced by the
 differential Hypothesis suite in ``tests/sim/test_kernel_differential.py``
-and by running the :mod:`repro.audit` oracle over kernel-emitted records —
-at a fraction of the interpreter work per event.
-
-Eligibility
------------
-The kernel reproduces any data mode (regular / cleanup / remote-I/O),
-task overhead, VM boot delay and every built-in task ordering, but only
-under the paper's simple resource model:
-
-* ``link_contention=False`` (a FIFO-serialized link couples transfer
-  timings together; the ablation keeps the event engine),
-* ``storage_capacity_bytes=None`` (admission control and reservation
-  retries need the full callback machinery),
-* no failure model (retries consume an RNG stream mid-flight).
+(contended links and finite capacities included) and by running the
+:mod:`repro.audit` oracle over kernel-emitted records — at a fraction of
+the interpreter work per event.
 
 :func:`repro.sim.simulate` dispatches here automatically under
 ``kernel="auto"`` (the default, overridable via the ``REPRO_SIM_KERNEL``
-environment variable) and falls back to the event engine for ineligible
-configurations; ``kernel="fast"`` on an ineligible configuration raises
+environment variable) and falls back to the event engine for failure
+injection; ``kernel="fast"`` with a failure model raises
 :class:`KernelIneligibleError`.
 """
 
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass, field
 from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Sequence
 from weakref import WeakKeyDictionary
 
 import numpy as np
@@ -71,13 +82,18 @@ from repro.sim.scheduler import FIFO_ORDER, TaskOrdering
 from repro.util.curve import StepCurve
 from repro.workflow.dag import Workflow
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.executor import ExecutionEnvironment
+
 __all__ = [
     "KERNEL_ENV",
     "KERNELS",
+    "KernelConfig",
     "KernelIneligibleError",
     "kernel_eligible",
     "resolve_kernel",
     "run_fast_kernel",
+    "run_fast_kernel_batch",
 ]
 
 #: Environment override for the kernel choice ("auto", "event", "fast").
@@ -102,13 +118,17 @@ def resolve_kernel(kernel: str | None = None) -> str:
     return kernel
 
 
-def kernel_eligible(environment, failures=None) -> bool:
-    """Can the fast kernel reproduce this configuration exactly?"""
-    return (
-        not environment.link_contention
-        and environment.storage_capacity_bytes is None
-        and failures is None
-    )
+def kernel_eligible(environment=None, failures=None) -> bool:
+    """Can the fast kernel reproduce this configuration exactly?
+
+    Every :class:`~repro.sim.executor.ExecutionEnvironment` is now in
+    scope — contended (FIFO) links and finite storage capacities
+    included — so only failure injection forces the event engine (task
+    retries consume a seeded RNG stream mid-flight, which has no
+    array-level equivalent).  The ``environment`` parameter is kept for
+    call-site symmetry and future resource models.
+    """
+    return failures is None
 
 
 # ------------------------------------------------------------------ #
@@ -134,9 +154,19 @@ class _Lowering:
         "consumers",
         "input_fidx",
         "output_fidx",
+        "no_input_tasks",
+        "stage_in_bytes",
+        "stage_out_bytes",
         "release_candidates",
         "release_need",
+        "_tr_cache",
+        "_exec_cache",
+        "_arrival_cache",
     )
+
+    #: Per-parameter derived vectors kept per lowering; sweeps touch a
+    #: handful of bandwidth/overhead values, so a small bound suffices.
+    _CACHE_LIMIT = 8
 
     def __init__(self, workflow: Workflow, version: int) -> None:
         workflow.validate()
@@ -175,9 +205,26 @@ class _Lowering:
         self.consumers = consumers
         self.input_fidx = [findex[f] for f in workflow.input_files()]
         self.output_fidx = [findex[f] for f in workflow.output_files()]
+        self.no_input_tasks = [
+            t for t in range(n_tasks) if not self.n_inputs[t]
+        ]
+        # Left-fold sums in submission order — identical to the per-run
+        # ``bytes += size`` accumulation the event engine performs.
+        sizes = self.sizes
+        acc = 0.0
+        for f in self.input_fidx:
+            acc += sizes[f]
+        self.stage_in_bytes = acc
+        acc = 0.0
+        for f in self.output_fidx:
+            acc += sizes[f]
+        self.stage_out_bytes = acc
         # Cleanup-mode analysis, built on first cleanup run.
         self.release_candidates: list[list[int]] | None = None
         self.release_need: list[int] | None = None
+        self._tr_cache: dict[float, list[float]] = {}
+        self._exec_cache: dict[float, list[float]] = {}
+        self._arrival_cache: dict = {}
 
     def cleanup_tables(self) -> tuple[list[list[int]], list[int]]:
         """Per-task release candidates + releaser counts (lazy, cached).
@@ -209,6 +256,56 @@ class _Lowering:
             self.release_need = need
         return self.release_candidates, self.release_need
 
+    # -- per-parameter derived vectors (batched runs share these) ------ #
+    def transfer_durations(self, bandwidth: float) -> list[float]:
+        """``size / bandwidth`` per file — the engine's per-transfer op."""
+        dur = self._tr_cache.get(bandwidth)
+        if dur is None:
+            if len(self._tr_cache) >= self._CACHE_LIMIT:
+                self._tr_cache.clear()
+            dur = (self.sizes_arr / bandwidth).tolist()
+            self._tr_cache[bandwidth] = dur
+        return dur
+
+    def exec_durations(self, overhead: float) -> list[float]:
+        """``overhead + runtime`` per task — the engine's dispatch op."""
+        dur = self._exec_cache.get(overhead)
+        if dur is None:
+            if len(self._exec_cache) >= self._CACHE_LIMIT:
+                self._exec_cache.clear()
+            dur = (overhead + self.runtimes_arr).tolist()
+            self._exec_cache[overhead] = dur
+        return dur
+
+    def arrival_schedule(
+        self, bandwidth: float
+    ) -> tuple[list[float], list[int], list[int]]:
+        """Stage-in arrivals pre-sorted by (end time, submission order).
+
+        On an uncontended link every shared-mode stage-in is submitted at
+        t=0 and lands at ``size / bandwidth``; the heap order of those
+        arrival events is therefore known statically per bandwidth.
+        Returns parallel lists ``(times, file_indices, submission_ranks)``
+        — the rank recovers each arrival's engine sequence number
+        (``base + rank``), keeping ties against other events exact.
+        """
+        sched = self._arrival_cache.get(bandwidth)
+        if sched is None:
+            if len(self._arrival_cache) >= self._CACHE_LIMIT:
+                self._arrival_cache.clear()
+            dur = self.transfer_durations(bandwidth)
+            input_fidx = self.input_fidx
+            order = sorted(
+                range(len(input_fidx)), key=lambda i: dur[input_fidx[i]]
+            )
+            sched = (
+                [dur[input_fidx[i]] for i in order],
+                [input_fidx[i] for i in order],
+                order,
+            )
+            self._arrival_cache[bandwidth] = sched
+        return sched
+
 
 _LOWERINGS: "WeakKeyDictionary[Workflow, _Lowering]" = WeakKeyDictionary()
 
@@ -232,17 +329,31 @@ _COPY = 4  # remote-I/O input copy arrival            a = task, b = file
 _ROUT = 5  # remote-I/O per-task stage-out completion a = task, b = file
 
 
+@dataclass(frozen=True)
+class KernelConfig:
+    """One configuration of a :func:`run_fast_kernel_batch` call.
+
+    Bundles exactly the per-run parameters of :func:`run_fast_kernel`
+    minus the workflow, which the batch shares.
+    """
+
+    environment: "ExecutionEnvironment"
+    data_mode: DataMode | str = DataMode.REGULAR
+    ordering: TaskOrdering = field(default=FIFO_ORDER)
+
+
 def run_fast_kernel(
     workflow: Workflow,
     environment,
     data_mode: DataMode | str = DataMode.REGULAR,
     ordering: TaskOrdering = FIFO_ORDER,
 ) -> SimulationResult:
-    """Execute one workflow under the simple resource model.
+    """Execute one workflow on the fast kernel.
 
-    Raises :class:`KernelIneligibleError` when the environment needs the
-    event engine (contended link, finite storage); failure models are not
-    representable here at all, so callers gate on :func:`kernel_eligible`.
+    Handles every :class:`~repro.sim.executor.ExecutionEnvironment` —
+    contended FIFO links and finite storage capacities included.
+    Failure models are not representable here at all, so callers gate on
+    :func:`kernel_eligible` (which now excludes only failures).
     """
     if isinstance(data_mode, str):
         data_mode = DataMode(data_mode)
@@ -250,18 +361,111 @@ def run_fast_kernel(
         raise ValueError(
             f"need at least one processor, got {environment.n_processors}"
         )
-    if not kernel_eligible(environment):
-        raise KernelIneligibleError(
-            "fast kernel requires link_contention=False and infinite "
-            "storage; use kernel='event' (or 'auto') for "
-            f"{environment!r}"
+    low = _lowering(workflow)
+    tr_dur = (low.sizes_arr / environment.bandwidth_bytes_per_sec).tolist()
+    exec_dur = (
+        environment.task_overhead_seconds + low.runtimes_arr
+    ).tolist()
+    if environment.storage_capacity_bytes is not None:
+        return _run_capacity(
+            workflow, low, environment, data_mode, ordering, tr_dur, exec_dur
         )
+    return _run_single(
+        workflow, low, environment, data_mode, ordering, tr_dur, exec_dur
+    )
 
+
+def run_fast_kernel_batch(
+    workflow: Workflow, configs: Sequence[KernelConfig]
+) -> list[SimulationResult]:
+    """Execute many configurations of one workflow in a single pass.
+
+    The DAG is lowered once (reusing the memoized, version-guarded
+    :class:`_Lowering`) and the per-parameter derived vectors — transfer
+    durations per bandwidth, execution durations per overhead, the
+    sorted stage-in arrival schedule — are shared across every
+    configuration that uses them, so a 128-point processor ladder pays
+    for its array building exactly once.  Traceless shared-storage
+    configurations additionally run on a specialized merged-stream loop
+    (:func:`_run_turbo`) that skips the event heap for stage-in arrivals
+    and integrates the storage curve incrementally.
+
+    Results are bit-identical to per-run :func:`run_fast_kernel` calls
+    (and therefore to the event engine), in input order.
+    """
+    low = _lowering(workflow)
+    results: list[SimulationResult] = []
+    for cfg in configs:
+        env = cfg.environment
+        mode = cfg.data_mode
+        if isinstance(mode, str):
+            mode = DataMode(mode)
+        if env.n_processors < 1:
+            raise ValueError(
+                f"need at least one processor, got {env.n_processors}"
+            )
+        tr_dur = low.transfer_durations(env.bandwidth_bytes_per_sec)
+        exec_dur = low.exec_durations(env.task_overhead_seconds)
+        if env.storage_capacity_bytes is not None:
+            result = _run_capacity(
+                workflow, low, env, mode, cfg.ordering, tr_dur, exec_dur
+            )
+        elif (
+            not env.record_trace
+            and not env.link_contention
+            and mode is not DataMode.REMOTE_IO
+            and low.n_tasks
+        ):
+            result = _run_turbo(
+                workflow, low, env, mode, cfg.ordering, tr_dur, exec_dur
+            )
+        else:
+            result = _run_single(
+                workflow, low, env, mode, cfg.ordering, tr_dur, exec_dur
+            )
+        results.append(result)
+    return results
+
+
+# ------------------------------------------------------------------ #
+# shared helpers
+# ------------------------------------------------------------------ #
+def _replay(deltas: list) -> StepCurve:
+    """Replay occupancy deltas into a StepCurve (bit-identical curves).
+
+    Delta times are non-decreasing (heap-ordered events), so this is
+    exactly StepCurve.add's tail path: skip zero deltas, coalesce
+    same-time deltas into the last value, append otherwise.
+    """
+    times: list[float] = []
+    values: list[float] = []
+    for time, delta in deltas:
+        if delta == 0.0:
+            continue
+        if times and time == times[-1]:
+            values[-1] += delta
+        else:
+            values.append((values[-1] if values else 0.0) + delta)
+            times.append(time)
+    return StepCurve.from_changes(times, values)
+
+
+# ------------------------------------------------------------------ #
+# single-run loop (infinite storage; dedicated or contended link)
+# ------------------------------------------------------------------ #
+def _run_single(
+    workflow: Workflow,
+    low: _Lowering,
+    environment,
+    data_mode: DataMode,
+    ordering: TaskOrdering,
+    tr_dur: list[float],
+    exec_dur: list[float],
+) -> SimulationResult:
     remote = data_mode is DataMode.REMOTE_IO
     cleanup = data_mode is DataMode.CLEANUP
     trace = environment.record_trace
 
-    low = _lowering(workflow)
     n_tasks = low.n_tasks
     task_ids = low.task_ids
     fnames = low.fnames
@@ -275,13 +479,6 @@ def run_fast_kernel(
     input_fidx = low.input_fidx
     output_fidx = low.output_fidx
 
-    bandwidth = environment.bandwidth_bytes_per_sec
-    overhead = environment.task_overhead_seconds
-    # Bit-identical to the engine's per-transfer size / bandwidth and
-    # per-dispatch overhead + runtime (same IEEE ops, vectorized).
-    tr_dur = (low.sizes_arr / bandwidth).tolist()
-    exec_dur = (overhead + low.runtimes_arr).tolist()
-
     if cleanup:
         release_candidates, need = low.cleanup_tables()
         release_need = list(need)
@@ -290,6 +487,13 @@ def run_fast_kernel(
 
     fifo = ordering is FIFO_ORDER
     okey = ordering.key
+
+    # Contended (FIFO) link: each lane serializes, `start = max(now,
+    # busy_until)`, exactly NetworkLink.request.  With separate_links the
+    # out direction queues on its own lane, otherwise both share lane 0.
+    contended = environment.link_contention
+    lanes = [0.0, 0.0]
+    OUT = 1 if environment.separate_links else 0
 
     # ---------------------------------------------------------------- #
     # mutable run state
@@ -341,11 +545,18 @@ def run_fast_kernel(
             for f in task_inputs[t]:
                 bytes_in += sizes[f]
                 n_in += 1
-                end = now + tr_dur[f]
+                if contended:
+                    b = lanes[0]
+                    start = b if b > now else now
+                    end = start + tr_dur[f]
+                    lanes[0] = end
+                else:
+                    start = now
+                    end = now + tr_dur[f]
                 if trace:
                     transfer_records.append(
                         TransferRecord(
-                            fnames[f], sizes[f], "in", now, end, task_ids[t]
+                            fnames[f], sizes[f], "in", start, end, task_ids[t]
                         )
                     )
                 heappush(heap, (end, seq, _COPY, t, f))
@@ -360,7 +571,7 @@ def run_fast_kernel(
             seq += 1
 
     def dispatch() -> None:
-        """Mirror of WorkflowExecutor._dispatch for the eligible class."""
+        """Mirror of WorkflowExecutor._dispatch for infinite storage."""
         nonlocal seq, free, boot_scheduled, booting, ready_head
         nonlocal n_exec, compute_seconds
         if booting:
@@ -446,15 +657,22 @@ def run_fast_kernel(
         for t in range(n_tasks):
             if not n_inputs[t]:
                 ready_task(t)
-        # Infinite capacity: every stage-in is submitted immediately and
-        # runs uncontended, arriving after size / bandwidth.
+        # Infinite capacity: every stage-in is submitted immediately,
+        # arriving after size / bandwidth (serialized when contended).
         for f in input_fidx:
             bytes_in += sizes[f]
             n_in += 1
-            end = now + tr_dur[f]
+            if contended:
+                b = lanes[0]
+                start = b if b > now else now
+                end = start + tr_dur[f]
+                lanes[0] = end
+            else:
+                start = now
+                end = now + tr_dur[f]
             if trace:
                 transfer_records.append(
-                    TransferRecord(fnames[f], sizes[f], "in", now, end, None)
+                    TransferRecord(fnames[f], sizes[f], "in", start, end, None)
                 )
             heappush(heap, (end, seq, _SIN, f, 0))
             seq += 1
@@ -490,11 +708,18 @@ def run_fast_kernel(
                     refcount[f] += 1
                     bytes_out += sizes[f]
                     n_out += 1
-                    end = now + tr_dur[f]
+                    if contended:
+                        bl = lanes[OUT]
+                        start = bl if bl > now else now
+                        end = start + tr_dur[f]
+                        lanes[OUT] = end
+                    else:
+                        start = now
+                        end = now + tr_dur[f]
                     if trace:
                         transfer_records.append(
                             TransferRecord(
-                                fnames[f], sizes[f], "out", now, end,
+                                fnames[f], sizes[f], "out", start, end,
                                 task_ids[t],
                             )
                         )
@@ -530,11 +755,19 @@ def run_fast_kernel(
                     for f in output_fidx:
                         bytes_out += sizes[f]
                         n_out += 1
-                        end = now + tr_dur[f]
+                        if contended:
+                            bl = lanes[OUT]
+                            start = bl if bl > now else now
+                            end = start + tr_dur[f]
+                            lanes[OUT] = end
+                        else:
+                            start = now
+                            end = now + tr_dur[f]
                         if trace:
                             transfer_records.append(
                                 TransferRecord(
-                                    fnames[f], sizes[f], "out", now, end, None
+                                    fnames[f], sizes[f], "out", start, end,
+                                    None,
                                 )
                             )
                         heappush(heap, (end, seq, _SOUT, f, 0))
@@ -598,24 +831,784 @@ def run_fast_kernel(
             f"{n_tasks - n_done} tasks incomplete"
         )
 
-    # ---------------------------------------------------------------- #
-    # replay occupancy deltas into StepCurves (bit-identical curves)
-    # ---------------------------------------------------------------- #
-    # Delta times are non-decreasing (heap-ordered events), so this is
-    # exactly StepCurve.add's tail path: skip zero deltas, coalesce
-    # same-time deltas into the last value, append otherwise.
-    def _replay(deltas: list) -> StepCurve:
-        times: list[float] = []
-        values: list[float] = []
-        for time, delta in deltas:
-            if delta == 0.0:
-                continue
-            if times and time == times[-1]:
-                values[-1] += delta
+    storage_curve = _replay(storage_deltas)
+    busy_curve = _replay(busy_deltas) if busy_deltas is not None else None
+
+    return SimulationResult(
+        workflow_name=workflow.name,
+        n_processors=environment.n_processors,
+        data_mode=data_mode.value,
+        makespan=finished_at,
+        bytes_in=bytes_in,
+        bytes_out=bytes_out,
+        storage_byte_seconds=storage_curve.integral(0.0, finished_at),
+        peak_storage_bytes=storage_curve.max_value(),
+        cpu_busy_seconds=held_seconds,
+        compute_seconds=compute_seconds,
+        n_transfers_in=n_in,
+        n_transfers_out=n_out,
+        n_task_executions=n_exec,
+        n_task_failures=0,
+        task_records=task_records,
+        transfer_records=transfer_records,
+        storage_curve=storage_curve if trace else None,
+        busy_curve=busy_curve,
+    )
+
+
+# ------------------------------------------------------------------ #
+# turbo loop: batched traceless shared-storage configurations
+# ------------------------------------------------------------------ #
+def _run_turbo(
+    workflow: Workflow,
+    low: _Lowering,
+    environment,
+    data_mode: DataMode,
+    ordering: TaskOrdering,
+    tr_dur: list[float],
+    exec_dur: list[float],
+) -> SimulationResult:
+    """Merged-stream loop for traceless regular/cleanup configurations.
+
+    The per-run event heap degenerates once traces are off and storage
+    is infinite: stage-in arrival times are statically known (sorted
+    once per batch by :meth:`_Lowering.arrival_schedule`), completions
+    live in a heap bounded by the processor count, and the boot wakeup
+    is a single scalar.  This loop merges the three streams by the same
+    ``(time, seq)`` order the engine's heap would produce — arrival
+    sequence numbers are recovered as ``base + submission_rank`` — and
+    accumulates the storage byte-seconds integral and peak incrementally
+    (the exact float operations of ``StepCurve._replay`` +
+    ``integral(0, makespan)`` + ``max_value()``, without building the
+    curve).  Everything else (dispatch shortcut, FIFO cursor queue,
+    ordering heaps, cleanup release tables) matches :func:`_run_single`
+    statement for statement, so results are bit-identical.
+    """
+    cleanup = data_mode is DataMode.CLEANUP
+
+    n_tasks = low.n_tasks
+    task_ids = low.task_ids
+    runtimes = low.runtimes
+    sizes = low.sizes
+    task_outputs = low.task_outputs
+    consumers = low.consumers
+    output_fidx = low.output_fidx
+
+    if cleanup:
+        release_candidates, need = low.cleanup_tables()
+        release_need = list(need)
+        removed = bytearray(low.n_files)
+    else:
+        release_candidates = release_need = removed = None
+
+    arr_t, arr_f, arr_rank = low.arrival_schedule(
+        environment.bandwidth_bytes_per_sec
+    )
+    n_arr = len(arr_t)
+
+    fifo = ordering is FIFO_ORDER
+    okey = ordering.key
+    push = heappush
+    pop = heappop
+
+    now = 0.0
+    seq = 0
+    rseq = 0
+    ch: list = []  # completions + stage-outs: (time, seq, idx, acquired)
+    ready: list = []
+    ready_head = 0
+    qlen = 0  # == len(ready), tracked to keep the hot checks arithmetic
+    free = environment.n_processors
+    ready_at = environment.compute_ready_seconds
+    booting = ready_at > 0.0
+    boot_scheduled = False
+    boot_pending = False
+    boot_seq = 0
+    n_done = 0
+    n_exec = 0
+    compute_seconds = 0.0
+    held_seconds = 0.0
+    bytes_out = 0.0
+    n_out = 0
+    souts_left = 0
+    finished_at: float | None = None
+    pending = list(low.n_inputs)
+    added: list[int] = []  # storage adds in engine insertion order
+    # Incremental storage accounting: value/segment-start/integral/peak,
+    # committing a segment whenever time advances past a breakpoint —
+    # the same float ops, in the same order, as replay + integral + max.
+    s_t = 0.0
+    s_v = 0.0
+    s_acc = 0.0
+    s_peak = 0.0
+
+    def dispatch() -> None:
+        nonlocal seq, free, booting, boot_scheduled, boot_pending
+        nonlocal boot_seq, ready_head, qlen, n_exec, compute_seconds
+        if booting:
+            if now < ready_at:
+                if not boot_scheduled and ready_head < qlen:
+                    boot_scheduled = True
+                    boot_pending = True
+                    boot_seq = seq
+                    seq += 1
+                return
+            booting = False
+        while free and ready_head < qlen:
+            if fifo:
+                t = ready[ready_head]
+                ready_head += 1
+                if ready_head > 64 and ready_head * 2 > qlen:
+                    del ready[:ready_head]
+                    qlen -= ready_head
+                    ready_head = 0
             else:
-                values.append((values[-1] if values else 0.0) + delta)
-                times.append(time)
-        return StepCurve.from_changes(times, values)
+                t = pop(ready)[2]
+                qlen -= 1
+            free -= 1
+            n_exec += 1
+            compute_seconds += runtimes[t]
+            push(ch, (now + exec_dur[t], seq, t, now))
+            seq += 1
+
+    # -- t = 0: no-input tasks ready, then the (virtual) stage-ins ---- #
+    for t in low.no_input_tasks:
+        if free and ready_head == qlen and not booting:
+            free -= 1
+            n_exec += 1
+            compute_seconds += runtimes[t]
+            push(ch, (now + exec_dur[t], seq, t, now))
+            seq += 1
+        else:
+            if fifo:
+                ready.append(t)
+            else:
+                push(ready, (okey(workflow, task_ids[t]), rseq, t))
+            qlen += 1
+            rseq += 1
+            if free:
+                dispatch()
+    # Arrivals occupy the next n_arr sequence numbers in submission
+    # order; later events resume counting after them.
+    base = seq
+    seq = base + n_arr
+
+    INF = float("inf")
+    k = 0
+    while True:
+        if k < n_arr:
+            at = arr_t[k]
+            aseq = base + arr_rank[k]
+        else:
+            at = INF
+            aseq = 0
+        if ch:
+            ce = ch[0]
+            ct = ce[0]
+            cseq = ce[1]
+        else:
+            ct = INF
+            cseq = 0
+        if at < ct or (at == ct and aseq < cseq):
+            et, es, which = at, aseq, 0
+        else:
+            et, es, which = ct, cseq, 1
+        if boot_pending and (
+            ready_at < et or (ready_at == et and boot_seq < es)
+        ):
+            now = ready_at
+            boot_pending = False
+            dispatch()
+            continue
+        if et == INF:
+            break
+        if which == 0:
+            # stage-in arrival
+            now = at
+            f = arr_f[k]
+            k += 1
+            d = sizes[f]
+            added.append(f)
+            if d:
+                if now != s_t:
+                    s_acc += s_v * (now - s_t)
+                    if s_v > s_peak:
+                        s_peak = s_v
+                    s_t = now
+                s_v += d
+            for c in consumers[f]:
+                p = pending[c] - 1
+                pending[c] = p
+                if not p:
+                    if free and ready_head == qlen and not booting:
+                        free -= 1
+                        n_exec += 1
+                        compute_seconds += runtimes[c]
+                        push(ch, (now + exec_dur[c], seq, c, now))
+                        seq += 1
+                    else:
+                        if fifo:
+                            ready.append(c)
+                        else:
+                            push(
+                                ready,
+                                (okey(workflow, task_ids[c]), rseq, c),
+                            )
+                        qlen += 1
+                        rseq += 1
+                        if free:
+                            dispatch()
+        else:
+            pop(ch)
+            now = ct
+            t = ce[2]
+            if t < 0:
+                # stage-out completion for file -1 - t
+                f = -1 - t
+                if cleanup:
+                    removed[f] = 1
+                    d = sizes[f]
+                    if d:
+                        if now != s_t:
+                            s_acc += s_v * (now - s_t)
+                            if s_v > s_peak:
+                                s_peak = s_v
+                            s_t = now
+                        s_v -= d
+                souts_left -= 1
+                if not souts_left:
+                    # _finalize: remaining objects go in insertion order.
+                    for g in added:
+                        if removed is not None and removed[g]:
+                            continue
+                        d = sizes[g]
+                        if d:
+                            if now != s_t:
+                                s_acc += s_v * (now - s_t)
+                                if s_v > s_peak:
+                                    s_peak = s_v
+                                s_t = now
+                            s_v -= d
+                    finished_at = now
+                    break
+                continue
+            # task completion
+            n_done += 1
+            held_seconds += now - ce[3]
+            free += 1
+            for f in task_outputs[t]:
+                added.append(f)
+                d = sizes[f]
+                if d:
+                    if now != s_t:
+                        s_acc += s_v * (now - s_t)
+                        if s_v > s_peak:
+                            s_peak = s_v
+                        s_t = now
+                    s_v += d
+            if cleanup:
+                for f in release_candidates[t]:
+                    rn = release_need[f] - 1
+                    release_need[f] = rn
+                    if not rn:
+                        removed[f] = 1
+                        d = sizes[f]
+                        if d:
+                            if now != s_t:
+                                s_acc += s_v * (now - s_t)
+                                if s_v > s_peak:
+                                    s_peak = s_v
+                                s_t = now
+                            s_v -= d
+            for f in task_outputs[t]:
+                for c in consumers[f]:
+                    p = pending[c] - 1
+                    pending[c] = p
+                    if not p:
+                        if free and ready_head == qlen and not booting:
+                            free -= 1
+                            n_exec += 1
+                            compute_seconds += runtimes[c]
+                            push(ch, (now + exec_dur[c], seq, c, now))
+                            seq += 1
+                        else:
+                            if fifo:
+                                ready.append(c)
+                            else:
+                                push(
+                                    ready,
+                                    (okey(workflow, task_ids[c]), rseq, c),
+                                )
+                            qlen += 1
+                            rseq += 1
+                            if free:
+                                dispatch()
+            if n_done == n_tasks:
+                if not output_fidx:
+                    # _finalize at the last completion time: the deltas
+                    # coalesce onto this breakpoint (peak-relevant).
+                    for g in added:
+                        if removed is not None and removed[g]:
+                            continue
+                        d = sizes[g]
+                        if d:
+                            if now != s_t:
+                                s_acc += s_v * (now - s_t)
+                                if s_v > s_peak:
+                                    s_peak = s_v
+                                s_t = now
+                            s_v -= d
+                    finished_at = now
+                    break
+                souts_left = len(output_fidx)
+                bytes_out = low.stage_out_bytes
+                n_out = len(output_fidx)
+                for f in output_fidx:
+                    push(ch, (now + tr_dur[f], seq, -1 - f, 0.0))
+                    seq += 1
+            if ready_head < qlen:
+                dispatch()
+
+    if finished_at is None:
+        raise RuntimeError(
+            "simulation deadlocked or unfinished: "
+            f"{n_tasks - n_done} tasks incomplete"
+        )
+
+    # Final segment of the integral; the value at the last breakpoint
+    # also competes for the peak (it may coalesce above earlier values).
+    s_acc += s_v * (finished_at - s_t)
+    if s_v > s_peak:
+        s_peak = s_v
+
+    return SimulationResult(
+        workflow_name=workflow.name,
+        n_processors=environment.n_processors,
+        data_mode=data_mode.value,
+        makespan=finished_at,
+        bytes_in=low.stage_in_bytes,
+        bytes_out=bytes_out,
+        storage_byte_seconds=s_acc,
+        peak_storage_bytes=s_peak,
+        cpu_busy_seconds=held_seconds,
+        compute_seconds=compute_seconds,
+        n_transfers_in=n_arr,
+        n_transfers_out=n_out,
+        n_task_executions=n_exec,
+        n_task_failures=0,
+        task_records=[],
+        transfer_records=[],
+        storage_curve=None,
+        busy_curve=None,
+    )
+
+
+# ------------------------------------------------------------------ #
+# finite-capacity loop (reservation / admission-control cascade)
+# ------------------------------------------------------------------ #
+def _run_capacity(
+    workflow: Workflow,
+    low: _Lowering,
+    environment,
+    data_mode: DataMode,
+    ordering: TaskOrdering,
+    tr_dur: list[float],
+    exec_dur: list[float],
+) -> SimulationResult:
+    """Finite ``storage_capacity_bytes``: the engine's cascade, mirrored.
+
+    Replicates ``Storage``'s reservation accounting (``fits`` compares
+    ``(stored + reserved) + n`` against ``capacity + 1e-6`` with stored
+    summed in object insertion order), the head-of-line dispatch
+    reservation (peek, reserve, break without popping on failure), the
+    gated stage-in pump with its output-headroom admission rule, and the
+    space-freed notification order — the executor's dispatcher first,
+    then the shared-storage pump — so reservation interleavings, storage
+    curves and deadlocks are all bit-identical to the event engine.
+    A deadlocked configuration raises the same ``RuntimeError`` the
+    engine's ``result()`` raises, capacity hint included.
+    """
+    remote = data_mode is DataMode.REMOTE_IO
+    cleanup = data_mode is DataMode.CLEANUP
+    trace = environment.record_trace
+
+    n_tasks = low.n_tasks
+    task_ids = low.task_ids
+    fnames = low.fnames
+    transformations = low.transformations
+    runtimes = low.runtimes
+    sizes = low.sizes
+    task_inputs = low.task_inputs
+    task_outputs = low.task_outputs
+    n_inputs = low.n_inputs
+    consumers = low.consumers
+    input_fidx = low.input_fidx
+    output_fidx = low.output_fidx
+
+    if cleanup:
+        release_candidates, need = low.cleanup_tables()
+        release_need = list(need)
+    else:
+        release_candidates = release_need = None
+
+    fifo = ordering is FIFO_ORDER
+    okey = ordering.key
+
+    contended = environment.link_contention
+    lanes = [0.0, 0.0]
+    OUT = 1 if environment.separate_links else 0
+
+    # Same float folds as the engine's `sum(size for f in ...)` calls.
+    if remote:
+        res_bytes = [
+            sum(sizes[f] for f in task_inputs[t] + task_outputs[t])
+            for t in range(n_tasks)
+        ]
+        headroom = 0.0
+    else:
+        res_bytes = [
+            sum(sizes[f] for f in task_outputs[t]) for t in range(n_tasks)
+        ]
+        headroom = max(res_bytes, default=0.0)
+    cap_eps = environment.storage_capacity_bytes + 1e-6
+
+    now = 0.0
+    seq = 0
+    rseq = 0
+    heap: list = []
+    ready: list = []
+    ready_head = 0
+    free = environment.n_processors
+    ready_at = environment.compute_ready_seconds
+    booting = ready_at > 0.0
+    boot_scheduled = False
+    n_done = 0
+    n_exec = 0
+    compute_seconds = 0.0
+    held_seconds = 0.0
+    bytes_in = 0.0
+    bytes_out = 0.0
+    n_in = 0
+    n_out = 0
+    outstanding = 0
+    stage_outs_left = 0
+    finished_at: float | None = None
+    acquired_at = [0.0] * n_tasks
+    started_at = [0.0] * n_tasks
+    pending = list(n_inputs)
+    copies_pending = [0] * n_tasks
+    refcount = [0] * low.n_files
+    done_flag = bytearray(n_tasks)
+    store: dict[int, float] = {}
+    reserved = 0.0
+    pumping = False
+    sin_queue: list[int] = []
+    storage_deltas: list = []
+    busy_deltas: list = [] if trace else None
+
+    task_records: list[TaskRecord] = []
+    transfer_records: list[TransferRecord] = []
+
+    # -- Storage admission (exact ops of resources.Storage) ----------- #
+    def fits(n: float) -> bool:
+        return (sum(store.values()) + reserved) + n <= cap_eps
+
+    def reserve(n: float) -> bool:
+        nonlocal reserved
+        if not fits(n):
+            return False
+        reserved += n
+        return True
+
+    def release_reservation(n: float) -> None:
+        nonlocal reserved
+        reserved = max(0.0, reserved - n)
+        space_freed()
+
+    def remove_obj(f: int) -> None:
+        sz = store.pop(f)
+        storage_deltas.append((now, -sz))
+        space_freed()
+
+    def space_freed() -> None:
+        # Subscriber order: the executor's dispatcher subscribes at
+        # construction, the shared-storage pump at on_start.
+        dispatch()
+        if not remote:
+            pump()
+
+    def materialize(f: int) -> None:
+        # add first, release the reservation after (committed bytes
+        # never transiently undercount)
+        store[f] = sizes[f]
+        storage_deltas.append((now, sizes[f]))
+        release_reservation(sizes[f])
+
+    # -- link (exact ops of NetworkLink.request) ---------------------- #
+    def link_end(f: int, lane: int) -> tuple[float, float]:
+        if contended:
+            b = lanes[lane]
+            start = b if b > now else now
+            end = start + tr_dur[f]
+            lanes[lane] = end
+            return start, end
+        return now, now + tr_dur[f]
+
+    # -- executor mirror ---------------------------------------------- #
+    def execute(t: int) -> None:
+        nonlocal seq, n_exec, compute_seconds
+        n_exec += 1
+        compute_seconds += runtimes[t]
+        started_at[t] = now
+        heappush(heap, (now + exec_dur[t], seq, _DONE, t, 0))
+        seq += 1
+
+    def start_task(t: int) -> None:
+        nonlocal seq, bytes_in, n_in, outstanding
+        acquired_at[t] = now
+        if busy_deltas is not None:
+            busy_deltas.append((now, 1.0))
+        if remote and n_inputs[t]:
+            copies_pending[t] = n_inputs[t]
+            for f in task_inputs[t]:
+                bytes_in += sizes[f]
+                n_in += 1
+                start, end = link_end(f, 0)
+                if trace:
+                    transfer_records.append(
+                        TransferRecord(
+                            fnames[f], sizes[f], "in", start, end, task_ids[t]
+                        )
+                    )
+                heappush(heap, (end, seq, _COPY, t, f))
+                seq += 1
+                outstanding += 1
+        else:
+            execute(t)
+
+    def dispatch() -> None:
+        nonlocal seq, free, boot_scheduled, booting, ready_head
+        if booting:
+            if now < ready_at:
+                if not boot_scheduled and ready_head < len(ready):
+                    boot_scheduled = True
+                    heappush(heap, (ready_at, seq, _BOOT, 0, 0))
+                    seq += 1
+                return
+            booting = False
+        while free and ready_head < len(ready):
+            # Head-of-line admission: reserve the task's storage before
+            # popping; on failure it stays queued for a space-freed retry.
+            t = ready[ready_head] if fifo else ready[0][2]
+            if not reserve(res_bytes[t]):
+                break
+            if fifo:
+                ready_head += 1
+                if ready_head > 64 and ready_head * 2 > len(ready):
+                    del ready[:ready_head]
+                    ready_head = 0
+            else:
+                heappop(ready)
+            free -= 1
+            start_task(t)
+
+    def ready_task(t: int) -> None:
+        nonlocal rseq
+        if fifo:
+            ready.append(t)
+        else:
+            heappush(ready, (okey(workflow, task_ids[t]), rseq, t))
+        rseq += 1
+        dispatch()
+
+    def pump() -> None:
+        """_pump_stage_ins: FIFO head-of-line, output headroom reserved."""
+        nonlocal pumping, bytes_in, n_in, seq, outstanding
+        if pumping:
+            return
+        pumping = True
+        try:
+            while sin_queue:
+                f = sin_queue[0]
+                size = sizes[f]
+                # Leave output headroom — except when the store is
+                # completely empty, where holding back cannot help.
+                admissible = fits(size + headroom) or (
+                    (sum(store.values()) + reserved) == 0.0
+                )
+                if not (admissible and reserve(size)):
+                    break
+                sin_queue.pop(0)
+                bytes_in += size
+                n_in += 1
+                start, end = link_end(f, 0)
+                if trace:
+                    transfer_records.append(
+                        TransferRecord(fnames[f], size, "in", start, end, None)
+                    )
+                heappush(heap, (end, seq, _SIN, f, 0))
+                seq += 1
+                outstanding += 1
+        finally:
+            pumping = False
+
+    def retain(f: int) -> None:
+        """Remote-I/O _retain(reserved=True): refcounted single copy."""
+        count = refcount[f]
+        if not count:
+            store[f] = sizes[f]
+            storage_deltas.append((now, sizes[f]))
+        release_reservation(sizes[f])
+        refcount[f] = count + 1
+
+    def release_file(f: int) -> None:
+        refcount[f] -= 1
+        if not refcount[f]:
+            remove_obj(f)
+
+    def mark_user_available(f: int) -> None:
+        for c in consumers[f]:
+            pending[c] -= 1
+            if not pending[c]:
+                ready_task(c)
+
+    def finalize_shared() -> None:
+        nonlocal finished_at
+        for f in list(store.keys()):
+            remove_obj(f)
+        finished_at = now
+
+    # -- t = 0 --------------------------------------------------------- #
+    if not n_tasks:
+        finished_at = 0.0
+    elif remote:
+        for t in range(n_tasks):
+            if not n_inputs[t]:
+                ready_task(t)
+        for f in input_fidx:
+            mark_user_available(f)
+    else:
+        for t in range(n_tasks):
+            if not n_inputs[t]:
+                ready_task(t)
+        sin_queue = list(input_fidx)
+        pump()
+
+    # -- event loop (runs the heap dry: post-finish stage-ins behave
+    #    exactly as the engine's) -------------------------------------- #
+    while heap:
+        now, _, kind, a, b = heappop(heap)
+        if kind == _DONE:
+            t = a
+            if trace:
+                task_records.append(
+                    TaskRecord(
+                        task_ids[t], transformations[t], started_at[t], now, 1
+                    )
+                )
+            done_flag[t] = 1
+            n_done += 1
+            held_seconds += now - acquired_at[t]
+            free += 1
+            if busy_deltas is not None:
+                busy_deltas.append((now, -1.0))
+            if remote:
+                for f in task_inputs[t]:
+                    release_file(f)
+                for f in task_outputs[t]:
+                    retain(f)
+                    bytes_out += sizes[f]
+                    n_out += 1
+                    start, end = link_end(f, OUT)
+                    if trace:
+                        transfer_records.append(
+                            TransferRecord(
+                                fnames[f], sizes[f], "out", start, end,
+                                task_ids[t],
+                            )
+                        )
+                    heappush(heap, (end, seq, _ROUT, t, f))
+                    seq += 1
+                    outstanding += 1
+                if n_done == n_tasks and not outstanding:
+                    finished_at = now
+            else:
+                for f in task_outputs[t]:
+                    materialize(f)
+                if cleanup:
+                    for f in release_candidates[t]:
+                        release_need[f] -= 1
+                        if not release_need[f] and f in store:
+                            remove_obj(f)
+                for f in task_outputs[t]:
+                    for c in consumers[f]:
+                        pending[c] -= 1
+                        if not pending[c]:
+                            ready_task(c)
+                if n_done == n_tasks:
+                    if not output_fidx:
+                        finalize_shared()
+                    else:
+                        stage_outs_left = len(output_fidx)
+                        for f in output_fidx:
+                            bytes_out += sizes[f]
+                            n_out += 1
+                            start, end = link_end(f, OUT)
+                            if trace:
+                                transfer_records.append(
+                                    TransferRecord(
+                                        fnames[f], sizes[f], "out", start,
+                                        end, None,
+                                    )
+                                )
+                            heappush(heap, (end, seq, _SOUT, f, 0))
+                            seq += 1
+                            outstanding += 1
+            dispatch()
+        elif kind == _SIN:
+            outstanding -= 1
+            f = a
+            materialize(f)
+            for c in consumers[f]:
+                pending[c] -= 1
+                if not pending[c]:
+                    ready_task(c)
+        elif kind == _COPY:
+            outstanding -= 1
+            t, f = a, b
+            retain(f)
+            copies_pending[t] -= 1
+            if not copies_pending[t]:
+                execute(t)
+        elif kind == _ROUT:
+            outstanding -= 1
+            t, f = a, b
+            release_file(f)
+            mark_user_available(f)
+            if (
+                finished_at is None
+                and n_done == n_tasks
+                and not outstanding
+            ):
+                finished_at = now
+        elif kind == _SOUT:
+            outstanding -= 1
+            f = a
+            if cleanup:
+                remove_obj(f)
+            stage_outs_left -= 1
+            if not stage_outs_left:
+                finalize_shared()
+        else:  # _BOOT
+            dispatch()
+
+    if finished_at is None:
+        stuck = [task_ids[t] for t in range(n_tasks) if not done_flag[t]]
+        raise RuntimeError(
+            f"simulation deadlocked or unfinished: {len(stuck)} tasks "
+            f"incomplete (first few: {stuck[:5]}) — the storage capacity "
+            "is too small for the workflow's minimum footprint"
+        )
 
     storage_curve = _replay(storage_deltas)
     busy_curve = _replay(busy_deltas) if busy_deltas is not None else None

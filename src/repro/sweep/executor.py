@@ -9,12 +9,23 @@ many workers actually ran.  The pipeline per batch is:
 2. deduplicate the remaining misses by fingerprint (a batch often
    contains the same point twice — e.g. Question 1 asks for regular and
    cleanup storage of the same ladder);
-3. execute the unique misses — serially, or over a
-   ``ProcessPoolExecutor`` when more than one worker resolves *and* the
-   batch of misses is at least ``MIN_PARALLEL_BATCH`` jobs
-   (``REPRO_SWEEP_MIN_BATCH``); smaller batches never amortize the pool
-   spawn + pickle cost;
-4. populate the cache and reassemble the results in input order.
+3. group the misses into execution units: jobs without failure
+   injection whose resolved kernel is ``auto``/``fast`` and that share a
+   workflow (by :meth:`~repro.workflow.dag.Workflow.fingerprint`) become
+   one :func:`repro.sim.kernel.run_fast_kernel_batch` call — the DAG is
+   lowered once for the whole unit — while everything else (failure
+   models, ``kernel="event"``) stays a per-job :meth:`SimJob.run`;
+4. execute the units — serially, or over a ``ProcessPoolExecutor`` when
+   more than one worker resolves *and* the batch of misses is at least
+   ``MIN_PARALLEL_BATCH`` jobs (``REPRO_SWEEP_MIN_BATCH``); smaller
+   batches never amortize the pool spawn + pickle cost;
+5. populate the cache and reassemble the results in input order.
+
+Batched units return results bit-identical to per-job runs (the batch
+entry point is differentially tested against the event engine), so
+per-job fingerprints and cache semantics are unchanged.  Audited runs
+bypass both the cache and the batching: every audited job is executed
+on the event engine with tracing forced on.
 
 Worker count resolution: an explicit ``workers=`` argument wins, then the
 ``REPRO_SWEEP_WORKERS`` environment variable, then ``MAX_AUTO_WORKERS``
@@ -31,7 +42,9 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
 
 from repro.audit import audit_simulation
+from repro.sim.kernel import KernelConfig, run_fast_kernel_batch
 from repro.sim.results import SimulationResult
+from repro.sim.scheduler import ordering_by_name
 from repro.sweep.cache import SimCache, default_cache
 from repro.sweep.job import SimJob
 
@@ -131,6 +144,38 @@ def _execute(job: SimJob) -> SimulationResult:
     return job.run()
 
 
+def _batchable(job: SimJob) -> bool:
+    """Can this job join a fast-kernel batch?
+
+    The batch entry point handles every environment (contended links and
+    finite capacities included); only failure injection and an explicit
+    ``kernel="event"`` pin a job to its own :func:`repro.sim.simulate`
+    call.  ``SimJob.__post_init__`` already guarantees a failure-carrying
+    job never resolves to ``"fast"``.
+    """
+    return job.failures is None and job.kernel in ("auto", "fast")
+
+
+def _execute_batch(jobs: Sequence[SimJob]) -> list[SimulationResult]:
+    """Run one workflow-sharing unit through the batched fast kernel."""
+    configs = [
+        KernelConfig(
+            environment=job.environment(),
+            data_mode=job.data_mode,
+            ordering=ordering_by_name(job.ordering),
+        )
+        for job in jobs
+    ]
+    return run_fast_kernel_batch(jobs[0].workflow, configs)
+
+
+def _run_unit(jobs: Sequence[SimJob]) -> list[SimulationResult]:
+    """Module-level pool entry point: one unit → its results, in order."""
+    if len(jobs) > 1:
+        return _execute_batch(jobs)
+    return [_execute(jobs[0])]
+
+
 def _execute_audited(job: SimJob) -> SimulationResult:
     """Run one job with tracing forced on and audit the result.
 
@@ -187,23 +232,54 @@ class SweepExecutor:
             pending.append((key, job))
 
         self.used_process_pool = False
-        if pending:
-            worker = _execute_audited if self.audit else _execute
+        if pending and self.audit:
             if self.workers > 1 and len(pending) >= resolve_min_batch():
                 self.used_process_pool = True
                 n = min(self.workers, len(pending))
                 with ProcessPoolExecutor(max_workers=n) as pool:
                     computed = list(
-                        pool.map(worker, [job for _, job in pending])
+                        pool.map(_execute_audited, [j for _, j in pending])
                     )
             else:
-                computed = [worker(job) for _, job in pending]
+                computed = [_execute_audited(job) for _, job in pending]
             for (key, _), result in zip(pending, computed):
-                if self.audit:
-                    self.audited_jobs += 1
-                else:
-                    self.cache.put(key, result)
+                self.audited_jobs += 1
                 results[key] = result
+        elif pending:
+            # Group the misses into execution units: batch-eligible jobs
+            # sharing a workflow ride one run_fast_kernel_batch call
+            # (the DAG is lowered once per unit); the rest run solo.
+            units: list[list[tuple[str, SimJob]]] = []
+            by_workflow: dict[str, int] = {}
+            for key, job in pending:
+                if _batchable(job):
+                    wkey = job.workflow.fingerprint()
+                    idx = by_workflow.get(wkey)
+                    if idx is None:
+                        by_workflow[wkey] = len(units)
+                        units.append([(key, job)])
+                    else:
+                        units[idx].append((key, job))
+                else:
+                    units.append([(key, job)])
+            if self.workers > 1 and len(pending) >= resolve_min_batch():
+                self.used_process_pool = True
+                n = min(self.workers, len(units))
+                with ProcessPoolExecutor(max_workers=n) as pool:
+                    computed_units = list(
+                        pool.map(
+                            _run_unit,
+                            [[j for _, j in unit] for unit in units],
+                        )
+                    )
+            else:
+                computed_units = [
+                    _run_unit([j for _, j in unit]) for unit in units
+                ]
+            for unit, unit_results in zip(units, computed_units):
+                for (key, _), result in zip(unit, unit_results):
+                    self.cache.put(key, result)
+                    results[key] = result
 
         return [results[key] for key in keys]
 

@@ -17,10 +17,12 @@ from repro.sim import (
     SHORTEST_FIRST,
     ExecutionEnvironment,
     FailureModel,
+    KernelConfig,
     KernelIneligibleError,
     kernel_eligible,
     resolve_kernel,
     run_fast_kernel,
+    run_fast_kernel_batch,
     simulate,
 )
 from repro.sim.kernel import KERNEL_ENV
@@ -68,35 +70,44 @@ class TestEligibility:
         env = ExecutionEnvironment(n_processors=4)
         assert kernel_eligible(env)
 
-    def test_contention_ineligible(self):
+    def test_contention_eligible(self):
+        # Contended FIFO links are modelled natively since the batched
+        # kernel PR; only failures force the event engine.
         env = ExecutionEnvironment(n_processors=4, link_contention=True)
-        assert not kernel_eligible(env)
+        assert kernel_eligible(env)
+        env = ExecutionEnvironment(
+            n_processors=4, link_contention=True, separate_links=True
+        )
+        assert kernel_eligible(env)
 
-    def test_finite_storage_ineligible(self):
+    def test_finite_storage_eligible(self):
         env = ExecutionEnvironment(
             n_processors=4, storage_capacity_bytes=1e9
         )
-        assert not kernel_eligible(env)
+        assert kernel_eligible(env)
 
     def test_failures_ineligible(self):
         env = ExecutionEnvironment(n_processors=4)
         assert not kernel_eligible(env, FailureModel(0.1, seed=1))
 
-    def test_fast_raises_on_ineligible_config(self):
-        with pytest.raises(KernelIneligibleError):
-            simulate(small_workflow(), 2, kernel="fast",
-                     link_contention=True)
-        with pytest.raises(KernelIneligibleError):
-            simulate(small_workflow(), 2, kernel="fast",
-                     storage_capacity_bytes=1e9)
+    def test_fast_raises_only_on_failures(self):
         with pytest.raises(KernelIneligibleError):
             simulate(small_workflow(), 2, kernel="fast",
                      failures=FailureModel(0.5, seed=3))
+        # Contention and finite capacity now run on the fast kernel.
+        r = simulate(small_workflow(), 2, kernel="fast",
+                     link_contention=True)
+        assert r.makespan > 0
+        r = simulate(small_workflow(), 2, kernel="fast",
+                     storage_capacity_bytes=1e9)
+        assert r.makespan > 0
 
-    def test_run_fast_kernel_rejects_directly(self):
-        env = ExecutionEnvironment(n_processors=2, link_contention=True)
-        with pytest.raises(KernelIneligibleError):
-            run_fast_kernel(small_workflow(), env)
+    def test_run_fast_kernel_handles_contention_and_capacity(self):
+        for env in (
+            ExecutionEnvironment(n_processors=2, link_contention=True),
+            ExecutionEnvironment(n_processors=2, storage_capacity_bytes=1e9),
+        ):
+            assert run_fast_kernel(small_workflow(), env).makespan > 0
 
     def test_kernel_validates_processor_count(self):
         env = ExecutionEnvironment(n_processors=0)
@@ -107,23 +118,39 @@ class TestEligibility:
 class TestAutoFallback:
     """kernel='auto' must silently take the event engine when needed."""
 
-    def test_auto_matches_event_on_ineligible_configs(self):
+    def test_auto_matches_event_on_failure_configs(self):
+        # fresh model per run: the RNG stream is consumed
+        wf = small_workflow()
+        a = simulate(wf, 2, kernel="auto",
+                     failures=FailureModel(0.3, seed=7))
+        b = simulate(wf, 2, kernel="event",
+                     failures=FailureModel(0.3, seed=7))
+        assert a == b
+
+    def test_auto_matches_event_on_newly_eligible_configs(self):
+        # Contention and capacity take the fast path under "auto" now —
+        # and the results must still equal the event engine's exactly.
         wf = small_workflow()
         for kwargs in (
             {"link_contention": True},
+            {"link_contention": True, "separate_links": True},
             {"storage_capacity_bytes": 1e9},
-            {"failures": FailureModel(0.3, seed=7)},
+            {"storage_capacity_bytes": 1.2e7, "link_contention": True},
         ):
-            if "failures" in kwargs:
-                # fresh model per run: the RNG stream is consumed
-                a = simulate(wf, 2, kernel="auto",
-                             failures=FailureModel(0.3, seed=7))
-                b = simulate(wf, 2, kernel="event",
-                             failures=FailureModel(0.3, seed=7))
-            else:
-                a = simulate(wf, 2, kernel="auto", **kwargs)
-                b = simulate(wf, 2, kernel="event", **kwargs)
+            a = simulate(wf, 2, kernel="auto", **kwargs)
+            b = simulate(wf, 2, kernel="event", **kwargs)
             assert a == b
+
+    def test_auto_matches_event_deadlock_on_tight_capacity(self):
+        # A capacity below the workflow's footprint deadlocks — on both
+        # backends, with the same message.
+        wf = small_workflow()
+        errs = []
+        for kernel in ("auto", "event"):
+            with pytest.raises(RuntimeError, match="capacity") as err:
+                simulate(wf, 2, kernel=kernel, storage_capacity_bytes=7e6)
+            errs.append(str(err.value))
+        assert errs[0] == errs[1]
 
     def test_audited_auto_run_uses_event_engine(self):
         # audit=True forces the event path under "auto" (the oracle's
@@ -137,7 +164,7 @@ class TestAutoFallback:
         wf = small_workflow()
         monkeypatch.setenv(KERNEL_ENV, "fast")
         with pytest.raises(KernelIneligibleError):
-            simulate(wf, 2, link_contention=True)
+            simulate(wf, 2, failures=FailureModel(0.2, seed=11))
         monkeypatch.setenv(KERNEL_ENV, "event")
         assert simulate(wf, 2) == simulate(wf, 2, kernel="fast")
 
@@ -211,6 +238,81 @@ class TestKernelUnderAudit:
             kernel="fast", audit=True,
         )
         assert result.makespan > 30.0
+
+
+class TestBatchKernel:
+    """run_fast_kernel_batch ≡ per-run run_fast_kernel ≡ event engine."""
+
+    def test_processor_ladder_identical(self):
+        wf = montage_workflow(1.0)
+        envs = [
+            ExecutionEnvironment(n_processors=p, record_trace=False)
+            for p in (1, 2, 4, 8, 16, 32)
+        ]
+        configs = [
+            KernelConfig(environment=e, data_mode="cleanup") for e in envs
+        ]
+        batch = run_fast_kernel_batch(wf, configs)
+        for env, got in zip(envs, batch):
+            assert got == run_fast_kernel(wf, env, data_mode="cleanup")
+            assert got == simulate(
+                wf, env.n_processors, data_mode="cleanup",
+                record_trace=False, kernel="event",
+            )
+
+    def test_heterogeneous_configs_identical(self):
+        # One batch mixing modes, orderings, traces, contention and
+        # capacity — every config must match its own per-run result.
+        wf = small_workflow()
+        specs = [
+            dict(data_mode="regular"),
+            dict(data_mode="cleanup", ordering=LONGEST_FIRST),
+            dict(data_mode="remote-io"),
+            dict(data_mode="regular", record_trace=True),
+            dict(data_mode="cleanup", link_contention=True),
+            dict(data_mode="cleanup", storage_capacity_bytes=8e6),
+            dict(data_mode="regular", storage_capacity_bytes=1.2e7),
+            dict(data_mode="cleanup", task_overhead_seconds=1.5,
+                 compute_ready_seconds=20.0),
+        ]
+        configs = []
+        for s in specs:
+            s = dict(s)
+            mode = s.pop("data_mode")
+            order = s.pop("ordering", FIFO_ORDER)
+            env = ExecutionEnvironment(
+                n_processors=2, record_trace=s.pop("record_trace", False),
+                **s,
+            )
+            configs.append(
+                KernelConfig(environment=env, data_mode=mode, ordering=order)
+            )
+        batch = run_fast_kernel_batch(wf, configs)
+        for cfg, got in zip(configs, batch):
+            assert got == run_fast_kernel(
+                wf, cfg.environment, cfg.data_mode, ordering=cfg.ordering
+            )
+
+    def test_batch_deadlock_matches_per_run_error(self):
+        wf = small_workflow()
+        env = ExecutionEnvironment(
+            n_processors=2, storage_capacity_bytes=1e3
+        )
+        with pytest.raises(RuntimeError, match="capacity") as batch_err:
+            run_fast_kernel_batch(wf, [KernelConfig(environment=env)])
+        with pytest.raises(RuntimeError, match="capacity") as single_err:
+            simulate(wf, 2, storage_capacity_bytes=1e3, kernel="event")
+        assert str(batch_err.value) == str(single_err.value)
+
+    def test_empty_batch(self):
+        assert run_fast_kernel_batch(small_workflow(), []) == []
+
+    def test_batch_validates_processor_count(self):
+        env = ExecutionEnvironment(n_processors=0)
+        with pytest.raises(ValueError, match="at least one processor"):
+            run_fast_kernel_batch(
+                small_workflow(), [KernelConfig(environment=env)]
+            )
 
 
 class TestLoweringCache:

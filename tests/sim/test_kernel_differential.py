@@ -10,7 +10,7 @@ shows up as a failure with a shrunken DAG attached.
 """
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.sim import (
     FIFO_ORDER,
@@ -93,6 +93,101 @@ def test_kernel_identical_across_bandwidths(wf, p, bandwidth):
     assert a == b
 
 
+@settings(max_examples=100, deadline=None)
+@given(
+    wf=workflows(),
+    p=st.integers(1, 6),
+    mode=st.sampled_from(DATA_MODES),
+    sep=st.booleans(),
+    trace=st.booleans(),
+)
+def test_kernel_identical_with_contended_link(wf, p, mode, sep, trace):
+    # The contended FIFO link serializes per lane; separate_links splits
+    # stage-in and stage-out onto independent lanes.  Bit-identical
+    # transfer records (queued start times included) are required.
+    a, b = both(
+        wf,
+        n_processors=p,
+        data_mode=mode,
+        link_contention=True,
+        separate_links=sep,
+        record_trace=trace,
+    )
+    assert a == b
+
+
+def both_or_deadlock(wf, **kwargs):
+    """Run both backends; return (result, error-message) per backend.
+
+    A capacity below the workflow's minimum footprint deadlocks — the
+    kernel must deadlock on exactly the same configurations, with
+    exactly the same diagnostic.
+    """
+    out = []
+    for kernel in ("event", "fast"):
+        try:
+            out.append((simulate(wf, kernel=kernel, **kwargs), None))
+        except RuntimeError as err:
+            out.append((None, str(err)))
+    return out
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    wf=workflows(),
+    p=st.integers(1, 6),
+    mode=st.sampled_from(DATA_MODES),
+    frac=st.sampled_from([0.1, 0.3, 0.6, 1.0, 2.0]),
+    cont=st.booleans(),
+    trace=st.booleans(),
+)
+def test_kernel_identical_with_finite_capacity(wf, p, mode, frac, cont, trace):
+    # Capacity as a fraction of the total byte footprint exercises both
+    # the admission-control stalls (small fractions) and the unconstrained
+    # regime (fraction 2.0); deadlocks must agree byte-for-byte too.
+    total = sum(f.size_bytes for f in wf.files.values())
+    (a, a_err), (b, b_err) = both_or_deadlock(
+        wf,
+        n_processors=p,
+        data_mode=mode,
+        storage_capacity_bytes=max(total * frac, 1.0),
+        link_contention=cont,
+        record_trace=trace,
+    )
+    assert a_err == b_err
+    assert a == b
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    wf=workflows(),
+    ps=st.lists(st.integers(1, 8), min_size=1, max_size=6),
+    mode=st.sampled_from(DATA_MODES),
+    trace=st.booleans(),
+)
+def test_batch_identical_to_event_engine(wf, ps, mode, trace):
+    # One run_fast_kernel_batch call over a processor list (duplicates
+    # allowed — the lowering and derived vectors are shared) must equal
+    # per-config event-engine runs, config by config.
+    from repro.sim import ExecutionEnvironment, KernelConfig
+    from repro.sim.kernel import run_fast_kernel_batch
+
+    configs = [
+        KernelConfig(
+            environment=ExecutionEnvironment(
+                n_processors=p, record_trace=trace
+            ),
+            data_mode=mode,
+        )
+        for p in ps
+    ]
+    batch = run_fast_kernel_batch(wf, configs)
+    for p, got in zip(ps, batch):
+        assert got == simulate(
+            wf, p, data_mode=mode, record_trace=trace, kernel="event"
+        )
+
+
 @pytest.mark.audit
 @settings(max_examples=25, deadline=None)
 @given(
@@ -105,4 +200,47 @@ def test_kernel_records_satisfy_audit_oracle(wf, p, mode):
     # records and checks schedule legality — an equivalence proof that
     # does not rely on the event engine at all.
     result = simulate(wf, p, data_mode=mode, kernel="fast", audit=True)
+    assert result.n_task_executions == len(wf.tasks)
+
+
+@pytest.mark.audit
+@settings(max_examples=25, deadline=None)
+@given(
+    wf=workflows(max_tasks=8),
+    p=st.integers(1, 4),
+    mode=st.sampled_from(DATA_MODES),
+    sep=st.booleans(),
+)
+def test_contended_kernel_records_satisfy_audit_oracle(wf, p, mode, sep):
+    # The oracle's link checker enforces FIFO lane legality (no
+    # overlapping transfers per lane) — run it over the kernel's own
+    # contended-link records.
+    result = simulate(
+        wf, p, data_mode=mode, link_contention=True, separate_links=sep,
+        kernel="fast", audit=True,
+    )
+    assert result.n_task_executions == len(wf.tasks)
+
+
+@pytest.mark.audit
+@settings(max_examples=25, deadline=None)
+@given(
+    wf=workflows(max_tasks=8),
+    p=st.integers(1, 4),
+    mode=st.sampled_from(DATA_MODES),
+)
+def test_capacity_kernel_records_satisfy_audit_oracle(wf, p, mode):
+    # Feasible finite capacity (full footprint: admission control is
+    # live, but no deadlock) — the kernel's records must still pass
+    # every oracle check.
+    total = sum(f.size_bytes for f in wf.files.values())
+    try:
+        result = simulate(
+            wf, p, data_mode=mode, storage_capacity_bytes=max(total, 1.0),
+            kernel="fast", audit=True,
+        )
+    except RuntimeError:
+        # Genuinely infeasible under this mode (deadlock equality with
+        # the engine is covered by the differential property above).
+        assume(False)
     assert result.n_task_executions == len(wf.tasks)

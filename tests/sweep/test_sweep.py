@@ -305,6 +305,92 @@ class TestSerialFallback:
         assert pooled == serial
 
 
+class TestBatchGrouping:
+    """Cache-missed jobs sharing a workflow ride one batched kernel call.
+
+    The grouping is an execution detail: submission order, per-job
+    fingerprints, cache contents and the results themselves must be
+    byte-identical to independent ``job.run()`` calls.
+    """
+
+    def test_mixed_batch_matches_per_job_runs(self, montage1):
+        wf2 = _tiny_workflow("second")
+        jobs = [
+            SimJob(montage1, 16, "cleanup"),
+            SimJob(wf2, 2),  # different workflow → separate unit
+            SimJob(montage1, 4, "regular", link_contention=True),
+            SimJob(montage1, 2, kernel="event"),  # pinned → solo unit
+            SimJob(montage1, 8, "remote-io", record_trace=True),
+            SimJob(montage1, 1, failures=FailureSpec(0.05, seed=3)),
+            SimJob(montage1, 4, "cleanup", storage_capacity_bytes=5e9),
+        ]
+        expected = [job.run() for job in jobs]
+        got = SweepExecutor(workers=1, cache=SimCache()).run(jobs)
+        assert got == expected
+
+    def test_grouped_results_keep_submission_order(self, montage1):
+        wf2 = _tiny_workflow("interleaved")
+        jobs = [
+            SimJob(montage1, 16),
+            SimJob(wf2, 1),
+            SimJob(montage1, 1),
+            SimJob(wf2, 2),
+            SimJob(montage1, 4),
+        ]
+        results = SweepExecutor(workers=1, cache=SimCache()).run(jobs)
+        assert [(r.workflow_name, r.n_processors) for r in results] == [
+            (j.workflow.name, j.n_processors) for j in jobs
+        ]
+
+    def test_batched_jobs_still_cached_per_fingerprint(self, montage1):
+        cache = SimCache()
+        jobs = [SimJob(montage1, p, "cleanup") for p in (1, 2, 4, 8)]
+        executor = SweepExecutor(workers=1, cache=cache)
+        first = executor.run(jobs)
+        assert len(cache) == len(jobs)
+        assert cache.misses == len(jobs)
+        second = executor.run(jobs)
+        assert cache.hits == len(jobs)
+        assert second == first
+
+    def test_report_byte_identical_with_and_without_grouping(
+        self, montage1, isolated_default_cache, monkeypatch
+    ):
+        # Force every unit to be a singleton by pinning the event kernel
+        # via the env var (resolved at job construction), and compare a
+        # whole experiment report against the default batched path.
+        batched = run_question1(montage1, processors=PROCESSORS)
+        cache_module.reset_default_cache()
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "event")
+        solo = run_question1(montage1, processors=PROCESSORS)
+        assert batched.as_table() == solo.as_table()
+        assert batched.as_csv() == solo.as_csv()
+
+    def test_failure_jobs_never_resolve_to_fast(self, monkeypatch):
+        from repro.sim import KernelIneligibleError
+
+        wf = _tiny_workflow()
+        # Explicit kernel="fast" + failures: rejected at construction.
+        with pytest.raises(KernelIneligibleError):
+            SimJob(wf, 2, failures=FailureSpec(0.5, seed=1), kernel="fast")
+        # REPRO_SIM_KERNEL=fast must not steer failure jobs onto the
+        # kernel either: the job demotes itself to auto (event path).
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "fast")
+        job = SimJob(wf, 2, failures=FailureSpec(0.5, seed=1))
+        assert job.kernel == "auto"
+        result = job.run()  # would raise if dispatched to the kernel
+        assert result.n_task_executions >= 1
+
+    def test_audited_jobs_not_grouped(self, montage1):
+        # Audit pins the event engine per job; grouping must not change
+        # that (audited_jobs counts individual executions).
+        executor = SweepExecutor(workers=1, cache=SimCache(), audit=True)
+        jobs = [SimJob(montage1, p) for p in (2, 4)]
+        results = executor.run(jobs)
+        assert executor.audited_jobs == 2
+        assert [r.n_processors for r in results] == [2, 4]
+
+
 class TestKernelDispatch:
     def test_sweep_default_kernel_matches_event(self, montage1):
         # auto-mode sweeps take the fast kernel for eligible jobs; the

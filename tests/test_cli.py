@@ -63,12 +63,15 @@ class TestSimulate:
         fast_out = capsys.readouterr().out
         assert fast_out == event_out
 
-    def test_kernel_fast_rejects_contended_link(self):
-        from repro.sim import KernelIneligibleError
-
-        with pytest.raises(KernelIneligibleError):
-            main(["simulate", "--degree", "1", "--contended",
-                  "--kernel", "fast"])
+    def test_kernel_fast_handles_contended_link(self, capsys):
+        # Contended links run on the fast kernel now (batched-kernel
+        # PR); the output must match the event engine's exactly.
+        base = ["simulate", "--degree", "1", "--contended"]
+        assert main([*base, "--kernel", "event"]) == 0
+        event_out = capsys.readouterr().out
+        assert main([*base, "--kernel", "fast"]) == 0
+        fast_out = capsys.readouterr().out
+        assert fast_out == event_out
 
 
 class TestSweepsAndModes:
