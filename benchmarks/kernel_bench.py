@@ -24,7 +24,13 @@ script:
    ways must agree bit-for-bit (``results_identical``); the committed
    ``speedup_vs_per_run_fast`` for the Q1 ladder is gated at >= 1.5x
    by ``perf_guard.py``.
-4. **Full report** — cold ``run_all(fast=True)`` wall clock with the
+4. **Monte Carlo grid** — a (probability, seed) failure grid on the 1°
+   plate executed by ``run_monte_carlo`` (one lowering, shared derived
+   vectors, vectorized failure draws, summary-only) vs. one event-engine
+   run per cell with a fresh ``FailureModel``.  Every cell must match
+   the event engine exactly (``results_identical``); the committed
+   ``speedup_vs_event`` is gated at >= 3x by ``perf_guard.py``.
+5. **Full report** — cold ``run_all(fast=True)`` wall clock with the
    kernel in its default ``auto`` mode vs. pinned to the event engine.
 
 Usage::
@@ -267,6 +273,81 @@ def batch_whole_sky_sweep(n_plates: int) -> dict:
     }
 
 
+def montecarlo_grid(repeats: int) -> dict:
+    """A >=100-cell (probability, seed) grid, Monte Carlo vs per-run event.
+
+    ``run_monte_carlo`` lowers the 1-degree DAG once, shares its derived
+    vectors across all cells, pre-draws each seed's uniform stream with
+    one vectorized generator call, and skips trace/curve materialization
+    (summary-only).  The reference is one event-engine ``simulate`` per
+    cell with a fresh ``FailureModel`` — exactly what a robustness sweep
+    cost before this entry point existed.  Cell-by-cell equality is
+    asserted before timing.
+    """
+    from repro.montage.generator import montage_workflow
+    from repro.sim import ExecutionEnvironment, KernelConfig, simulate
+    from repro.sim.failures import FailureModel
+    from repro.sim.kernel import run_monte_carlo
+
+    wf = montage_workflow(1.0)
+    probabilities = (0.0, 0.02, 0.05, 0.10)
+    seeds = list(range(30))
+    max_retries = 25
+    config = KernelConfig(
+        environment=ExecutionEnvironment(
+            n_processors=16, record_trace=False
+        )
+    )
+
+    def run_mc():
+        return run_monte_carlo(
+            wf, config, probabilities, seeds, max_retries=max_retries
+        )
+
+    def run_event():
+        out = []
+        for prob in probabilities:
+            for seed in seeds:
+                out.append(
+                    simulate(
+                        wf, 16, record_trace=False,
+                        failures=FailureModel(
+                            prob, seed=seed, max_retries=max_retries
+                        ),
+                        kernel="event",
+                    )
+                )
+        return out
+
+    cells = run_mc()
+    start = time.perf_counter()
+    event = run_event()
+    event_s = time.perf_counter() - start
+    identical = not any(c.aborted for c in cells) and [
+        c.result for c in cells
+    ] == event
+    if not identical:
+        raise SystemExit("Monte Carlo cells diverged from event engine")
+
+    mc_s, mc_all = _best(run_mc, repeats)
+    n_cells = len(probabilities) * len(seeds)
+    return {
+        "workflow": "montage-1deg",
+        "config": "regular, 16 processors, summary-only",
+        "probabilities": list(probabilities),
+        "n_seeds": len(seeds),
+        "n_cells": n_cells,
+        "max_retries": max_retries,
+        "repeats": repeats,
+        "montecarlo_best_seconds": mc_s,
+        "montecarlo_mean_seconds": statistics.mean(mc_all),
+        "event_seconds": event_s,
+        "speedup_vs_event": event_s / mc_s,
+        "cells_per_second": n_cells / mc_s,
+        "results_identical": identical,
+    }
+
+
 def full_report(kernel: str) -> float:
     """Cold run_all(fast=True) wall clock with the kernel pinned."""
     from repro.experiments.runner import run_all
@@ -362,6 +443,17 @@ def main(argv: list[str] | None = None) -> int:
         f"  event {sky['event_seconds']:.2f} s"
         f"  speedup {sky['speedup_vs_per_run_fast']:.2f}x vs per-run fast"
         f"  (identical={sky['results_identical']})"
+    )
+
+    print("== Monte Carlo grid: 1deg, 4 probabilities x 30 seeds ==")
+    mc = montecarlo_grid(args.repeats)
+    report["montecarlo"] = mc
+    print(
+        f"  montecarlo {mc['montecarlo_best_seconds'] * 1e3:.1f} ms"
+        f"  per-run event {mc['event_seconds']:.2f} s"
+        f"  speedup {mc['speedup_vs_event']:.1f}x"
+        f"  ({mc['cells_per_second']:.0f} cells/s,"
+        f" identical={mc['results_identical']})"
     )
 
     if not args.skip_report:

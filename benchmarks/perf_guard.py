@@ -21,7 +21,9 @@ tolerance (default 25%, override via ``REPRO_PERF_TOLERANCE``, e.g.
 ``0.4`` for 40%) makes the script exit non-zero.  The batched-kernel
 numbers in ``BENCH_kernel.json`` are gated too: ``batch.q1_sweep`` must
 report ``results_identical`` and a ``speedup_vs_per_run_fast`` of at
-least 1.5x (relaxed by the same tolerance).  ``--report-only``
+least 1.5x, and ``montecarlo`` must report ``results_identical`` and a
+``speedup_vs_event`` of at least 3x (both floors relaxed by the same
+tolerance).  ``--report-only``
 prints the comparison but always exits 0 (what CI uses on pull
 requests, where shared-runner noise would make a hard gate flaky).
 
@@ -57,6 +59,11 @@ DEFAULT_TOLERANCE = 0.25
 #: The batched fast kernel must beat per-run fast-kernel calls on the
 #: Question 1 ladder by this factor (the issue's acceptance floor).
 BATCH_SPEEDUP_FLOOR = 1.5
+
+#: run_monte_carlo must beat per-cell event-engine execution of the
+#: same (probability, seed) grid by this factor (the issue's
+#: acceptance floor for the Monte Carlo entry point).
+MONTECARLO_SPEEDUP_FLOOR = 3.0
 
 
 def resolve_tolerance() -> float:
@@ -143,6 +150,26 @@ def check_kernel_batch(tolerance: float) -> list[str]:
             f"  batch.q1_sweep.speedup_vs_per_run_fast {speedup:.2f}x below "
             f"the {BATCH_SPEEDUP_FLOOR}x floor "
             f"(tolerance-adjusted: {floor:.2f}x)"
+        )
+    mc = data.get("montecarlo")
+    if mc is None:
+        failures.append(
+            f"  {KERNEL_BENCH.name}: no montecarlo section "
+            "(re-run benchmarks/kernel_bench.py)"
+        )
+        return failures
+    if not mc.get("results_identical"):
+        failures.append(
+            "  montecarlo.results_identical is not true — run_monte_carlo "
+            "no longer reproduces per-cell event-engine results"
+        )
+    mc_floor = MONTECARLO_SPEEDUP_FLOOR / (1.0 + tolerance)
+    mc_speedup = mc.get("speedup_vs_event") or 0.0
+    if mc_speedup < mc_floor:
+        failures.append(
+            f"  montecarlo.speedup_vs_event {mc_speedup:.2f}x below "
+            f"the {MONTECARLO_SPEEDUP_FLOOR}x floor "
+            f"(tolerance-adjusted: {mc_floor:.2f}x)"
         )
     return failures
 
@@ -312,7 +339,9 @@ def main(argv: list[str] | None = None) -> int:
     else:
         print(
             f"  batch.q1_sweep ok "
-            f"(speedup >= {BATCH_SPEEDUP_FLOOR}x, results identical)"
+            f"(speedup >= {BATCH_SPEEDUP_FLOOR}x, results identical); "
+            f"montecarlo ok "
+            f"(speedup >= {MONTECARLO_SPEEDUP_FLOOR}x, results identical)"
         )
 
     print("== run_all timings ==")

@@ -12,6 +12,7 @@ from repro.experiments.ablations import (
     failure_study,
     fee_sensitivity_study,
     link_contention_study,
+    montecarlo_failure_study,
     scheduler_study,
     vm_overhead_study,
 )
@@ -80,6 +81,28 @@ def test_bench_ablation_failures(benchmark, montage1, publish):
     assert study.raw[0][1] == 0
     assert study.raw[-1][1] > 0
     publish("ablation_failures", study.as_table())
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_bench_ablation_montecarlo(benchmark, montage1, publish):
+    """Failure-cost distributions over 100 seeds per probability.
+
+    The Monte Carlo upgrade of the failure ablation: mean cost inflation
+    rises monotonically with failure probability, the p=0 column is a
+    degenerate (zero-width) distribution, and the single-seed estimate
+    of ``failure_study`` is just one draw from these bands.
+    """
+    study = benchmark(montecarlo_failure_study, montage1)
+    # raw rows: (prob, aborts, retries, mean, ci, p95, cost, inflation)
+    inflations = [row[7] for row in study.raw]
+    assert inflations == sorted(inflations)
+    baseline = study.raw[0]
+    assert baseline[1] == 0 and baseline[2] == 0.0  # no aborts, no retries
+    assert baseline[4] == pytest.approx(0.0, abs=1e-9)  # zero-width CI
+    for row in study.raw[1:]:
+        assert row[5] >= row[3]  # p95 at or above the mean
+        assert row[2] > 0  # retries observed across 100 seeds
+    publish("ablation_montecarlo", study.as_table())
 
 
 @pytest.mark.benchmark(group="ablation")

@@ -12,7 +12,13 @@ three layers (see ``docs/testing.md``):
    compared at float tolerance;
 2. **schedule legality** — DAG precedence, processor capacity, the boot
    gate, retry contiguity, link bandwidth/serialization and file
-   lifecycles;
+   lifecycles; when the failure model is supplied, also retry-budget
+   and abort-path legality (no task may exceed ``max_retries + 1``
+   attempts; a zero probability admits no retries at all).  Retry
+   *re-billing* needs no extra switch: every attempt's runtime is
+   summed into the derived ``compute_seconds`` and every retry extends
+   its task's processor-hold interval, so a backend that forgets to
+   re-bill a wasted attempt fails metric reconciliation;
 3. **cost reconciliation** — :func:`repro.core.costs.compute_cost` is
    re-derived from the trace under both provisioned and on-demand plans.
 
@@ -41,7 +47,7 @@ class AuditViolation:
 
     ``category`` is one of ``trace`` (malformed records), ``metric``
     (aggregate mismatch), ``precedence``, ``capacity``, ``link``,
-    ``lifecycle`` (schedule illegality) or ``cost``.
+    ``lifecycle``, ``failure`` (schedule illegality) or ``cost``.
     """
 
     category: str
@@ -111,6 +117,7 @@ class _Auditor:
         pricing: PricingModel,
         rel_tol: float,
         abs_tol: float,
+        failures=None,
     ) -> None:
         self.result = result
         self.wf = workflow
@@ -119,6 +126,7 @@ class _Auditor:
         self.pricing = pricing
         self.rel_tol = rel_tol
         self.abs_tol = abs_tol
+        self.failures = failures
         self.report = AuditReport(result.workflow_name, result.data_mode)
         self.d = DerivedTrace(result, workflow, environment, start_time)
 
@@ -154,6 +162,7 @@ class _Auditor:
     def run(self) -> AuditReport:
         self._trace_shape()
         self._attempt_legality()
+        self._failure_legality()
         self._metrics()
         self._capacity()
         self._link_legality()
@@ -219,6 +228,36 @@ class _Auditor:
                     "immediately on the same processor: previous attempt "
                     f"ended {prev.end!r}, retry started {nxt.start!r}",
                 )
+
+    def _failure_legality(self) -> None:
+        """Retry budget and abort-path legality against the failure model.
+
+        Only runs when the caller supplied the failure model (or spec)
+        the simulation was configured with.  A completed run must have
+        kept every task within ``max_retries + 1`` attempts — a trace
+        with more proves the backend kept retrying past the point where
+        the engine raises ``WorkflowAbortedError`` — and a
+        zero-probability model admits no retries whatsoever.
+        """
+        f = self.failures
+        if f is None:
+            return
+        budget = f.max_retries + 1
+        for tid, tt in self.d.tasks.items():
+            self._check(
+                tt.n_attempts <= budget,
+                "failure",
+                f"{tid!r} ran {tt.n_attempts} attempts but "
+                f"max_retries={f.max_retries} aborts the run after "
+                f"{budget}",
+            )
+        if f.task_failure_probability == 0.0:
+            self._check(
+                self.d.n_failures == 0,
+                "failure",
+                "zero-probability failure model, yet the trace shows "
+                f"{self.d.n_failures} failed attempts",
+            )
 
     def _metrics(self) -> None:
         r, d = self.result, self.d
@@ -528,6 +567,7 @@ def audit_simulation(
     pricing: PricingModel = AWS_2008,
     rel_tol: float = 1e-9,
     abs_tol: float = 1e-9,
+    failures=None,
 ) -> AuditReport:
     """Audit one simulation against its event trace.
 
@@ -544,6 +584,15 @@ def audit_simulation(
         runs whose records carry absolute timestamps).
     pricing:
         Fee structure used for the cost-reconciliation layer.
+    failures:
+        The failure injection the run was configured with — a
+        :class:`~repro.sim.failures.FailureModel` or the sweep layer's
+        declarative ``FailureSpec`` (anything exposing
+        ``task_failure_probability`` and ``max_retries``).  Enables the
+        retry-budget / abort-path legality layer; retry re-billing is
+        checked unconditionally through metric reconciliation, since
+        every recorded attempt is re-billed into the derived
+        ``compute_seconds`` and hold intervals.
 
     Returns the :class:`AuditReport`; call
     :meth:`~AuditReport.raise_if_failed` to turn violations into an
@@ -555,5 +604,6 @@ def audit_simulation(
             "record_trace=True"
         )
     return _Auditor(
-        result, workflow, environment, start_time, pricing, rel_tol, abs_tol
+        result, workflow, environment, start_time, pricing, rel_tol,
+        abs_tol, failures,
     ).run()

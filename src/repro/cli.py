@@ -345,7 +345,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--kernel", choices=["auto", "event", "fast"], default=None,
         help="simulation backend (default: REPRO_SIM_KERNEL, else auto — "
-             "the fast array kernel unless failure injection is enabled)",
+             "the fast array kernel, which covers every configuration "
+             "including failure injection)",
     )
     p.set_defaults(handler=_cmd_simulate)
 

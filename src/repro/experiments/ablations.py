@@ -13,7 +13,11 @@ Studies
 - :func:`fee_sensitivity_study` — mode ranking across fee structures
   (the paper's "Remote I/O could win" remark);
 - :func:`link_contention_study` — GridSim dedicated vs FIFO link;
-- :func:`failure_study` — retry cost of per-task failures;
+- :func:`failure_study` — retry cost of per-task failures (single seed);
+- :func:`montecarlo_failure_study` — failure-cost *distributions*: mean
+  and p95 makespan plus cost inflation with confidence intervals over
+  ≥100 seeds per probability, via the fast kernel's
+  :func:`repro.sim.kernel.run_monte_carlo`;
 - :func:`scheduler_study` — ready-queue ordering robustness;
 - :func:`storage_capacity_study` — finite storage admission control;
 - :func:`clustering_study` — horizontal clustering vs job overhead.
@@ -23,11 +27,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.costs import compute_cost
 from repro.core.plans import ExecutionPlan, VMOverhead
 from repro.core.pricing import AWS_2008, STORAGE_HEAVY, PricingModel
 from repro.experiments.question2a import MODES, run_question2a
 from repro.experiments.report import format_table
+from repro.sim.executor import ExecutionEnvironment
+from repro.sim.kernel import KernelConfig, run_monte_carlo
 from repro.sim.scheduler import ALL_ORDERINGS
 from repro.sweep import FailureSpec, SimJob, run_jobs
 from repro.util.units import (
@@ -45,6 +53,7 @@ __all__ = [
     "fee_sensitivity_study",
     "link_contention_study",
     "failure_study",
+    "montecarlo_failure_study",
     "scheduler_study",
     "storage_capacity_study",
     "clustering_study",
@@ -239,6 +248,103 @@ def failure_study(
     )
 
 
+def montecarlo_failure_study(
+    workflow: Workflow,
+    probabilities: tuple[float, ...] = (0.0, 0.01, 0.05, 0.10),
+    n_seeds: int = 100,
+    n_processors: int = 16,
+    max_retries: int = 25,
+    pricing: PricingModel = AWS_2008,
+) -> StudyResult:
+    """Failure-cost *distributions* over a (probability, seed) grid.
+
+    Upgrades :func:`failure_study` from a single-seed point estimate to
+    mean/p95 makespan and mean on-demand cost inflation with 95%
+    normal-approximation confidence intervals across ``n_seeds`` seeds
+    per probability, executed by the fast kernel's
+    :func:`repro.sim.kernel.run_monte_carlo` (one DAG lowering, shared
+    derived vectors, vectorized failure draws).  Runs that exhaust the
+    retry budget are counted as aborts and excluded from the statistics.
+    """
+    config = KernelConfig(
+        environment=ExecutionEnvironment(
+            n_processors=n_processors, record_trace=False
+        )
+    )
+    seeds = range(n_seeds)
+    cells = run_monte_carlo(
+        workflow, config, probabilities, seeds, max_retries=max_retries
+    )
+    plan = ExecutionPlan.on_demand(n_processors)
+    raw = []
+    baseline_cost: float | None = None
+    for i, prob in enumerate(probabilities):
+        block = cells[i * n_seeds : (i + 1) * n_seeds]
+        completed = [c.result for c in block if not c.aborted]
+        n_aborted = n_seeds - len(completed)
+        if not completed:
+            raw.append(
+                (prob, n_aborted, float("nan"), float("nan"),
+                 float("nan"), float("nan"), float("nan"), float("nan"))
+            )
+            continue
+        spans = np.array([r.makespan for r in completed])
+        costs = np.array(
+            [compute_cost(r, pricing, plan).total for r in completed]
+        )
+        retries = float(np.mean([r.n_task_failures for r in completed]))
+        n = len(spans)
+        span_ci = (
+            1.96 * float(np.std(spans, ddof=1)) / float(np.sqrt(n))
+            if n > 1
+            else 0.0
+        )
+        cost_mean = float(np.mean(costs))
+        if baseline_cost is None:
+            baseline_cost = cost_mean
+        raw.append(
+            (
+                prob,
+                n_aborted,
+                retries,
+                float(np.mean(spans)),
+                span_ci,
+                float(np.percentile(spans, 95)),
+                cost_mean,
+                cost_mean / baseline_cost,
+            )
+        )
+    return StudyResult(
+        name="montecarlo",
+        title=(
+            f"Monte Carlo failure ablation — {workflow.name} on "
+            f"{n_processors} processors, {n_seeds} seeds/probability"
+        ),
+        headers=(
+            "failure prob", "aborts", "mean retries",
+            "mean time ± 95% CI", "p95 time",
+            "mean on-demand $", "inflation",
+        ),
+        rows=[
+            (
+                f"{p:.0%}",
+                aborts,
+                f"{retries:.1f}" if retries == retries else "-",
+                (
+                    f"{format_duration(mean)} ± {ci:.1f} s"
+                    if mean == mean
+                    else "-"
+                ),
+                format_duration(p95) if p95 == p95 else "-",
+                format_money(cost) if cost == cost else "-",
+                f"{infl:.3f}x" if infl == infl else "-",
+            )
+            for p, aborts, retries, mean, ci, p95, cost, infl in raw
+        ],
+        raw=raw,
+    )
+
+
 def scheduler_study(
     workflow: Workflow, n_processors: int = 16
 ) -> StudyResult:
@@ -359,6 +465,7 @@ def all_studies(workflow: Workflow) -> list[StudyResult]:
         fee_sensitivity_study(workflow),
         link_contention_study(workflow),
         failure_study(workflow),
+        montecarlo_failure_study(workflow),
         scheduler_study(workflow),
         storage_capacity_study(workflow),
         clustering_study(workflow),

@@ -8,8 +8,9 @@ Usage::
 ladder (useful as a smoke test); the full run covers every figure and
 table of the paper's Section 6 and finishes in well under a minute.
 ``--extensions`` appends the ablation studies (billing granularity, VM
-overhead, fee sensitivity, link contention, failures, scheduler, storage
-capacity, clustering) on the 1° workload.
+overhead, fee sensitivity, link contention, failures, Monte Carlo
+failure distributions, scheduler, storage capacity, clustering) on the
+1° workload.
 """
 
 from __future__ import annotations

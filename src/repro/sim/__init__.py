@@ -17,11 +17,12 @@ workflow execution."  This subpackage is a from-scratch Python equivalent:
 * :mod:`repro.sim.executor` — the workflow execution engine tying it all
   together; :func:`repro.sim.simulate` is the main entry point;
 * :mod:`repro.sim.kernel` — the array-based fast-path kernel covering
-  every resource model except failure injection (contended links and
-  finite storage capacities included), numerically identical to the
-  event engine, selected automatically by ``simulate(..., kernel="auto")``
-  and batched across whole sweeps by
-  :func:`repro.sim.kernel.run_fast_kernel_batch`;
+  the full resource model (contended links, finite storage capacities
+  and failure injection included), numerically identical to the event
+  engine, selected automatically by ``simulate(..., kernel="auto")``,
+  batched across whole sweeps by
+  :func:`repro.sim.kernel.run_fast_kernel_batch`, and fanned over
+  (probability, seed) grids by :func:`repro.sim.kernel.run_monte_carlo`;
 * :mod:`repro.sim.results` — the measured metrics (makespan, bytes moved
   in/out, storage byte-seconds, per-task records).
 """
@@ -48,10 +49,12 @@ from repro.sim.kernel import (
     KERNEL_ENV,
     KernelConfig,
     KernelIneligibleError,
+    MonteCarloCell,
     kernel_eligible,
     resolve_kernel,
     run_fast_kernel,
     run_fast_kernel_batch,
+    run_monte_carlo,
 )
 from repro.sim.results import SimulationResult, TaskRecord, TransferRecord
 
@@ -77,10 +80,12 @@ __all__ = [
     "KERNEL_ENV",
     "KernelConfig",
     "KernelIneligibleError",
+    "MonteCarloCell",
     "kernel_eligible",
     "resolve_kernel",
     "run_fast_kernel",
     "run_fast_kernel_batch",
+    "run_monte_carlo",
     "SimulationResult",
     "TaskRecord",
     "TransferRecord",

@@ -423,18 +423,16 @@ def simulate(
     ``kernel`` selects the execution backend (default: the
     ``REPRO_SIM_KERNEL`` environment variable, else ``"auto"``):
 
-    * ``"auto"`` — use the fast array kernel
-      (:mod:`repro.sim.kernel`) when the configuration is eligible
-      (no failure model — contended links and finite storage capacities
-      are handled natively) and the run is not audited; otherwise the
-      event engine.  Both produce numerically identical results, so the
+    * ``"auto"`` — use the fast array kernel (:mod:`repro.sim.kernel`)
+      unless the run is audited; every configuration is eligible,
+      failure injection included (the kernel consumes the model's
+      seeded draw stream at the engine's exact completion points).
+      Both backends produce numerically identical results, so the
       choice is invisible except in wall-clock time.
     * ``"event"`` — always the callback event engine.
-    * ``"fast"`` — force the fast kernel; raises
-      :class:`repro.sim.kernel.KernelIneligibleError` when a failure
-      model is supplied (retries consume an RNG stream the kernel does
-      not model).  Unlike ``"auto"``, an audited run keeps the fast
-      kernel and the oracle reconciles the kernel-emitted records.
+    * ``"fast"`` — force the fast kernel.  Unlike ``"auto"``, an
+      audited run keeps the fast kernel and the oracle reconciles the
+      kernel-emitted records.
 
     Example
     -------
@@ -446,7 +444,6 @@ def simulate(
     """
     # Imported lazily to avoid a cycle (the kernel reuses sim types).
     from repro.sim.kernel import (
-        KernelIneligibleError,
         kernel_eligible,
         resolve_kernel,
         run_fast_kernel,
@@ -464,12 +461,6 @@ def simulate(
     )
     resolved = resolve_kernel(kernel)
     if resolved == "fast":
-        if not kernel_eligible(env, failures):
-            raise KernelIneligibleError(
-                "kernel='fast' cannot reproduce this configuration "
-                "(failure injection requires the event engine); use "
-                "kernel='event' or 'auto'"
-            )
         use_fast = True
     elif resolved == "auto":
         # The audit path stays on the event engine so the oracle always
@@ -478,7 +469,9 @@ def simulate(
     else:
         use_fast = False
     if use_fast:
-        result = run_fast_kernel(workflow, env, data_mode, ordering=ordering)
+        result = run_fast_kernel(
+            workflow, env, data_mode, ordering=ordering, failures=failures
+        )
     else:
         result = WorkflowExecutor(
             workflow, env, data_mode, ordering=ordering, failures=failures
@@ -487,5 +480,7 @@ def simulate(
         # Imported lazily: repro.audit sits above the sim layer.
         from repro.audit import audit_simulation
 
-        audit_simulation(result, workflow, env).raise_if_failed()
+        audit_simulation(
+            result, workflow, env, failures=failures
+        ).raise_if_failed()
     return result

@@ -10,7 +10,11 @@ task is retried on the same processor, up to ``max_retries`` extra
 attempts, after which the whole run aborts.
 
 Draws are consumed in event order from a seeded generator, so simulations
-with failures remain fully deterministic.
+with failures remain fully deterministic.  That stream is a contract:
+the fast kernel (:mod:`repro.sim.kernel`) replays the exact same draws
+at the exact same completion points, and its Monte Carlo entry point
+pre-draws the per-seed uniform stream vectorized — both produce results
+bit-identical to the event engine for any (probability, seed) pair.
 """
 
 from __future__ import annotations

@@ -49,27 +49,41 @@ Three execution paths share the lowering:
   further-specialized "turbo" loop that merges the precomputed arrival
   stream with a small completion heap and integrates the storage curve
   incrementally instead of materializing it.
-* the event engine remains the reference for failure injection (retries
-  consume an RNG stream mid-flight), which is the one remaining
-  ineligible configuration — see :func:`kernel_eligible`.
+* :func:`run_monte_carlo` — one configuration replayed over a whole
+  (probability, seed) grid of failure injections.  Per-seed uniform
+  draws are pre-drawn with vectorized numpy generators and shared
+  across every probability (a fresh model restarts the stream, so one
+  seed replays one buffer), and summary-only cells skip trace and
+  curve materialization entirely.
+
+Failure injection replays bit-identically too: the loops reproduce the
+engine's exact ``(time, seq)`` event order, so consuming the seeded
+``default_rng`` stream at each completion event — one draw per finished
+attempt, none when the probability is zero — yields identical retry
+schedules, wasted-attempt re-billing and
+:class:`~repro.sim.failures.WorkflowAbortedError` timing.  A failed
+attempt re-executes immediately on the same still-held processor
+(attempt counter bumped, compute re-billed, completion re-scheduled at
+exactly the engine's sequence point) and an exhausted retry budget
+raises before the attempt's record is written, like the engine's
+``completed`` callback.
 
 The result is numerically identical to the event engine — enforced by the
 differential Hypothesis suite in ``tests/sim/test_kernel_differential.py``
-(contended links and finite capacities included) and by running the
-:mod:`repro.audit` oracle over kernel-emitted records — at a fraction of
-the interpreter work per event.
+(contended links, finite capacities and failure injection included) and
+by running the :mod:`repro.audit` oracle over kernel-emitted records — at
+a fraction of the interpreter work per event.
 
 :func:`repro.sim.simulate` dispatches here automatically under
 ``kernel="auto"`` (the default, overridable via the ``REPRO_SIM_KERNEL``
-environment variable) and falls back to the event engine for failure
-injection; ``kernel="fast"`` with a failure model raises
-:class:`KernelIneligibleError`.
+environment variable); every resource model is eligible, so only audited
+runs pin the event engine.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Sequence
 from weakref import WeakKeyDictionary
@@ -77,6 +91,7 @@ from weakref import WeakKeyDictionary
 import numpy as np
 
 from repro.sim.datamanager import DataMode
+from repro.sim.failures import FailureModel, WorkflowAbortedError
 from repro.sim.results import SimulationResult, TaskRecord, TransferRecord
 from repro.sim.scheduler import FIFO_ORDER, TaskOrdering
 from repro.util.curve import StepCurve
@@ -90,10 +105,12 @@ __all__ = [
     "KERNELS",
     "KernelConfig",
     "KernelIneligibleError",
+    "MonteCarloCell",
     "kernel_eligible",
     "resolve_kernel",
     "run_fast_kernel",
     "run_fast_kernel_batch",
+    "run_monte_carlo",
 ]
 
 #: Environment override for the kernel choice ("auto", "event", "fast").
@@ -104,7 +121,11 @@ KERNELS = ("auto", "event", "fast")
 
 
 class KernelIneligibleError(ValueError):
-    """``kernel="fast"`` requested for a configuration it cannot handle."""
+    """``kernel="fast"`` requested for a configuration it cannot handle.
+
+    Retained for API compatibility: since the kernel learned to replay
+    failure injection, no built-in configuration raises it.
+    """
 
 
 def resolve_kernel(kernel: str | None = None) -> str:
@@ -121,14 +142,14 @@ def resolve_kernel(kernel: str | None = None) -> str:
 def kernel_eligible(environment=None, failures=None) -> bool:
     """Can the fast kernel reproduce this configuration exactly?
 
-    Every :class:`~repro.sim.executor.ExecutionEnvironment` is now in
-    scope — contended (FIFO) links and finite storage capacities
-    included — so only failure injection forces the event engine (task
-    retries consume a seeded RNG stream mid-flight, which has no
-    array-level equivalent).  The ``environment`` parameter is kept for
-    call-site symmetry and future resource models.
+    Unconditionally yes: every
+    :class:`~repro.sim.executor.ExecutionEnvironment` — contended (FIFO)
+    links and finite storage capacities included — and failure injection
+    (the seeded retry stream is consumed at the same completion-event
+    points as the engine's) are all in scope.  Both parameters are kept
+    for call-site symmetry and future resource models.
     """
-    return failures is None
+    return True
 
 
 # ------------------------------------------------------------------ #
@@ -334,12 +355,36 @@ class KernelConfig:
     """One configuration of a :func:`run_fast_kernel_batch` call.
 
     Bundles exactly the per-run parameters of :func:`run_fast_kernel`
-    minus the workflow, which the batch shares.
+    minus the workflow, which the batch shares.  ``failures`` is a
+    stateful :class:`~repro.sim.failures.FailureModel`; build a fresh one
+    per batch call (the sweep layer does this from its declarative
+    ``FailureSpec``), since its RNG stream is consumed by the replay.
     """
 
     environment: "ExecutionEnvironment"
     data_mode: DataMode | str = DataMode.REGULAR
     ordering: TaskOrdering = field(default=FIFO_ORDER)
+    failures: FailureModel | None = None
+
+
+def _failure_hook(low: _Lowering, failures: FailureModel | None):
+    """Per-completion draw callable, or None when no draw is consumed.
+
+    Mirrors :meth:`FailureModel.attempt_fails` exactly: a zero
+    probability never touches the RNG (the hook is None and the
+    no-failure loops run byte-for-byte unchanged), and the abort raise
+    carries the engine's message verbatim because it *is* the model's
+    own raise.
+    """
+    if failures is None or failures.task_failure_probability == 0.0:
+        return None
+    ids = low.task_ids
+    attempt_fails = failures.attempt_fails
+
+    def fail(t: int, attempt: int) -> bool:
+        return attempt_fails(ids[t], attempt)
+
+    return fail
 
 
 def run_fast_kernel(
@@ -347,13 +392,17 @@ def run_fast_kernel(
     environment,
     data_mode: DataMode | str = DataMode.REGULAR,
     ordering: TaskOrdering = FIFO_ORDER,
+    failures: FailureModel | None = None,
 ) -> SimulationResult:
     """Execute one workflow on the fast kernel.
 
     Handles every :class:`~repro.sim.executor.ExecutionEnvironment` —
-    contended FIFO links and finite storage capacities included.
-    Failure models are not representable here at all, so callers gate on
-    :func:`kernel_eligible` (which now excludes only failures).
+    contended FIFO links, finite storage capacities and failure
+    injection included.  A supplied ``failures`` model has its seeded
+    draw stream consumed at the same completion-event points as the
+    event engine's, so retry schedules, re-billing and
+    :class:`~repro.sim.failures.WorkflowAbortedError` raises (which
+    propagate out of this call) are bit-identical.
     """
     if isinstance(data_mode, str):
         data_mode = DataMode(data_mode)
@@ -362,16 +411,19 @@ def run_fast_kernel(
             f"need at least one processor, got {environment.n_processors}"
         )
     low = _lowering(workflow)
+    fail = _failure_hook(low, failures)
     tr_dur = (low.sizes_arr / environment.bandwidth_bytes_per_sec).tolist()
     exec_dur = (
         environment.task_overhead_seconds + low.runtimes_arr
     ).tolist()
     if environment.storage_capacity_bytes is not None:
         return _run_capacity(
-            workflow, low, environment, data_mode, ordering, tr_dur, exec_dur
+            workflow, low, environment, data_mode, ordering, tr_dur,
+            exec_dur, fail,
         )
     return _run_single(
-        workflow, low, environment, data_mode, ordering, tr_dur, exec_dur
+        workflow, low, environment, data_mode, ordering, tr_dur, exec_dur,
+        fail,
     )
 
 
@@ -391,7 +443,10 @@ def run_fast_kernel_batch(
     and integrates the storage curve incrementally.
 
     Results are bit-identical to per-run :func:`run_fast_kernel` calls
-    (and therefore to the event engine), in input order.
+    (and therefore to the event engine), in input order.  A config whose
+    failure model exhausts its retry budget raises
+    :class:`~repro.sim.failures.WorkflowAbortedError` out of the batch,
+    exactly as its own per-run call would.
     """
     low = _lowering(workflow)
     results: list[SimulationResult] = []
@@ -404,11 +459,13 @@ def run_fast_kernel_batch(
             raise ValueError(
                 f"need at least one processor, got {env.n_processors}"
             )
+        fail = _failure_hook(low, cfg.failures)
         tr_dur = low.transfer_durations(env.bandwidth_bytes_per_sec)
         exec_dur = low.exec_durations(env.task_overhead_seconds)
         if env.storage_capacity_bytes is not None:
             result = _run_capacity(
-                workflow, low, env, mode, cfg.ordering, tr_dur, exec_dur
+                workflow, low, env, mode, cfg.ordering, tr_dur, exec_dur,
+                fail,
             )
         elif (
             not env.record_trace
@@ -417,11 +474,13 @@ def run_fast_kernel_batch(
             and low.n_tasks
         ):
             result = _run_turbo(
-                workflow, low, env, mode, cfg.ordering, tr_dur, exec_dur
+                workflow, low, env, mode, cfg.ordering, tr_dur, exec_dur,
+                fail,
             )
         else:
             result = _run_single(
-                workflow, low, env, mode, cfg.ordering, tr_dur, exec_dur
+                workflow, low, env, mode, cfg.ordering, tr_dur, exec_dur,
+                fail,
             )
         results.append(result)
     return results
@@ -461,6 +520,7 @@ def _run_single(
     ordering: TaskOrdering,
     tr_dur: list[float],
     exec_dur: list[float],
+    fail=None,
 ) -> SimulationResult:
     remote = data_mode is DataMode.REMOTE_IO
     cleanup = data_mode is DataMode.CLEANUP
@@ -510,6 +570,7 @@ def _run_single(
     boot_scheduled = False
     n_done = 0
     n_exec = 0
+    n_failures = 0
     compute_seconds = 0.0
     held_seconds = 0.0
     bytes_in = 0.0
@@ -521,6 +582,7 @@ def _run_single(
     finished_at: float | None = None
     acquired_at = [0.0] * n_tasks
     started_at = [0.0] * n_tasks
+    attempts = [1] * n_tasks if fail is not None else None
     pending = list(n_inputs)  # files still missing per task
     copies_pending = [0] * n_tasks  # remote: input copies still in flight
     refcount = [0] * low.n_files  # remote: current holders per file
@@ -684,12 +746,34 @@ def _run_single(
         now, _, kind, a, b = heappop(heap)
         if kind == _DONE:
             t = a
+            if fail is None:
+                attempt = 1
+                failed = False
+            else:
+                # The engine draws at completion time, before the record
+                # is written — an exhausted budget raises right here with
+                # no record for the aborting attempt.
+                attempt = attempts[t]
+                failed = fail(t, attempt)
             if trace:
                 task_records.append(
                     TaskRecord(
-                        task_ids[t], transformations[t], started_at[t], now, 1
+                        task_ids[t], transformations[t], started_at[t], now,
+                        attempt,
                     )
                 )
+            if failed:
+                # Immediate retry on the same still-held processor: the
+                # engine's _execute re-entered from completed() — compute
+                # re-billed, completion re-scheduled, no dispatch.
+                n_failures += 1
+                attempts[t] = attempt + 1
+                n_exec += 1
+                compute_seconds += runtimes[t]
+                started_at[t] = now
+                heappush(heap, (now + exec_dur[t], seq, _DONE, t, 0))
+                seq += 1
+                continue
             n_done += 1
             held_seconds += now - acquired_at[t]
             free += 1
@@ -848,7 +932,7 @@ def _run_single(
         n_transfers_in=n_in,
         n_transfers_out=n_out,
         n_task_executions=n_exec,
-        n_task_failures=0,
+        n_task_failures=n_failures,
         task_records=task_records,
         transfer_records=transfer_records,
         storage_curve=storage_curve if trace else None,
@@ -867,6 +951,7 @@ def _run_turbo(
     ordering: TaskOrdering,
     tr_dur: list[float],
     exec_dur: list[float],
+    fail=None,
 ) -> SimulationResult:
     """Merged-stream loop for traceless regular/cleanup configurations.
 
@@ -926,12 +1011,14 @@ def _run_turbo(
     boot_seq = 0
     n_done = 0
     n_exec = 0
+    n_failures = 0
     compute_seconds = 0.0
     held_seconds = 0.0
     bytes_out = 0.0
     n_out = 0
     souts_left = 0
     finished_at: float | None = None
+    attempts = [1] * n_tasks if fail is not None else None
     pending = list(low.n_inputs)
     added: list[int] = []  # storage adds in engine insertion order
     # Incremental storage accounting: value/segment-start/integral/peak,
@@ -1093,6 +1180,18 @@ def _run_turbo(
                     break
                 continue
             # task completion
+            if fail is not None:
+                attempt = attempts[t]
+                if fail(t, attempt):
+                    # Retry on the same still-held processor, completion
+                    # re-pushed at exactly the engine's sequence point.
+                    n_failures += 1
+                    attempts[t] = attempt + 1
+                    n_exec += 1
+                    compute_seconds += runtimes[t]
+                    push(ch, (now + exec_dur[t], seq, t, ce[3]))
+                    seq += 1
+                    continue
             n_done += 1
             held_seconds += now - ce[3]
             free += 1
@@ -1195,7 +1294,7 @@ def _run_turbo(
         n_transfers_in=n_arr,
         n_transfers_out=n_out,
         n_task_executions=n_exec,
-        n_task_failures=0,
+        n_task_failures=n_failures,
         task_records=[],
         transfer_records=[],
         storage_curve=None,
@@ -1214,6 +1313,7 @@ def _run_capacity(
     ordering: TaskOrdering,
     tr_dur: list[float],
     exec_dur: list[float],
+    fail=None,
 ) -> SimulationResult:
     """Finite ``storage_capacity_bytes``: the engine's cascade, mirrored.
 
@@ -1284,6 +1384,7 @@ def _run_capacity(
     boot_scheduled = False
     n_done = 0
     n_exec = 0
+    n_failures = 0
     compute_seconds = 0.0
     held_seconds = 0.0
     bytes_in = 0.0
@@ -1295,6 +1396,7 @@ def _run_capacity(
     finished_at: float | None = None
     acquired_at = [0.0] * n_tasks
     started_at = [0.0] * n_tasks
+    attempts = [1] * n_tasks if fail is not None else None
     pending = list(n_inputs)
     copies_pending = [0] * n_tasks
     refcount = [0] * low.n_files
@@ -1500,12 +1602,29 @@ def _run_capacity(
         now, _, kind, a, b = heappop(heap)
         if kind == _DONE:
             t = a
+            if fail is None:
+                attempt = 1
+                failed = False
+            else:
+                # Draw before the record — an exhausted budget raises
+                # with no record for the aborting attempt.
+                attempt = attempts[t]
+                failed = fail(t, attempt)
             if trace:
                 task_records.append(
                     TaskRecord(
-                        task_ids[t], transformations[t], started_at[t], now, 1
+                        task_ids[t], transformations[t], started_at[t], now,
+                        attempt,
                     )
                 )
+            if failed:
+                # Retry immediately on the same still-held processor;
+                # the engine's failed branch returns before _dispatch,
+                # so no reservation or dispatch happens here either.
+                n_failures += 1
+                attempts[t] = attempt + 1
+                execute(t)
+                continue
             done_flag[t] = 1
             n_done += 1
             held_seconds += now - acquired_at[t]
@@ -1627,9 +1746,196 @@ def _run_capacity(
         n_transfers_in=n_in,
         n_transfers_out=n_out,
         n_task_executions=n_exec,
-        n_task_failures=0,
+        n_task_failures=n_failures,
         task_records=task_records,
         transfer_records=transfer_records,
         storage_curve=storage_curve if trace else None,
         busy_curve=busy_curve,
     )
+
+
+# ------------------------------------------------------------------ #
+# seed-batched Monte Carlo replay
+# ------------------------------------------------------------------ #
+@dataclass(frozen=True)
+class MonteCarloCell:
+    """One (probability, seed) replay of a :func:`run_monte_carlo` grid.
+
+    ``result`` is None exactly when ``aborted`` is true: the cell's
+    failure stream exhausted some task's retry budget, which in a
+    stand-alone simulation raises
+    :class:`~repro.sim.failures.WorkflowAbortedError` with
+    ``abort_message``.
+    """
+
+    probability: float
+    seed: int
+    result: SimulationResult | None
+    aborted: bool = False
+    abort_message: str = ""
+
+
+class _SeedDraws:
+    """Grow-only pre-drawn uniform buffer for one seed.
+
+    ``default_rng(seed).random(n)`` yields exactly the floats that ``n``
+    sequential ``.random()`` calls on the same generator would (PCG64
+    consumes its stream identically either way), so a vectorized
+    pre-draw replayed index by index is bit-identical to the engine's
+    mid-flight draws — and because a fresh :class:`FailureModel` restarts
+    the stream, one buffer serves every probability of the grid.
+    """
+
+    __slots__ = ("gen", "arr", "chunk")
+
+    def __init__(self, seed: int, n0: int, chunk: int) -> None:
+        self.gen = np.random.default_rng(seed)
+        self.arr = self.gen.random(n0)
+        self.chunk = chunk
+
+    def extend(self) -> None:
+        self.arr = np.concatenate([self.arr, self.gen.random(self.chunk)])
+
+
+def _matrix_hook(
+    stream: _SeedDraws,
+    probability: float,
+    max_retries: int,
+    task_ids: list[str],
+):
+    """Failure hook over a pre-drawn per-attempt matrix row.
+
+    One vectorized ``draws < p`` comparison per cell replaces the
+    engine's per-draw scalar compare (same IEEE-754 comparison, so the
+    verdicts are identical); the loop then just indexes booleans.
+    """
+    flags = np.less(stream.arr, probability).tolist()
+    state = [0, flags]
+
+    def fail(t: int, attempt: int) -> bool:
+        i = state[0]
+        flags = state[1]
+        if i >= len(flags):
+            stream.extend()
+            flags = np.less(stream.arr, probability).tolist()
+            state[1] = flags
+        failed = flags[i]
+        state[0] = i + 1
+        if failed and attempt > max_retries:
+            raise WorkflowAbortedError(
+                f"task {task_ids[t]!r} failed on attempt {attempt} with no "
+                "retries left"
+            )
+        return failed
+
+    return fail
+
+
+def run_monte_carlo(
+    workflow: Workflow,
+    config: KernelConfig,
+    probabilities: Sequence[float],
+    seeds: Sequence[int],
+    *,
+    max_retries: int = 10,
+    summary_only: bool = True,
+) -> list[MonteCarloCell]:
+    """Replay one configuration over a (probability, seed) failure grid.
+
+    The DAG is lowered once and the per-parameter derived vectors are
+    shared across every cell; per seed, the failure stream is pre-drawn
+    into a vectorized uniform buffer reused by every probability (a
+    fresh :class:`FailureModel` restarts its stream, so equal seeds
+    replay equal draw prefixes whatever the probability).  Each cell is
+    bit-identical to a stand-alone simulation with
+    ``FailureModel(probability, seed=seed, max_retries=max_retries)`` —
+    zero-probability cells consume no draws and equal the no-failure
+    result exactly, like the model's own early return.
+
+    ``summary_only`` (the default) forces traces off, so each surviving
+    cell carries a traceless :class:`SimulationResult` — makespan, cost
+    inputs (bytes, CPU- and byte-seconds), ``n_task_failures`` — without
+    record or curve materialization; shared-storage uncontended cells
+    then run on the turbo loop, which is what makes 100-seed grids
+    cheap.  With ``summary_only=False`` the config's own ``record_trace``
+    is honored.
+
+    A cell whose stream exhausts a retry budget does **not** raise: it
+    comes back with ``aborted=True``, ``result=None`` and the engine's
+    abort message, so one doomed cell cannot kill a statistical grid.
+
+    Returns cells in probability-major, seed-minor order (the iteration
+    order of ``itertools.product(probabilities, seeds)``).
+
+    ``config.failures`` is ignored — the grid supplies the failure
+    models.
+    """
+    env = config.environment
+    mode = config.data_mode
+    if isinstance(mode, str):
+        mode = DataMode(mode)
+    if env.n_processors < 1:
+        raise ValueError(
+            f"need at least one processor, got {env.n_processors}"
+        )
+    for p in probabilities:
+        if not 0.0 <= p < 1.0:
+            raise ValueError(
+                f"failure probability must be in [0, 1); got {p}"
+            )
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    if summary_only and env.record_trace:
+        env = replace(env, record_trace=False)
+
+    low = _lowering(workflow)
+    tr_dur = low.transfer_durations(env.bandwidth_bytes_per_sec)
+    exec_dur = low.exec_durations(env.task_overhead_seconds)
+    task_ids = low.task_ids
+    ordering = config.ordering
+    use_capacity = env.storage_capacity_bytes is not None
+    use_turbo = (
+        not use_capacity
+        and not env.record_trace
+        and not env.link_contention
+        and mode is not DataMode.REMOTE_IO
+        and low.n_tasks
+    )
+    # Initial buffer sized for the common case (a handful of retries on
+    # top of one attempt per task); heavy-failure cells grow it in
+    # chunks, and growth is shared by every later cell of that seed.
+    n0 = max(64, low.n_tasks + (low.n_tasks >> 1))
+    chunk = max(64, low.n_tasks)
+    streams: dict[int, _SeedDraws] = {}
+
+    cells: list[MonteCarloCell] = []
+    for p in probabilities:
+        for seed in seeds:
+            if p == 0.0:
+                fail = None
+            else:
+                stream = streams.get(seed)
+                if stream is None:
+                    stream = streams[seed] = _SeedDraws(seed, n0, chunk)
+                fail = _matrix_hook(stream, p, max_retries, task_ids)
+            try:
+                if use_capacity:
+                    result = _run_capacity(
+                        workflow, low, env, mode, ordering, tr_dur,
+                        exec_dur, fail,
+                    )
+                elif use_turbo:
+                    result = _run_turbo(
+                        workflow, low, env, mode, ordering, tr_dur,
+                        exec_dur, fail,
+                    )
+                else:
+                    result = _run_single(
+                        workflow, low, env, mode, ordering, tr_dur,
+                        exec_dur, fail,
+                    )
+            except WorkflowAbortedError as exc:
+                cells.append(MonteCarloCell(p, seed, None, True, str(exc)))
+            else:
+                cells.append(MonteCarloCell(p, seed, result))
+    return cells

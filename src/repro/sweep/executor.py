@@ -9,12 +9,14 @@ many workers actually ran.  The pipeline per batch is:
 2. deduplicate the remaining misses by fingerprint (a batch often
    contains the same point twice — e.g. Question 1 asks for regular and
    cleanup storage of the same ladder);
-3. group the misses into execution units: jobs without failure
-   injection whose resolved kernel is ``auto``/``fast`` and that share a
-   workflow (by :meth:`~repro.workflow.dag.Workflow.fingerprint`) become
-   one :func:`repro.sim.kernel.run_fast_kernel_batch` call — the DAG is
-   lowered once for the whole unit — while everything else (failure
-   models, ``kernel="event"``) stays a per-job :meth:`SimJob.run`;
+3. group the misses into execution units: jobs whose resolved kernel
+   is ``auto``/``fast`` — failure-injecting jobs included, since the
+   kernel replays :class:`~repro.sim.failures.FailureModel` draws
+   bit-identically — and that share a workflow (by
+   :meth:`~repro.workflow.dag.Workflow.fingerprint`) become one
+   :func:`repro.sim.kernel.run_fast_kernel_batch` call — the DAG is
+   lowered once for the whole unit — while explicit ``kernel="event"``
+   jobs stay per-job :meth:`SimJob.run` calls;
 4. execute the units — serially, or over a ``ProcessPoolExecutor`` when
    more than one worker resolves *and* the batch of misses is at least
    ``MIN_PARALLEL_BATCH`` jobs (``REPRO_SWEEP_MIN_BATCH``); smaller
@@ -147,13 +149,13 @@ def _execute(job: SimJob) -> SimulationResult:
 def _batchable(job: SimJob) -> bool:
     """Can this job join a fast-kernel batch?
 
-    The batch entry point handles every environment (contended links and
-    finite capacities included); only failure injection and an explicit
-    ``kernel="event"`` pin a job to its own :func:`repro.sim.simulate`
-    call.  ``SimJob.__post_init__`` already guarantees a failure-carrying
-    job never resolves to ``"fast"``.
+    The batch entry point handles every configuration — contended links,
+    finite capacities, and failure injection (the kernel replays the
+    model's seeded RNG stream bit-identically) — so only an explicit
+    ``kernel="event"`` pins a job to its own :func:`repro.sim.simulate`
+    call.
     """
-    return job.failures is None and job.kernel in ("auto", "fast")
+    return job.kernel in ("auto", "fast")
 
 
 def _execute_batch(jobs: Sequence[SimJob]) -> list[SimulationResult]:
@@ -163,6 +165,9 @@ def _execute_batch(jobs: Sequence[SimJob]) -> list[SimulationResult]:
             environment=job.environment(),
             data_mode=job.data_mode,
             ordering=ordering_by_name(job.ordering),
+            failures=(
+                job.failures.build() if job.failures is not None else None
+            ),
         )
         for job in jobs
     ]
@@ -189,7 +194,7 @@ def _execute_audited(job: SimJob) -> SimulationResult:
     traced = replace(job, record_trace=True, kernel="event")
     result = traced.run()
     audit_simulation(
-        result, job.workflow, traced.environment()
+        result, job.workflow, traced.environment(), failures=job.failures
     ).raise_if_failed()
     return result
 

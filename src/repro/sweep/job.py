@@ -29,7 +29,7 @@ from repro.sim.executor import (
     simulate,
 )
 from repro.sim.failures import FailureModel
-from repro.sim.kernel import KernelIneligibleError, resolve_kernel
+from repro.sim.kernel import resolve_kernel
 from repro.sim.results import SimulationResult
 from repro.sim.scheduler import ordering_by_name
 from repro.workflow.dag import Workflow
@@ -89,23 +89,19 @@ class SimJob:
         # not inside a worker process.
         DataMode(self.data_mode)
         ordering_by_name(self.ordering)
+        # A zero-probability failure spec is behaviourally identical to
+        # no failure model at all (the model consumes no draws and never
+        # fails anything); normalize it away so both spellings share one
+        # fingerprint — and therefore one memoization cache entry.
+        if (
+            self.failures is not None
+            and self.failures.task_failure_probability == 0.0
+        ):
+            object.__setattr__(self, "failures", None)
         # Resolve the kernel (arg > REPRO_SIM_KERNEL > "auto") *now*, so
         # the fingerprint — and therefore the cache key — never depends
         # on the environment of whichever process later runs the job.
-        resolved = resolve_kernel(self.kernel)
-        if self.failures is not None and resolved == "fast":
-            if self.kernel == "fast":
-                # Explicit request: fail at construction, not mid-sweep.
-                raise KernelIneligibleError(
-                    "kernel='fast' cannot simulate a failure-injecting "
-                    "job (retries need the event engine's RNG stream); "
-                    "use kernel='event' or 'auto'"
-                )
-            # REPRO_SIM_KERNEL=fast must never silently steer a
-            # failure-carrying job onto the kernel: demote to auto,
-            # which dispatches it to the event engine.
-            resolved = "auto"
-        object.__setattr__(self, "kernel", resolved)
+        object.__setattr__(self, "kernel", resolve_kernel(self.kernel))
 
     def fingerprint(self) -> str:
         """Content-addressed key (hex SHA-256) over workflow + parameters.

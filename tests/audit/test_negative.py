@@ -172,6 +172,89 @@ class TestInjectedEngineBug:
             simulate(wf, 2, "regular", audit=True)
 
 
+class TestFailureLegality:
+    """Fast-kernel failure traces: re-billing, budget and abort checks.
+
+    The satellite scenario: a kernel that forgets to re-bill a failed
+    attempt (wasted compute not added to ``compute_seconds``) must be
+    caught, as must a trace whose attempt counts exceed the declared
+    retry budget.
+    """
+
+    def _failing_run(self, kernel="fast"):
+        from repro.sim.failures import FailureModel
+
+        wf = fork_join_workflow(10, runtime=30.0)
+        for seed in range(20):
+            model = FailureModel(0.3, seed=seed, max_retries=50)
+            result = simulate(wf, 4, "regular", failures=model,
+                              kernel=kernel)
+            if result.n_task_failures:
+                return wf, result, seed
+        raise AssertionError("no seed under 20 produced a retry")
+
+    def _spec(self, seed, max_retries=50, probability=0.3):
+        from repro.sim.failures import FailureModel
+
+        # A fresh model doubles as the declarative spec: the auditor
+        # only reads task_failure_probability and max_retries.
+        return FailureModel(probability, seed=seed, max_retries=max_retries)
+
+    def test_clean_failure_trace_passes(self):
+        wf, result, seed = self._failing_run()
+        env = ExecutionEnvironment(n_processors=4)
+        report = audit_simulation(result, wf, env,
+                                  failures=self._spec(seed))
+        assert report.ok, "; ".join(str(v) for v in report.violations[:5])
+
+    def test_forgotten_rebill_is_caught(self):
+        # Kernel-bug simulation: a retried task's wasted attempt is not
+        # billed.  The oracle re-derives compute-seconds from the
+        # per-attempt records and pins the shortfall.
+        wf, result, seed = self._failing_run()
+        retried = next(r for r in result.task_records if r.attempt > 1)
+        result.compute_seconds -= wf.task(retried.task_id).runtime
+        env = ExecutionEnvironment(n_processors=4)
+        report = audit_simulation(result, wf, env,
+                                  failures=self._spec(seed))
+        assert not report.ok
+        assert any(v.category == "metric" for v in report.violations)
+
+    def test_dropped_retry_record_is_caught(self):
+        # Losing the failed attempt's record entirely (while keeping the
+        # aggregate counters) breaks attempt contiguity / the counters.
+        wf, result, seed = self._failing_run()
+        idx = next(i for i, r in enumerate(result.task_records)
+                   if r.attempt > 1)
+        result.task_records.pop(idx)
+        env = ExecutionEnvironment(n_processors=4)
+        report = audit_simulation(result, wf, env,
+                                  failures=self._spec(seed))
+        assert not report.ok
+
+    def test_retry_budget_violation_is_caught(self):
+        # The trace shows a second attempt, but the declared budget
+        # (max_retries=0) aborts the run before any retry: "failure".
+        wf, result, seed = self._failing_run()
+        env = ExecutionEnvironment(n_processors=4)
+        report = audit_simulation(
+            result, wf, env, failures=self._spec(seed, max_retries=0)
+        )
+        assert not report.ok
+        assert any(v.category == "failure" for v in report.violations)
+
+    def test_zero_probability_with_failures_is_caught(self):
+        # A zero-probability model can never produce a failed attempt.
+        wf, result, seed = self._failing_run()
+        env = ExecutionEnvironment(n_processors=4)
+        report = audit_simulation(
+            result, wf, env,
+            failures=self._spec(seed, probability=0.0),
+        )
+        assert not report.ok
+        assert any(v.category == "failure" for v in report.violations)
+
+
 class TestAuditErrorBehaviour:
     def test_error_is_picklable(self, wf):
         import pickle

@@ -9,6 +9,7 @@ from repro.experiments.ablations import (
     failure_study,
     fee_sensitivity_study,
     link_contention_study,
+    montecarlo_failure_study,
     scheduler_study,
     storage_capacity_study,
     vm_overhead_study,
@@ -29,6 +30,9 @@ class TestStudyShapes:
             fee_sensitivity_study(small),
             link_contention_study(small, processors=(1, 4)),
             failure_study(small, probabilities=(0.0, 0.2), n_processors=2),
+            montecarlo_failure_study(
+                small, probabilities=(0.0, 0.2), n_seeds=10, n_processors=2
+            ),
             scheduler_study(small, n_processors=2),
             clustering_study(small, factors=(1, 3), overheads=(0.0, 5.0),
                              n_processors=2),
@@ -50,6 +54,6 @@ class TestStudyShapes:
         studies = all_studies(montage1)
         assert [s.name for s in studies] == [
             "billing-granularity", "vm-overhead", "fee-sensitivity",
-            "link-contention", "failures", "scheduler",
+            "link-contention", "failures", "montecarlo", "scheduler",
             "storage-capacity", "clustering",
         ]

@@ -23,8 +23,10 @@ from repro.sim import (
     resolve_kernel,
     run_fast_kernel,
     run_fast_kernel_batch,
+    run_monte_carlo,
     simulate,
 )
+from repro.sim.failures import WorkflowAbortedError
 from repro.sim.kernel import KERNEL_ENV
 from repro.workflow.dag import FileSpec, Task, Workflow
 
@@ -72,7 +74,7 @@ class TestEligibility:
 
     def test_contention_eligible(self):
         # Contended FIFO links are modelled natively since the batched
-        # kernel PR; only failures force the event engine.
+        # kernel PR.
         env = ExecutionEnvironment(n_processors=4, link_contention=True)
         assert kernel_eligible(env)
         env = ExecutionEnvironment(
@@ -86,21 +88,25 @@ class TestEligibility:
         )
         assert kernel_eligible(env)
 
-    def test_failures_ineligible(self):
+    def test_failures_eligible(self):
+        # The kernel replays FailureModel draws bit-identically since
+        # the Monte Carlo PR: nothing is ineligible any more.
         env = ExecutionEnvironment(n_processors=4)
-        assert not kernel_eligible(env, FailureModel(0.1, seed=1))
+        assert kernel_eligible(env, FailureModel(0.1, seed=1))
 
-    def test_fast_raises_only_on_failures(self):
-        with pytest.raises(KernelIneligibleError):
-            simulate(small_workflow(), 2, kernel="fast",
+    def test_fast_never_raises(self):
+        # Failures, contention and finite capacity all run on the fast
+        # kernel; KernelIneligibleError survives only as an API name.
+        r = simulate(small_workflow(), 2, kernel="fast",
                      failures=FailureModel(0.5, seed=3))
-        # Contention and finite capacity now run on the fast kernel.
+        assert r.makespan > 0
         r = simulate(small_workflow(), 2, kernel="fast",
                      link_contention=True)
         assert r.makespan > 0
         r = simulate(small_workflow(), 2, kernel="fast",
                      storage_capacity_bytes=1e9)
         assert r.makespan > 0
+        assert issubclass(KernelIneligibleError, ValueError)
 
     def test_run_fast_kernel_handles_contention_and_capacity(self):
         for env in (
@@ -116,10 +122,11 @@ class TestEligibility:
 
 
 class TestAutoFallback:
-    """kernel='auto' must silently take the event engine when needed."""
+    """kernel='auto' must match the event engine on every configuration."""
 
     def test_auto_matches_event_on_failure_configs(self):
-        # fresh model per run: the RNG stream is consumed
+        # fresh model per run: the RNG stream is consumed.  Under "auto"
+        # this now rides the fast kernel's failure replay.
         wf = small_workflow()
         a = simulate(wf, 2, kernel="auto",
                      failures=FailureModel(0.3, seed=7))
@@ -163,9 +170,10 @@ class TestAutoFallback:
     def test_env_kernel_steers_simulate(self, monkeypatch):
         wf = small_workflow()
         monkeypatch.setenv(KERNEL_ENV, "fast")
-        with pytest.raises(KernelIneligibleError):
-            simulate(wf, 2, failures=FailureModel(0.2, seed=11))
+        a = simulate(wf, 2, failures=FailureModel(0.2, seed=11))
         monkeypatch.setenv(KERNEL_ENV, "event")
+        b = simulate(wf, 2, failures=FailureModel(0.2, seed=11))
+        assert a == b
         assert simulate(wf, 2) == simulate(wf, 2, kernel="fast")
 
 
@@ -339,3 +347,93 @@ class TestLoweringCache:
         v2 = wf.version
         wf.mark_output("x")
         assert wf.version > v2
+
+
+class TestMonteCarlo:
+    """run_monte_carlo: the seed-batched (probability, seed) grid."""
+
+    def _config(self, n=4, **env_kwargs):
+        return KernelConfig(
+            environment=ExecutionEnvironment(n_processors=n, **env_kwargs)
+        )
+
+    def test_cells_match_event_engine(self):
+        wf = montage_workflow(0.2)
+        probs = (0.0, 0.05, 0.15)
+        seeds = (0, 1, 2, 3)
+        cells = run_monte_carlo(wf, self._config(), probs, seeds,
+                                max_retries=50)
+        assert len(cells) == len(probs) * len(seeds)
+        i = 0
+        for prob in probs:
+            for seed in seeds:
+                cell = cells[i]
+                i += 1
+                assert (cell.probability, cell.seed) == (prob, seed)
+                assert not cell.aborted
+                ref = simulate(
+                    wf, 4, record_trace=False,
+                    failures=FailureModel(prob, seed=seed, max_retries=50),
+                    kernel="event",
+                )
+                assert cell.result == ref
+
+    def test_zero_probability_matches_no_failures_exactly(self):
+        # Satellite: p=0 and failures=None must be byte-identical —
+        # the model consumes no draws, so there is nothing to replay.
+        wf = small_workflow()
+        cells = run_monte_carlo(wf, self._config(2), [0.0], [7, 8])
+        baseline = simulate(wf, 2, record_trace=False, kernel="fast")
+        for cell in cells:
+            assert cell.result == baseline
+
+    def test_summary_only_skips_traces(self):
+        wf = small_workflow()
+        config = KernelConfig(
+            environment=ExecutionEnvironment(n_processors=2,
+                                             record_trace=True)
+        )
+        summary = run_monte_carlo(wf, config, [0.1], [0])
+        assert summary[0].result.task_records == []
+        traced = run_monte_carlo(wf, config, [0.1], [0],
+                                 summary_only=False)
+        assert len(traced[0].result.task_records) >= len(wf.tasks)
+        ref = simulate(wf, 2, record_trace=True,
+                       failures=FailureModel(0.1, seed=0), kernel="event")
+        assert traced[0].result == ref
+
+    def test_abort_cells_flagged_with_engine_message(self):
+        wf = small_workflow()
+        probs = (0.9,)
+        seeds = range(6)
+        cells = run_monte_carlo(wf, self._config(2), probs, seeds,
+                                max_retries=0)
+        aborted = [c for c in cells if c.aborted]
+        assert aborted, "p=0.9 with no retries must abort some seed"
+        for cell in cells:
+            try:
+                ref = simulate(
+                    wf, 2, record_trace=False,
+                    failures=FailureModel(0.9, seed=cell.seed,
+                                          max_retries=0),
+                    kernel="event",
+                )
+            except WorkflowAbortedError as err:
+                assert cell.aborted
+                assert cell.result is None
+                assert cell.abort_message == str(err)
+            else:
+                assert not cell.aborted
+                assert cell.result == ref
+
+    def test_validates_inputs(self):
+        wf = small_workflow()
+        with pytest.raises(ValueError, match="probability"):
+            run_monte_carlo(wf, self._config(), [1.0], [0])
+        with pytest.raises(ValueError, match="max_retries"):
+            run_monte_carlo(wf, self._config(), [0.1], [0], max_retries=-1)
+
+    def test_empty_grid(self):
+        wf = small_workflow()
+        assert run_monte_carlo(wf, self._config(), [], [0]) == []
+        assert run_monte_carlo(wf, self._config(), [0.1], []) == []

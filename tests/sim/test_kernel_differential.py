@@ -19,8 +19,9 @@ from repro.sim import (
     SHORTEST_FIRST,
     simulate,
 )
+from repro.sim.failures import FailureModel, WorkflowAbortedError
 
-from tests.strategies import DATA_MODES, workflows
+from tests.strategies import DATA_MODES, failure_specs, workflows
 
 pytestmark = pytest.mark.property
 
@@ -188,6 +189,146 @@ def test_batch_identical_to_event_engine(wf, ps, mode, trace):
         )
 
 
+def both_or_abort(wf, spec, **kwargs):
+    """Run both backends with a fresh failure model each.
+
+    Returns ``(result, abort-message)`` per backend: the kernel must
+    abort on exactly the same (workflow, seed, probability, budget)
+    cells as the engine, raising ``WorkflowAbortedError`` with the
+    engine's verbatim message (same task, same attempt number).
+    """
+    out = []
+    for kernel in ("event", "fast"):
+        try:
+            out.append(
+                (simulate(wf, kernel=kernel, failures=spec.build(),
+                          **kwargs), None)
+            )
+        except WorkflowAbortedError as err:
+            out.append((None, str(err)))
+    return out
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    wf=workflows(),
+    p=st.integers(1, 8),
+    mode=st.sampled_from(DATA_MODES),
+    spec=failure_specs(),
+    trace=st.booleans(),
+)
+def test_kernel_identical_under_failures(wf, p, mode, spec, trace):
+    # The kernel replays the seeded RNG stream at the engine's exact
+    # (time, seq) completion points: identical retry schedules, re-billed
+    # attempts, attempt numbers on every TaskRecord, and curves.  A fresh
+    # model per run — the stream is consumed.
+    a = simulate(wf, n_processors=p, data_mode=mode, record_trace=trace,
+                 failures=spec.build(), kernel="event")
+    b = simulate(wf, n_processors=p, data_mode=mode, record_trace=trace,
+                 failures=spec.build(), kernel="fast")
+    assert a == b
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    wf=workflows(),
+    p=st.integers(1, 6),
+    mode=st.sampled_from(DATA_MODES),
+    spec=failure_specs(),
+    cont=st.booleans(),
+    frac=st.sampled_from([None, 1.0, 2.0]),
+)
+def test_kernel_identical_under_failures_full_model(
+    wf, p, mode, spec, cont, frac
+):
+    # Failures stacked on the rest of the resource model: contended
+    # links and feasible finite capacity (retries re-run in place, so
+    # the footprint is unchanged and full-footprint capacity is safe).
+    total = sum(f.size_bytes for f in wf.files.values())
+    cap = None if frac is None else max(total * frac, 1.0)
+    kwargs = dict(
+        n_processors=p, data_mode=mode, link_contention=cont,
+        storage_capacity_bytes=cap, record_trace=True,
+    )
+    try:
+        a = simulate(wf, failures=spec.build(), kernel="event", **kwargs)
+    except RuntimeError:
+        # Infeasible capacity deadlock — parity is covered elsewhere.
+        assume(False)
+    b = simulate(wf, failures=spec.build(), kernel="fast", **kwargs)
+    assert a == b
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    wf=workflows(),
+    p=st.integers(1, 6),
+    mode=st.sampled_from(DATA_MODES),
+    prob=st.floats(0.3, 0.9, allow_nan=False),
+    seed=st.integers(0, 2**16),
+    retries=st.integers(0, 3),
+)
+def test_kernel_abort_parity(wf, p, mode, prob, seed, retries):
+    # Tight retry budgets + high probabilities force WorkflowAbortedError
+    # on many cells: both backends must abort on the same cells with the
+    # same message (same task, same attempt), or complete identically.
+    from repro.sweep import FailureSpec
+
+    spec = FailureSpec(prob, seed=seed, max_retries=retries)
+    (a, a_err), (b, b_err) = both_or_abort(wf, spec, n_processors=p,
+                                           data_mode=mode)
+    assert a_err == b_err
+    assert a == b
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    wf=workflows(max_tasks=10),
+    p=st.integers(1, 4),
+    mode=st.sampled_from(DATA_MODES),
+    probs=st.lists(
+        st.floats(0.0, 0.4, allow_nan=False), min_size=1, max_size=3,
+        unique=True,
+    ),
+    seeds=st.lists(st.integers(0, 2**16), min_size=1, max_size=4,
+                   unique=True),
+    retries=st.integers(0, 50),
+)
+def test_monte_carlo_identical_to_event_engine(
+    wf, p, mode, probs, seeds, retries
+):
+    # Every (probability, seed) cell of run_monte_carlo must equal a
+    # per-run event-engine simulation with a fresh FailureModel —
+    # including which cells abort, and their messages.
+    from repro.sim import ExecutionEnvironment, KernelConfig
+    from repro.sim.kernel import run_monte_carlo
+
+    config = KernelConfig(
+        environment=ExecutionEnvironment(n_processors=p), data_mode=mode
+    )
+    cells = run_monte_carlo(wf, config, probs, seeds, max_retries=retries,
+                            summary_only=True)
+    i = 0
+    for prob in probs:
+        for seed in seeds:
+            cell = cells[i]
+            i += 1
+            assert cell.probability == prob and cell.seed == seed
+            try:
+                ref = simulate(
+                    wf, p, data_mode=mode, record_trace=False,
+                    failures=FailureModel(prob, seed=seed,
+                                          max_retries=retries),
+                    kernel="event",
+                )
+            except WorkflowAbortedError as err:
+                assert cell.aborted and cell.result is None
+                assert cell.abort_message == str(err)
+                continue
+            assert not cell.aborted
+            assert cell.result == ref
+
+
 @pytest.mark.audit
 @settings(max_examples=25, deadline=None)
 @given(
@@ -201,6 +342,26 @@ def test_kernel_records_satisfy_audit_oracle(wf, p, mode):
     # does not rely on the event engine at all.
     result = simulate(wf, p, data_mode=mode, kernel="fast", audit=True)
     assert result.n_task_executions == len(wf.tasks)
+
+
+@pytest.mark.audit
+@settings(max_examples=25, deadline=None)
+@given(
+    wf=workflows(max_tasks=8),
+    p=st.integers(1, 4),
+    mode=st.sampled_from(DATA_MODES),
+    spec=failure_specs(),
+)
+def test_failure_kernel_records_satisfy_audit_oracle(wf, p, mode, spec):
+    # The oracle reconciles the kernel's own failure traces: wasted
+    # attempts re-billed into compute-seconds and cost, CPU occupancy
+    # held across retries, attempt numbering contiguous, retry budget
+    # respected — without consulting the event engine.
+    result = simulate(
+        wf, p, data_mode=mode, failures=spec.build(), kernel="fast",
+        audit=True,
+    )
+    assert result.n_task_executions == len(wf.tasks) + result.n_task_failures
 
 
 @pytest.mark.audit

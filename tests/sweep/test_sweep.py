@@ -366,20 +366,38 @@ class TestBatchGrouping:
         assert batched.as_table() == solo.as_table()
         assert batched.as_csv() == solo.as_csv()
 
-    def test_failure_jobs_never_resolve_to_fast(self, monkeypatch):
-        from repro.sim import KernelIneligibleError
+    def test_failure_jobs_join_fast_batches(self, montage1):
+        # Since the Monte Carlo PR, failure-carrying jobs are batchable:
+        # they resolve to the fast kernel under auto/fast and ride the
+        # fingerprint-grouped batch calls, bit-identical to event runs.
+        spec = FailureSpec(0.05, seed=3, max_retries=25)
+        jobs = [
+            SimJob(montage1, p, failures=spec, kernel=k)
+            for p in (2, 8)
+            for k in ("auto", "fast")
+        ]
+        from repro.sweep.executor import _batchable
 
+        assert all(_batchable(job) for job in jobs)
+        batched = SweepExecutor(workers=1, cache=SimCache()).run(jobs)
+        event = [
+            SimJob(montage1, p, failures=spec, kernel="event").run()
+            for p in (2, 8)
+            for _ in ("auto", "fast")
+        ]
+        assert batched == event
+
+    def test_zero_probability_spec_normalizes_to_none(self):
+        # FailureSpec(p=0) is behaviourally no failure model at all; the
+        # job normalizes it away so both spellings share one cache key
+        # and one byte-identical result.
         wf = _tiny_workflow()
-        # Explicit kernel="fast" + failures: rejected at construction.
-        with pytest.raises(KernelIneligibleError):
-            SimJob(wf, 2, failures=FailureSpec(0.5, seed=1), kernel="fast")
-        # REPRO_SIM_KERNEL=fast must not steer failure jobs onto the
-        # kernel either: the job demotes itself to auto (event path).
-        monkeypatch.setenv("REPRO_SIM_KERNEL", "fast")
-        job = SimJob(wf, 2, failures=FailureSpec(0.5, seed=1))
-        assert job.kernel == "auto"
-        result = job.run()  # would raise if dispatched to the kernel
-        assert result.n_task_executions >= 1
+        zero = SimJob(wf, 2, failures=FailureSpec(0.0, seed=9))
+        none = SimJob(wf, 2)
+        assert zero.failures is None
+        assert zero.fingerprint() == none.fingerprint()
+        assert zero == none
+        assert zero.run() == none.run()
 
     def test_audited_jobs_not_grouped(self, montage1):
         # Audit pins the event engine per job; grouping must not change
