@@ -33,10 +33,20 @@ script:
 5. **Full report** — cold ``run_all(fast=True)`` wall clock with the
    kernel in its default ``auto`` mode vs. pinned to the event engine.
 
+Invoked as ``kernel_bench.py grid``, it instead runs the **campaign
+grid** benchmark and writes ``BENCH_campaign.json``: a >=100k-cell
+(plate x processors x probability x seed) campaign executed by
+``repro.grid.run_grid`` in columnar ``summary_only`` mode, compared
+against the per-cell fast-kernel loop (one ``run_fast_kernel`` call and
+one fresh ``FailureModel`` per cell — what a campaign costs without the
+grid engine), with a subsampled differential audit against the event
+engine and a two-size RSS measurement asserting memory grows
+sublinearly in cell count.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/kernel_bench.py [--plates N]
-    [--repeats N] [--skip-report]
+    PYTHONPATH=src python benchmarks/kernel_bench.py [all|grid]
+    [--plates N] [--repeats N] [--skip-report] [--campaign-seeds N]
 """
 
 from __future__ import annotations
@@ -53,6 +63,14 @@ from pathlib import Path
 BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 OUTPUT = BENCH_DIR / "BENCH_kernel.json"
+CAMPAIGN_OUTPUT = BENCH_DIR / "BENCH_campaign.json"
+
+#: The campaign's failure-probability axis.  Per-task failure rates on
+#: the paper-era grids sat well under 1%, so the sweep concentrates
+#: there (with one zero row and a 2% tail) — which is also the regime
+#: where the columnar engine's exact failure-free dedup pays off.
+CAMPAIGN_PROBABILITIES = (0.0, 0.001, 0.002, 0.005, 0.01, 0.02)
+CAMPAIGN_PROCESSORS = (4, 8, 16, 32)
 
 
 def _best(fn, repeats: int) -> tuple[float, list[float]]:
@@ -348,6 +366,259 @@ def montecarlo_grid(repeats: int) -> dict:
     }
 
 
+def _campaign_plan(n_plates: int, n_seeds: int):
+    from repro.grid import GridPlan
+    from repro.montage.generator import montage_workflow
+
+    plates = tuple(
+        montage_workflow(
+            1.0, jitter=0.05, seed=i, name=f"campaign-{i:04d}"
+        )
+        for i in range(n_plates)
+    )
+    return GridPlan(
+        plates=plates,
+        processors=CAMPAIGN_PROCESSORS,
+        probabilities=CAMPAIGN_PROBABILITIES,
+        seeds=tuple(range(n_seeds)),
+    )
+
+
+_RSS_CHILD = """\
+import json, resource, sys
+from repro.grid import run_grid
+from repro.sweep.cache import SimCache
+sys.path.insert(0, {src!r})
+sys.path.insert(0, {bench!r})
+from kernel_bench import _campaign_plan
+plan = _campaign_plan({n_plates}, {n_seeds})
+result = run_grid(plan, shards=8, cache=SimCache())
+print(json.dumps({{
+    "n_cells": plan.n_cells,
+    "maxrss_bytes": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+                    * 1024,
+    "n_aborted": result.n_aborted,
+}}))
+"""
+
+
+def _campaign_rss(n_plates: int, n_seeds: int) -> dict:
+    """Peak RSS of a fresh process running the campaign at one size."""
+    import subprocess
+    import sys
+
+    script = _RSS_CHILD.format(
+        src=str(REPO_ROOT / "src"),
+        bench=str(BENCH_DIR),
+        n_plates=n_plates,
+        n_seeds=n_seeds,
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_SWEEP_CACHE", None)
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def campaign_grid(n_plates: int, n_seeds: int) -> dict:
+    """The >=100k-cell campaign: columnar run_grid vs per-cell fast loop.
+
+    The columnar measurement is the real engine end to end —
+    ``run_grid`` with the default shard count, content-hash partition,
+    merge and all — against a memory-only cache so no checkpoint is
+    reused.  The baseline is the loop a campaign would run without
+    ``repro.grid``: one ``run_fast_kernel`` call plus one fresh
+    ``FailureModel`` per cell.  It is timed on a representative
+    subsample (every ladder/probability block of one plate over a seed
+    prefix) and extrapolated by rate; cells are independent, so the
+    per-cell rate is size-stable.  The differential audit re-runs
+    sampled cells from *every shard* on the event engine and compares
+    all summary metrics bit for bit.
+    """
+    import gc
+
+    from repro.grid import plan_shards, run_grid
+    from repro.grid.result import _METRICS
+    from repro.sim import ExecutionEnvironment, simulate
+    from repro.sim.failures import FailureModel
+    from repro.sim.kernel import run_fast_kernel
+    from repro.sweep.cache import SimCache
+
+    plan = _campaign_plan(n_plates, n_seeds)
+    n_cells = plan.n_cells
+
+    gc.collect()
+    gc.freeze()
+    try:
+        start = time.perf_counter()
+        result = run_grid(plan, shards=8, cache=SimCache())
+        grid_s = time.perf_counter() - start
+
+        # Per-cell fast-kernel baseline, subsampled and rate-extrapolated.
+        base_seeds = plan.seeds[: min(40, len(plan.seeds))]
+        wf = plan.plates[0]
+        sub = 0
+        start = time.perf_counter()
+        for n_proc in plan.processors:
+            env = ExecutionEnvironment(
+                n_processors=n_proc,
+                bandwidth_bytes_per_sec=plan.bandwidth_bytes_per_sec,
+            )
+            for prob in plan.probabilities:
+                for seed in base_seeds:
+                    failures = (
+                        FailureModel(
+                            prob, seed=seed,
+                            max_retries=plan.max_retries,
+                        )
+                        if prob > 0.0 else None
+                    )
+                    run_fast_kernel(
+                        wf, env, plan.data_mode, failures=failures
+                    )
+                    sub += 1
+        base_sub_s = time.perf_counter() - start
+    finally:
+        gc.unfreeze()
+
+    grid_rate = n_cells / grid_s
+    base_rate = sub / base_sub_s
+    speedup = grid_rate / base_rate
+
+    # Differential audit: sampled cells from every shard vs the event
+    # engine, across the probability axis (0, mid, max).
+    shards = plan_shards(plan, 8)
+    audited = 0
+    identical = True
+    qs = (0, len(plan.probabilities) // 2, len(plan.probabilities) - 1)
+    for shard in shards:
+        pi = shard[0]
+        for j, qi in enumerate(qs):
+            ni = j % len(plan.processors)
+            si = j % len(plan.seeds)
+            row = result.row(pi, ni, qi, si)
+            prob = plan.probabilities[qi]
+            ref = simulate(
+                plan.plates[pi],
+                plan.processors[ni],
+                plan.data_mode,
+                record_trace=False,
+                failures=(
+                    FailureModel(
+                        prob, seed=plan.seeds[si],
+                        max_retries=plan.max_retries,
+                    )
+                    if prob > 0.0 else None
+                ),
+                kernel="event",
+            )
+            audited += 1
+            for name in _METRICS:
+                if getattr(row, name) != getattr(ref, name):
+                    identical = False
+    if not identical:
+        raise SystemExit("campaign grid diverged from event engine")
+
+    # Peak RSS at two campaign sizes (fresh subprocess each): memory
+    # must grow sublinearly in cell count.
+    small = _campaign_rss(n_plates, max(1, n_seeds // 4))
+    large = _campaign_rss(n_plates, n_seeds)
+    cell_ratio = large["n_cells"] / small["n_cells"]
+    rss_ratio = large["maxrss_bytes"] / small["maxrss_bytes"]
+    marginal = (
+        (large["maxrss_bytes"] - small["maxrss_bytes"])
+        / (large["n_cells"] - small["n_cells"])
+    )
+    if rss_ratio >= cell_ratio / 2:
+        raise SystemExit(
+            f"campaign RSS is not sublinear: {cell_ratio:.1f}x the cells "
+            f"cost {rss_ratio:.2f}x the memory"
+        )
+
+    return {
+        "workflow": "montage-1deg plates (203 tasks each)",
+        "n_plates": n_plates,
+        "processors": list(plan.processors),
+        "probabilities": list(plan.probabilities),
+        "n_seeds": n_seeds,
+        "n_cells": n_cells,
+        "max_retries": plan.max_retries,
+        "shards": len(shards),
+        "grid_seconds": grid_s,
+        "cells_per_second": grid_rate,
+        "per_cell_fast_subsample_cells": sub,
+        "per_cell_fast_subsample_seconds": base_sub_s,
+        "per_cell_fast_cells_per_second": base_rate,
+        "per_cell_fast_projected_seconds": n_cells / base_rate,
+        "speedup_vs_per_cell_fast": speedup,
+        "n_aborted": int(result.n_aborted),
+        "audited_cells": audited,
+        "results_identical": identical,
+        "rss": {
+            "small_cells": small["n_cells"],
+            "small_maxrss_bytes": small["maxrss_bytes"],
+            "large_cells": large["n_cells"],
+            "large_maxrss_bytes": large["maxrss_bytes"],
+            "cell_ratio": cell_ratio,
+            "rss_ratio": rss_ratio,
+            "marginal_bytes_per_cell": marginal,
+            "sublinear": rss_ratio < cell_ratio / 2,
+        },
+    }
+
+
+def run_campaign(n_plates: int, n_seeds: int) -> int:
+    """Run the campaign benchmark and write ``BENCH_campaign.json``."""
+    report: dict = {
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+    }
+    n_cells = (
+        n_plates * len(CAMPAIGN_PROCESSORS)
+        * len(CAMPAIGN_PROBABILITIES) * n_seeds
+    )
+    print(
+        f"== campaign grid: {n_plates} plates x "
+        f"{len(CAMPAIGN_PROCESSORS)}p x "
+        f"{len(CAMPAIGN_PROBABILITIES)}q x {n_seeds} seeds "
+        f"= {n_cells:,} cells =="
+    )
+    grid = campaign_grid(n_plates, n_seeds)
+    report["campaign"] = grid
+    print(
+        f"  columnar {grid['grid_seconds']:.2f} s"
+        f"  ({grid['cells_per_second']:,.0f} cells/s)"
+        f"  per-cell fast {grid['per_cell_fast_projected_seconds']:.1f} s"
+        f" projected ({grid['per_cell_fast_cells_per_second']:,.0f}"
+        " cells/s)"
+    )
+    print(
+        f"  speedup {grid['speedup_vs_per_cell_fast']:.2f}x"
+        f"  audited {grid['audited_cells']} cells"
+        f"  identical={grid['results_identical']}"
+    )
+    rss = grid["rss"]
+    print(
+        f"  rss {rss['small_maxrss_bytes'] / 1e6:.0f} MB"
+        f" @ {rss['small_cells']:,} cells ->"
+        f" {rss['large_maxrss_bytes'] / 1e6:.0f} MB"
+        f" @ {rss['large_cells']:,} cells"
+        f"  ({rss['marginal_bytes_per_cell']:.0f} B/cell,"
+        f" sublinear={rss['sublinear']})"
+    )
+    CAMPAIGN_OUTPUT.write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {CAMPAIGN_OUTPUT}")
+    return 0
+
+
 def full_report(kernel: str) -> float:
     """Cold run_all(fast=True) wall clock with the kernel pinned."""
     from repro.experiments.runner import run_all
@@ -372,8 +643,22 @@ def full_report(kernel: str) -> float:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
+        "section", nargs="?", choices=("all", "grid"), default="all",
+        help="'all' runs the kernel benchmarks (BENCH_kernel.json); "
+             "'grid' runs the campaign grid (BENCH_campaign.json)",
+    )
+    parser.add_argument(
         "--plates", type=int, default=12,
         help="distinct 4-degree plates in the whole-sky slice (default 12)",
+    )
+    parser.add_argument(
+        "--campaign-plates", type=int, default=14,
+        help="distinct 1-degree plates in the campaign grid (default 14)",
+    )
+    parser.add_argument(
+        "--campaign-seeds", type=int, default=300,
+        help="seeds per campaign cell block (default 300; the default "
+             "grid is 14 x 4 x 6 x 300 = 100,800 cells)",
     )
     parser.add_argument(
         "--repeats", type=int, default=7,
@@ -390,6 +675,9 @@ def main(argv: list[str] | None = None) -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
     os.environ.pop("REPRO_SIM_KERNEL", None)
     os.environ.pop("REPRO_SWEEP_CACHE", None)
+
+    if args.section == "grid":
+        return run_campaign(args.campaign_plates, args.campaign_seeds)
 
     report: dict = {
         "machine": {

@@ -23,7 +23,11 @@ numbers in ``BENCH_kernel.json`` are gated too: ``batch.q1_sweep`` must
 report ``results_identical`` and a ``speedup_vs_per_run_fast`` of at
 least 1.5x, and ``montecarlo`` must report ``results_identical`` and a
 ``speedup_vs_event`` of at least 3x (both floors relaxed by the same
-tolerance).  ``--report-only``
+tolerance).  The campaign numbers in ``BENCH_campaign.json`` are gated
+as well: at least 100k cells, ``results_identical``, a
+``speedup_vs_per_cell_fast`` of at least 5x, a cells/second floor, and
+sublinear RSS growth with a per-cell marginal-memory ceiling.
+``--report-only``
 prints the comparison but always exits 0 (what CI uses on pull
 requests, where shared-runner noise would make a hard gate flaky).
 
@@ -51,6 +55,7 @@ BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 OUTPUT = BENCH_DIR / "BENCH_sweep.json"
 KERNEL_BENCH = BENCH_DIR / "BENCH_kernel.json"
+CAMPAIGN_BENCH = BENCH_DIR / "BENCH_campaign.json"
 
 #: Environment override for the allowed fractional slowdown (0.25 = 25%).
 TOLERANCE_ENV = "REPRO_PERF_TOLERANCE"
@@ -64,6 +69,24 @@ BATCH_SPEEDUP_FLOOR = 1.5
 #: same (probability, seed) grid by this factor (the issue's
 #: acceptance floor for the Monte Carlo entry point).
 MONTECARLO_SPEEDUP_FLOOR = 3.0
+
+#: The columnar campaign grid must beat the per-cell fast-kernel loop
+#: by this factor on the >=100k-cell campaign (the issue's acceptance
+#: floor for repro.grid).
+CAMPAIGN_SPEEDUP_FLOOR = 5.0
+
+#: Absolute throughput floor for the campaign grid (cells/second),
+#: relaxed by the tolerance like the speedup floors.
+CAMPAIGN_CELLS_PER_SECOND_FLOOR = 2500.0
+
+#: The campaign benchmark must cover at least this many cells for its
+#: numbers to mean anything (absolute — not tolerance-relaxed).
+CAMPAIGN_MIN_CELLS = 100_000
+
+#: Ceiling on the marginal resident-memory cost of one extra campaign
+#: cell (a SUMMARY_DTYPE row is ~112 bytes; allow allocator slack),
+#: relaxed by the tolerance.
+CAMPAIGN_RSS_BYTES_PER_CELL_CEILING = 2048.0
 
 
 def resolve_tolerance() -> float:
@@ -170,6 +193,75 @@ def check_kernel_batch(tolerance: float) -> list[str]:
             f"  montecarlo.speedup_vs_event {mc_speedup:.2f}x below "
             f"the {MONTECARLO_SPEEDUP_FLOOR}x floor "
             f"(tolerance-adjusted: {mc_floor:.2f}x)"
+        )
+    return failures
+
+
+def check_campaign(tolerance: float) -> list[str]:
+    """Gate the campaign-grid numbers committed in BENCH_campaign.json.
+
+    Returns failure lines (empty list = pass).  Speedup, throughput and
+    the per-cell RSS ceiling are relaxed by the tolerance;
+    ``results_identical``, the cell-count floor and RSS sublinearity
+    are absolute.
+    """
+    if not CAMPAIGN_BENCH.exists():
+        return [
+            f"  {CAMPAIGN_BENCH.name}: missing "
+            "(run benchmarks/kernel_bench.py grid)"
+        ]
+    try:
+        data = json.loads(CAMPAIGN_BENCH.read_text())
+    except (OSError, ValueError):
+        return [f"  {CAMPAIGN_BENCH.name}: unreadable"]
+    campaign = data.get("campaign")
+    if campaign is None:
+        return [
+            f"  {CAMPAIGN_BENCH.name}: no campaign section "
+            "(re-run benchmarks/kernel_bench.py grid)"
+        ]
+    failures = []
+    n_cells = campaign.get("n_cells") or 0
+    if n_cells < CAMPAIGN_MIN_CELLS:
+        failures.append(
+            f"  campaign.n_cells {n_cells:,} below the "
+            f"{CAMPAIGN_MIN_CELLS:,}-cell floor"
+        )
+    if not campaign.get("results_identical"):
+        failures.append(
+            "  campaign.results_identical is not true — the columnar "
+            "grid no longer reproduces event-engine results"
+        )
+    floor = CAMPAIGN_SPEEDUP_FLOOR / (1.0 + tolerance)
+    speedup = campaign.get("speedup_vs_per_cell_fast") or 0.0
+    if speedup < floor:
+        failures.append(
+            f"  campaign.speedup_vs_per_cell_fast {speedup:.2f}x below "
+            f"the {CAMPAIGN_SPEEDUP_FLOOR}x floor "
+            f"(tolerance-adjusted: {floor:.2f}x)"
+        )
+    rate_floor = CAMPAIGN_CELLS_PER_SECOND_FLOOR / (1.0 + tolerance)
+    rate = campaign.get("cells_per_second") or 0.0
+    if rate < rate_floor:
+        failures.append(
+            f"  campaign.cells_per_second {rate:,.0f} below the "
+            f"{CAMPAIGN_CELLS_PER_SECOND_FLOOR:,.0f} floor "
+            f"(tolerance-adjusted: {rate_floor:,.0f})"
+        )
+    rss = campaign.get("rss") or {}
+    if not rss.get("sublinear"):
+        failures.append(
+            "  campaign.rss.sublinear is not true — peak RSS no longer "
+            "grows sublinearly in cell count"
+        )
+    ceiling = CAMPAIGN_RSS_BYTES_PER_CELL_CEILING * (1.0 + tolerance)
+    marginal = rss.get("marginal_bytes_per_cell")
+    if marginal is None or marginal > ceiling:
+        failures.append(
+            f"  campaign.rss.marginal_bytes_per_cell "
+            f"{marginal if marginal is not None else 'missing'} over the "
+            f"{CAMPAIGN_RSS_BYTES_PER_CELL_CEILING:.0f} B ceiling "
+            f"(tolerance-adjusted: {ceiling:.0f} B)"
         )
     return failures
 
@@ -342,6 +434,19 @@ def main(argv: list[str] | None = None) -> int:
             f"(speedup >= {BATCH_SPEEDUP_FLOOR}x, results identical); "
             f"montecarlo ok "
             f"(speedup >= {MONTECARLO_SPEEDUP_FLOOR}x, results identical)"
+        )
+
+    print("== campaign-grid gate (BENCH_campaign.json) ==")
+    campaign_failures = check_campaign(resolve_tolerance())
+    if campaign_failures:
+        for line in campaign_failures:
+            print(line)
+        regressions.extend(campaign_failures)
+    else:
+        print(
+            f"  campaign ok (>= {CAMPAIGN_MIN_CELLS:,} cells, "
+            f"speedup >= {CAMPAIGN_SPEEDUP_FLOOR}x, "
+            "results identical, RSS sublinear)"
         )
 
     print("== run_all timings ==")

@@ -7,6 +7,7 @@ Everything the library does, from a shell::
     python -m repro sweep --degree 1 --processors 1,8,64
     python -m repro modes --degree 1
     python -m repro ccr --degree 1 --values 0.05,0.5,2
+    python -m repro grid --plates 16 --processors 4,8 --probabilities 0,0.05
     python -m repro gantt --degree 1 --processors 8
     python -m repro dax --degree 1 --output montage1.xml
     python -m repro report [--fast] [--audit]
@@ -132,6 +133,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_cache_stats() -> None:
+    from repro.sweep.cache import default_cache
+
+    stats = default_cache().stats()
+    print(
+        "\ncache: "
+        f"{stats['hits']} hits, {stats['misses']} misses "
+        f"({stats['hit_rate']:.0%} hit rate), "
+        f"{stats['evictions']} evictions, "
+        f"{stats['memory_entries']} in memory, "
+        f"{stats['disk_entries']} on disk"
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     wf = _load_workflow(args)
     processors = (
@@ -140,6 +155,66 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else None
     )
     print(run_question1(wf, processors=processors).as_table())
+    if args.verbose:
+        _print_cache_stats()
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.grid import GridPlan, run_grid
+
+    plates = tuple(
+        montage_workflow(
+            args.degree,
+            jitter=args.jitter,
+            seed=i,
+            name=f"plate{i:04d}",
+        )
+        for i in range(args.plates)
+    )
+    plan = GridPlan(
+        plates=plates,
+        processors=tuple(int(p) for p in args.processors.split(",")),
+        probabilities=tuple(
+            float(p) for p in args.probabilities.split(",")
+        ),
+        seeds=tuple(range(args.seeds)),
+        data_mode=args.mode,
+        bandwidth_bytes_per_sec=args.bandwidth_mbps * MBPS,
+    )
+    progress = print if args.verbose else None
+    t0 = time.perf_counter()
+    result = run_grid(
+        plan,
+        shards=args.shards,
+        workers=args.workers,
+        progress=progress,
+    )
+    elapsed = time.perf_counter() - t0
+    ok = ~result.column("aborted")
+    makespans = result.column("makespan")[ok]
+    rows = [
+        ("plates", len(plan.plates)),
+        ("cells", result.n_cells),
+        ("aborted", result.n_aborted),
+        ("wall time", format_duration(elapsed)),
+        ("cells/s", f"{result.n_cells / elapsed:,.0f}"),
+    ]
+    if len(makespans):
+        rows += [
+            ("makespan p50", format_duration(float(np.median(makespans)))),
+            ("makespan p95",
+             format_duration(float(np.percentile(makespans, 95)))),
+            ("data in (total)",
+             format_bytes(float(result.column("bytes_in")[ok].sum()))),
+        ]
+    print(format_table(("metric", "value"), rows))
+    if args.verbose:
+        _print_cache_stats()
     return 0
 
 
@@ -356,7 +431,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--processors", type=str, default=None,
         help="comma-separated pool sizes (default: 1,2,...,128)",
     )
+    p.add_argument(
+        "--verbose", action="store_true",
+        help="print sweep-cache statistics after the table",
+    )
     p.set_defaults(handler=_cmd_sweep)
+
+    p = sub.add_parser(
+        "grid",
+        help="campaign-scale grid: plates x processors x failure Monte Carlo",
+    )
+    p.add_argument(
+        "--plates", type=int, default=8,
+        help="number of jittered sky plates to generate (default 8)",
+    )
+    p.add_argument(
+        "--degree", type=float, default=1.0,
+        help="mosaic size of each plate in square degrees (default 1.0)",
+    )
+    p.add_argument(
+        "--jitter", type=float, default=0.05,
+        help="per-plate runtime/size jitter fraction (default 0.05)",
+    )
+    p.add_argument(
+        "--processors", type=str, default="4,8,16",
+        help="comma-separated provisioning ladder (default 4,8,16)",
+    )
+    p.add_argument(
+        "--probabilities", type=str, default="0,0.02,0.05",
+        help="comma-separated task-failure probabilities",
+    )
+    p.add_argument(
+        "--seeds", type=int, default=5,
+        help="Monte Carlo seeds per probability (default 5)",
+    )
+    p.add_argument(
+        "--mode", choices=["remote-io", "regular", "cleanup"],
+        default="regular",
+    )
+    p.add_argument("--bandwidth-mbps", type=float, default=10.0)
+    p.add_argument(
+        "--shards", type=int, default=None,
+        help="checkpoint/parallelism granularity (default 8)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool width (default: REPRO_SWEEP_WORKERS/auto)",
+    )
+    p.add_argument(
+        "--verbose", action="store_true",
+        help="print per-shard progress and cache statistics",
+    )
+    p.set_defaults(handler=_cmd_grid)
 
     p = sub.add_parser(
         "modes", help="Figure 7/8/9: compare data-management modes"

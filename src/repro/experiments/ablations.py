@@ -34,8 +34,9 @@ from repro.core.plans import ExecutionPlan, VMOverhead
 from repro.core.pricing import AWS_2008, STORAGE_HEAVY, PricingModel
 from repro.experiments.question2a import MODES, run_question2a
 from repro.experiments.report import format_table
+from repro.grid.result import GridRow
 from repro.sim.executor import ExecutionEnvironment
-from repro.sim.kernel import KernelConfig, run_monte_carlo
+from repro.sim.kernel import KernelConfig, run_monte_carlo, summary_batch
 from repro.sim.scheduler import ALL_ORDERINGS
 from repro.sweep import FailureSpec, SimJob, run_jobs
 from repro.util.units import (
@@ -261,10 +262,13 @@ def montecarlo_failure_study(
     Upgrades :func:`failure_study` from a single-seed point estimate to
     mean/p95 makespan and mean on-demand cost inflation with 95%
     normal-approximation confidence intervals across ``n_seeds`` seeds
-    per probability, executed by the fast kernel's
+    per probability, executed *columnar* by the fast kernel's
     :func:`repro.sim.kernel.run_monte_carlo` (one DAG lowering, shared
-    derived vectors, vectorized failure draws).  Runs that exhaust the
-    retry budget are counted as aborts and excluded from the statistics.
+    derived vectors, vectorized failure draws, every cell written into
+    one :func:`~repro.sim.kernel.summary_batch` record batch instead of
+    per-cell result objects — the statistics are reductions over its
+    columns).  Runs that exhaust the retry budget are counted as aborts
+    and excluded from the statistics.
     """
     config = KernelConfig(
         environment=ExecutionEnvironment(
@@ -272,27 +276,35 @@ def montecarlo_failure_study(
         )
     )
     seeds = range(n_seeds)
-    cells = run_monte_carlo(
-        workflow, config, probabilities, seeds, max_retries=max_retries
+    batch = summary_batch(len(probabilities) * n_seeds)
+    run_monte_carlo(
+        workflow, config, probabilities, seeds,
+        max_retries=max_retries, out=batch,
     )
     plan = ExecutionPlan.on_demand(n_processors)
     raw = []
     baseline_cost: float | None = None
     for i, prob in enumerate(probabilities):
-        block = cells[i * n_seeds : (i + 1) * n_seeds]
-        completed = [c.result for c in block if not c.aborted]
-        n_aborted = n_seeds - len(completed)
-        if not completed:
+        block = batch[i * n_seeds : (i + 1) * n_seeds]
+        ok = ~block["aborted"]
+        n_aborted = int(n_seeds - ok.sum())
+        if not ok.any():
             raw.append(
                 (prob, n_aborted, float("nan"), float("nan"),
                  float("nan"), float("nan"), float("nan"), float("nan"))
             )
             continue
-        spans = np.array([r.makespan for r in completed])
+        spans = block["makespan"][ok]
         costs = np.array(
-            [compute_cost(r, pricing, plan).total for r in completed]
+            [
+                compute_cost(
+                    GridRow(workflow.name, n_processors, prob, int(s), rec),
+                    pricing, plan,
+                ).total
+                for s, rec in zip(np.flatnonzero(ok), block[ok])
+            ]
         )
-        retries = float(np.mean([r.n_task_failures for r in completed]))
+        retries = float(block["n_task_failures"][ok].mean())
         n = len(spans)
         span_ci = (
             1.96 * float(np.std(spans, ddof=1)) / float(np.sqrt(n))

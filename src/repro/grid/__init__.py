@@ -1,0 +1,35 @@
+"""Campaign-scale grid execution (the whole-sky tier).
+
+The paper's headline workload is not one mosaic but the whole sky:
+thousands of plates × provisioning ladders × failure Monte Carlo —
+millions of simulation cells.  This package executes such
+(plate × processors × probability × seed) grids end to end on the fast
+kernel with columnar summary accumulation:
+
+* :mod:`repro.grid.plan` — :class:`GridPlan`, the declarative,
+  picklable, content-addressed description of a campaign grid;
+* :mod:`repro.grid.result` — :class:`GridResult`, the structure-of-
+  arrays result (one ~100-byte record per cell) with
+  :meth:`~repro.grid.result.GridResult.to_rows` views that are
+  cost-model compatible;
+* :mod:`repro.grid.engine` — :func:`run_grid`, which partitions the
+  plan into shards by plate fingerprint, executes them serially or over
+  a ``ProcessPoolExecutor``, checkpoints each completed shard into the
+  sweep cache as a whole-shard record batch, and merges deterministically
+  into canonical plan order.
+
+Exposed on the command line as ``python -m repro grid``.
+"""
+
+from repro.grid.engine import plan_shards, run_grid, shard_of
+from repro.grid.plan import GridPlan
+from repro.grid.result import GridResult, GridRow
+
+__all__ = [
+    "GridPlan",
+    "GridResult",
+    "GridRow",
+    "plan_shards",
+    "run_grid",
+    "shard_of",
+]

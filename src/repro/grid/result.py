@@ -1,0 +1,161 @@
+"""Structure-of-arrays campaign results.
+
+A :class:`GridResult` holds one :data:`~repro.sim.kernel.SUMMARY_DTYPE`
+record per cell — ~100 bytes — plus the axis labels needed to interpret
+the canonical row order, so a million-cell campaign fits in ~100 MB
+where per-cell :class:`~repro.sim.results.SimulationResult` objects
+would need gigabytes.  Columns are numpy views (:meth:`column`), and
+:meth:`to_rows` yields lightweight :class:`GridRow` views whose
+attributes satisfy the cost model's duck typing — a row can be passed
+straight to :func:`repro.core.costs.compute_cost`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.kernel import SUMMARY_DTYPE
+
+__all__ = ["GridResult", "GridRow"]
+
+#: Scalar metric fields forwarded from the record to :class:`GridRow`
+#: attributes (everything in the dtype except the abort flag).
+_METRICS = tuple(name for name in SUMMARY_DTYPE.names if name != "aborted")
+
+
+class GridRow:
+    """One cell of a campaign grid, viewed as a result-like object.
+
+    Carries the cell's coordinates and forwards the scalar metrics of
+    its summary record as float/int attributes, including everything
+    :func:`repro.core.costs.compute_cost` reads (``makespan``,
+    ``compute_seconds``, ``storage_byte_seconds``, ``bytes_in``,
+    ``bytes_out``).  An aborted cell's metrics read zero — check
+    :attr:`aborted` before pricing it.
+    """
+
+    __slots__ = ("plate", "n_processors", "probability", "seed", "_rec")
+
+    def __init__(
+        self,
+        plate: str,
+        n_processors: int,
+        probability: float,
+        seed: int,
+        record: np.void,
+    ) -> None:
+        self.plate = plate
+        self.n_processors = n_processors
+        self.probability = probability
+        self.seed = seed
+        self._rec = record
+
+    def __getattr__(self, name: str):
+        if name in _METRICS:
+            return self._rec[name].item()
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    @property
+    def aborted(self) -> bool:
+        return bool(self._rec["aborted"])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "aborted"
+            if self.aborted
+            else f"makespan={self._rec['makespan'].item():.1f}s"
+        )
+        return (
+            f"GridRow(plate={self.plate!r}, n={self.n_processors}, "
+            f"p={self.probability}, seed={self.seed}, {state})"
+        )
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """A campaign grid's record batch plus its axis labels.
+
+    ``batch`` rows follow the plan's canonical order: plate-major (plan
+    order), then processors, then probability-major, seed-minor.
+    """
+
+    plate_names: tuple[str, ...]
+    processors: tuple[int, ...]
+    probabilities: tuple[float, ...]
+    seeds: tuple[int, ...]
+    batch: np.ndarray
+
+    def __post_init__(self) -> None:
+        expected = (
+            len(self.plate_names)
+            * len(self.processors)
+            * len(self.probabilities)
+            * len(self.seeds)
+        )
+        if self.batch.dtype != SUMMARY_DTYPE or len(self.batch) != expected:
+            raise ValueError(
+                f"batch must be a SUMMARY_DTYPE array of {expected} rows; "
+                f"got {len(self.batch)} rows of {self.batch.dtype}"
+            )
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.batch)
+
+    def __len__(self) -> int:
+        return len(self.batch)
+
+    def index(
+        self, plate: int, processors: int, probability: int, seed: int
+    ) -> int:
+        """Row index of one cell from its axis indices."""
+        return (
+            (
+                (plate * len(self.processors) + processors)
+                * len(self.probabilities)
+                + probability
+            )
+            * len(self.seeds)
+            + seed
+        )
+
+    def column(self, name: str) -> np.ndarray:
+        """One metric across every cell (a view, canonical order)."""
+        return self.batch[name]
+
+    @property
+    def n_aborted(self) -> int:
+        return int(self.batch["aborted"].sum())
+
+    def row(
+        self, plate: int, processors: int, probability: int, seed: int
+    ) -> GridRow:
+        """One cell as a :class:`GridRow` view, by axis indices."""
+        i = self.index(plate, processors, probability, seed)
+        return GridRow(
+            self.plate_names[plate],
+            self.processors[processors],
+            self.probabilities[probability],
+            self.seeds[seed],
+            self.batch[i],
+        )
+
+    def to_rows(self) -> Iterator[GridRow]:
+        """Every cell as a :class:`GridRow` view, in canonical order."""
+        i = 0
+        for plate in self.plate_names:
+            for n in self.processors:
+                for p in self.probabilities:
+                    for seed in self.seeds:
+                        yield GridRow(plate, n, p, seed, self.batch[i])
+                        i += 1
+
+    def plate_batch(self, plate: int) -> np.ndarray:
+        """The contiguous rows of one plate (a view)."""
+        per = len(self.batch) // len(self.plate_names)
+        return self.batch[plate * per:(plate + 1) * per]

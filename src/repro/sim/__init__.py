@@ -47,16 +47,27 @@ from repro.sim.failures import FailureModel
 from repro.sim.executor import ExecutionEnvironment, WorkflowExecutor, simulate
 from repro.sim.kernel import (
     KERNEL_ENV,
+    SUMMARY_DTYPE,
     KernelConfig,
-    KernelIneligibleError,
     MonteCarloCell,
     kernel_eligible,
     resolve_kernel,
     run_fast_kernel,
     run_fast_kernel_batch,
     run_monte_carlo,
+    summary_batch,
 )
 from repro.sim.results import SimulationResult, TaskRecord, TransferRecord
+
+
+def __getattr__(name: str):
+    # Deprecated alias: forwarded lazily so importing it (and only
+    # importing it) emits the kernel module's DeprecationWarning.
+    if name == "KernelIneligibleError":
+        from repro.sim import kernel
+
+        return kernel.__getattr__("KernelIneligibleError")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "SimulationEngine",
@@ -78,6 +89,7 @@ __all__ = [
     "WorkflowExecutor",
     "simulate",
     "KERNEL_ENV",
+    "SUMMARY_DTYPE",
     "KernelConfig",
     "KernelIneligibleError",
     "MonteCarloCell",
@@ -86,6 +98,7 @@ __all__ = [
     "run_fast_kernel",
     "run_fast_kernel_batch",
     "run_monte_carlo",
+    "summary_batch",
     "SimulationResult",
     "TaskRecord",
     "TransferRecord",

@@ -443,11 +443,7 @@ def simulate(
     True
     """
     # Imported lazily to avoid a cycle (the kernel reuses sim types).
-    from repro.sim.kernel import (
-        kernel_eligible,
-        resolve_kernel,
-        run_fast_kernel,
-    )
+    from repro.sim.kernel import resolve_kernel, run_fast_kernel
 
     env = ExecutionEnvironment(
         n_processors=n_processors,
@@ -463,9 +459,10 @@ def simulate(
     if resolved == "fast":
         use_fast = True
     elif resolved == "auto":
-        # The audit path stays on the event engine so the oracle always
-        # exercises the reference implementation, never only the kernel.
-        use_fast = kernel_eligible(env, failures) and not audit
+        # Every configuration is kernel-eligible; only the audit path
+        # stays on the event engine so the oracle always exercises the
+        # reference implementation, never only the kernel.
+        use_fast = not audit
     else:
         use_fast = False
     if use_fast:

@@ -83,6 +83,7 @@ runs pin the event engine.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field, replace
 from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Sequence
@@ -103,6 +104,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "KERNEL_ENV",
     "KERNELS",
+    "SUMMARY_DTYPE",
     "KernelConfig",
     "KernelIneligibleError",
     "MonteCarloCell",
@@ -111,6 +113,7 @@ __all__ = [
     "run_fast_kernel",
     "run_fast_kernel_batch",
     "run_monte_carlo",
+    "summary_batch",
 ]
 
 #: Environment override for the kernel choice ("auto", "event", "fast").
@@ -120,12 +123,28 @@ KERNEL_ENV = "REPRO_SIM_KERNEL"
 KERNELS = ("auto", "event", "fast")
 
 
-class KernelIneligibleError(ValueError):
+class _KernelIneligibleError(ValueError):
     """``kernel="fast"`` requested for a configuration it cannot handle.
 
-    Retained for API compatibility: since the kernel learned to replay
-    failure injection, no built-in configuration raises it.
+    Deprecated: since the kernel learned to replay failure injection, no
+    built-in configuration raises it, and the last demotion branches that
+    could have were deleted.  Access the name via the module attribute
+    ``KernelIneligibleError`` (which emits a :class:`DeprecationWarning`)
+    only to keep old ``except`` clauses importable.
     """
+
+
+def __getattr__(name: str):
+    if name == "KernelIneligibleError":
+        warnings.warn(
+            "KernelIneligibleError is deprecated: every configuration is "
+            "kernel-eligible, so nothing raises it any more; drop the "
+            "except clause (or catch ValueError)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _KernelIneligibleError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def resolve_kernel(kernel: str | None = None) -> str:
@@ -150,6 +169,65 @@ def kernel_eligible(environment=None, failures=None) -> bool:
     for call-site symmetry and future resource models.
     """
     return True
+
+
+# ------------------------------------------------------------------ #
+# columnar summary results (structure-of-arrays record batches)
+# ------------------------------------------------------------------ #
+#: One summary row per simulated cell: the scalar metrics of a
+#: :class:`~repro.sim.results.SimulationResult` (everything but records
+#: and curves) plus an abort flag.  ~100 bytes/cell, so a million-cell
+#: campaign grid fits in ~100 MB where per-cell result objects would
+#: need gigabytes.
+SUMMARY_DTYPE = np.dtype(
+    [
+        ("makespan", np.float64),
+        ("bytes_in", np.float64),
+        ("bytes_out", np.float64),
+        ("storage_byte_seconds", np.float64),
+        ("peak_storage_bytes", np.float64),
+        ("cpu_busy_seconds", np.float64),
+        ("compute_seconds", np.float64),
+        ("n_transfers_in", np.int64),
+        ("n_transfers_out", np.int64),
+        ("n_task_executions", np.int64),
+        ("n_task_failures", np.int64),
+        ("aborted", np.bool_),
+    ]
+)
+
+
+def summary_batch(n_cells: int) -> np.ndarray:
+    """Preallocate a zeroed :data:`SUMMARY_DTYPE` record batch.
+
+    Pass (slices of) it as the ``out=`` argument of
+    :func:`run_fast_kernel_batch` / :func:`run_monte_carlo` to collect
+    summary-only results columnar instead of materializing per-cell
+    objects.
+    """
+    return np.zeros(n_cells, dtype=SUMMARY_DTYPE)
+
+
+def _store_result(out: np.ndarray, i: int, r: SimulationResult) -> None:
+    """Copy a result's scalar metrics into row ``i`` (object dropped)."""
+    out[i] = (
+        r.makespan,
+        r.bytes_in,
+        r.bytes_out,
+        r.storage_byte_seconds,
+        r.peak_storage_bytes,
+        r.cpu_busy_seconds,
+        r.compute_seconds,
+        r.n_transfers_in,
+        r.n_transfers_out,
+        r.n_task_executions,
+        r.n_task_failures,
+        False,
+    )
+
+
+#: Row written for an aborted Monte Carlo cell (all metrics zero).
+_ABORT_ROW = (0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0, 0, 0, 0, True)
 
 
 # ------------------------------------------------------------------ #
@@ -428,8 +506,12 @@ def run_fast_kernel(
 
 
 def run_fast_kernel_batch(
-    workflow: Workflow, configs: Sequence[KernelConfig]
-) -> list[SimulationResult]:
+    workflow: Workflow,
+    configs: Sequence[KernelConfig],
+    *,
+    out: np.ndarray | None = None,
+    out_offset: int = 0,
+) -> list[SimulationResult] | int:
     """Execute many configurations of one workflow in a single pass.
 
     The DAG is lowered once (reusing the memoized, version-guarded
@@ -447,10 +529,20 @@ def run_fast_kernel_batch(
     failure model exhausts its retry budget raises
     :class:`~repro.sim.failures.WorkflowAbortedError` out of the batch,
     exactly as its own per-run call would.
+
+    With ``out`` (a :data:`SUMMARY_DTYPE` record batch from
+    :func:`summary_batch`), the batch runs *summary-only columnar*:
+    traces are forced off, each configuration's scalar metrics are
+    written straight into ``out[out_offset + i]`` — the turbo loop's
+    scalars never materialize a result object at all — and the call
+    returns the number of rows written instead of a list.  The row
+    values are bit-identical to the fields of the objects a plain call
+    would have returned.
     """
     low = _lowering(workflow)
+    columnar = out is not None
     results: list[SimulationResult] = []
-    for cfg in configs:
+    for i, cfg in enumerate(configs):
         env = cfg.environment
         mode = cfg.data_mode
         if isinstance(mode, str):
@@ -459,20 +551,31 @@ def run_fast_kernel_batch(
             raise ValueError(
                 f"need at least one processor, got {env.n_processors}"
             )
+        if columnar and env.record_trace:
+            env = replace(env, record_trace=False)
         fail = _failure_hook(low, cfg.failures)
         tr_dur = low.transfer_durations(env.bandwidth_bytes_per_sec)
         exec_dur = low.exec_durations(env.task_overhead_seconds)
+        turbo = (
+            env.storage_capacity_bytes is None
+            and not env.record_trace
+            and not env.link_contention
+            and mode is not DataMode.REMOTE_IO
+            and low.n_tasks
+        )
+        if columnar and turbo:
+            # Hot path: scalars go straight into the record batch.
+            out[out_offset + i] = _run_turbo_core(
+                workflow, low, env, mode, cfg.ordering, tr_dur, exec_dur,
+                fail,
+            ) + (False,)
+            continue
         if env.storage_capacity_bytes is not None:
             result = _run_capacity(
                 workflow, low, env, mode, cfg.ordering, tr_dur, exec_dur,
                 fail,
             )
-        elif (
-            not env.record_trace
-            and not env.link_contention
-            and mode is not DataMode.REMOTE_IO
-            and low.n_tasks
-        ):
+        elif turbo:
             result = _run_turbo(
                 workflow, low, env, mode, cfg.ordering, tr_dur, exec_dur,
                 fail,
@@ -482,7 +585,12 @@ def run_fast_kernel_batch(
                 workflow, low, env, mode, cfg.ordering, tr_dur, exec_dur,
                 fail,
             )
-        results.append(result)
+        if columnar:
+            _store_result(out, out_offset + i, result)
+        else:
+            results.append(result)
+    if columnar:
+        return len(configs)
     return results
 
 
@@ -943,7 +1051,7 @@ def _run_single(
 # ------------------------------------------------------------------ #
 # turbo loop: batched traceless shared-storage configurations
 # ------------------------------------------------------------------ #
-def _run_turbo(
+def _run_turbo_core(
     workflow: Workflow,
     low: _Lowering,
     environment,
@@ -952,7 +1060,7 @@ def _run_turbo(
     tr_dur: list[float],
     exec_dur: list[float],
     fail=None,
-) -> SimulationResult:
+) -> tuple:
     """Merged-stream loop for traceless regular/cleanup configurations.
 
     The per-run event heap degenerates once traces are off and storage
@@ -968,6 +1076,11 @@ def _run_turbo(
     curve).  Everything else (dispatch shortcut, FIFO cursor queue,
     ordering heaps, cleanup release tables) matches :func:`_run_single`
     statement for statement, so results are bit-identical.
+
+    Returns the scalar metrics as a plain tuple (in
+    :data:`SUMMARY_DTYPE` field order, minus the abort flag) so the
+    columnar campaign path can write them straight into a record batch;
+    :func:`_run_turbo` wraps them into a :class:`SimulationResult`.
     """
     cleanup = data_mode is DataMode.CLEANUP
 
@@ -1280,18 +1393,51 @@ def _run_turbo(
     if s_v > s_peak:
         s_peak = s_v
 
+    return (
+        finished_at,
+        low.stage_in_bytes,
+        bytes_out,
+        s_acc,
+        s_peak,
+        held_seconds,
+        compute_seconds,
+        n_arr,
+        n_out,
+        n_exec,
+        n_failures,
+    )
+
+
+def _run_turbo(
+    workflow: Workflow,
+    low: _Lowering,
+    environment,
+    data_mode: DataMode,
+    ordering: TaskOrdering,
+    tr_dur: list[float],
+    exec_dur: list[float],
+    fail=None,
+) -> SimulationResult:
+    """Object-returning wrapper around :func:`_run_turbo_core`."""
+    (
+        makespan, bytes_in, bytes_out, byte_seconds, peak, held_seconds,
+        compute_seconds, n_in, n_out, n_exec, n_failures,
+    ) = _run_turbo_core(
+        workflow, low, environment, data_mode, ordering, tr_dur, exec_dur,
+        fail,
+    )
     return SimulationResult(
         workflow_name=workflow.name,
         n_processors=environment.n_processors,
         data_mode=data_mode.value,
-        makespan=finished_at,
-        bytes_in=low.stage_in_bytes,
+        makespan=makespan,
+        bytes_in=bytes_in,
         bytes_out=bytes_out,
-        storage_byte_seconds=s_acc,
-        peak_storage_bytes=s_peak,
+        storage_byte_seconds=byte_seconds,
+        peak_storage_bytes=peak,
         cpu_busy_seconds=held_seconds,
         compute_seconds=compute_seconds,
-        n_transfers_in=n_arr,
+        n_transfers_in=n_in,
         n_transfers_out=n_out,
         n_task_executions=n_exec,
         n_task_failures=n_failures,
@@ -1839,7 +1985,10 @@ def run_monte_carlo(
     *,
     max_retries: int = 10,
     summary_only: bool = True,
-) -> list[MonteCarloCell]:
+    out: np.ndarray | None = None,
+    out_offset: int = 0,
+    streams: dict[int, _SeedDraws] | None = None,
+) -> list[MonteCarloCell] | int:
     """Replay one configuration over a (probability, seed) failure grid.
 
     The DAG is lowered once and the per-parameter derived vectors are
@@ -1851,6 +2000,16 @@ def run_monte_carlo(
     ``FailureModel(probability, seed=seed, max_retries=max_retries)`` —
     zero-probability cells consume no draws and equal the no-failure
     result exactly, like the model's own early return.
+
+    Cells that cannot fail are *deduplicated exactly*: the no-failure
+    simulation runs once per configuration, and any (probability, seed)
+    cell whose first ``n_tasks`` pre-drawn uniforms all clear the
+    threshold provably replays it bit for bit (such a run consumes
+    exactly those draws, every verdict ``False``), so it reuses the
+    baseline instead of re-simulating.  At campaign-realistic per-task
+    failure rates (well under 1%) this collapses most of the grid to
+    one simulation per configuration plus one vectorized comparison per
+    cell — an exact identity, not a statistical approximation.
 
     ``summary_only`` (the default) forces traces off, so each surviving
     cell carries a traceless :class:`SimulationResult` — makespan, cost
@@ -1869,6 +2028,16 @@ def run_monte_carlo(
 
     ``config.failures`` is ignored — the grid supplies the failure
     models.
+
+    With ``out`` (a :data:`SUMMARY_DTYPE` record batch), the grid runs
+    *columnar*: ``summary_only`` is implied, each cell's scalars are
+    written straight into ``out[out_offset + k]`` (turbo cells never
+    construct a result object), aborted cells get an all-zero row with
+    ``aborted=True``, and the call returns the number of rows written.
+    ``streams`` lets a campaign driver share the grow-only per-seed draw
+    buffers across many ``run_monte_carlo`` calls — the uniforms depend
+    only on the seed, not the workflow or configuration, so one dict can
+    serve a whole shard of plates.
     """
     env = config.environment
     mode = config.data_mode
@@ -1885,7 +2054,8 @@ def run_monte_carlo(
             )
     if max_retries < 0:
         raise ValueError(f"max_retries must be >= 0, got {max_retries}")
-    if summary_only and env.record_trace:
+    columnar = out is not None
+    if (summary_only or columnar) and env.record_trace:
         env = replace(env, record_trace=False)
 
     low = _lowering(workflow)
@@ -1906,9 +2076,57 @@ def run_monte_carlo(
     # chunks, and growth is shared by every later cell of that seed.
     n0 = max(64, low.n_tasks + (low.n_tasks >> 1))
     chunk = max(64, low.n_tasks)
-    streams: dict[int, _SeedDraws] = {}
+    if streams is None:
+        streams = {}
+
+    # The no-failure cell is seed-independent, and so is any cell whose
+    # first n_tasks draws all pass: such a run calls the failure hook
+    # exactly once per task execution (n_tasks all-False verdicts,
+    # consuming precisely draws[:n_tasks]) and is therefore bit-identical
+    # to the fail=None run.  One vectorized comparison per cell detects
+    # this, so a campaign's zero- and low-probability cells collapse to
+    # a single simulation per configuration — exactly, not statistically.
+    n_check = low.n_tasks
+    baseline_result: SimulationResult | None = None
+    baseline_row = None
+
+    def no_failure_result() -> SimulationResult:
+        nonlocal baseline_result
+        if baseline_result is None:
+            if use_capacity:
+                baseline_result = _run_capacity(
+                    workflow, low, env, mode, ordering, tr_dur, exec_dur,
+                    None,
+                )
+            elif use_turbo:
+                baseline_result = _run_turbo(
+                    workflow, low, env, mode, ordering, tr_dur, exec_dur,
+                    None,
+                )
+            else:
+                baseline_result = _run_single(
+                    workflow, low, env, mode, ordering, tr_dur, exec_dur,
+                    None,
+                )
+        return baseline_result
+
+    def no_failure_row():
+        nonlocal baseline_row
+        if baseline_row is None:
+            if use_turbo:
+                one = summary_batch(1)
+                one[0] = _run_turbo_core(
+                    workflow, low, env, mode, ordering, tr_dur, exec_dur,
+                    None,
+                ) + (False,)
+            else:
+                one = summary_batch(1)
+                _store_result(one, 0, no_failure_result())
+            baseline_row = one[0]
+        return baseline_row
 
     cells: list[MonteCarloCell] = []
+    k = out_offset
     for p in probabilities:
         for seed in seeds:
             if p == 0.0:
@@ -1917,8 +2135,38 @@ def run_monte_carlo(
                 stream = streams.get(seed)
                 if stream is None:
                     stream = streams[seed] = _SeedDraws(seed, n0, chunk)
+                if n_check and not np.any(
+                    np.less(stream.arr[:n_check], p)
+                ):
+                    # Failure-free cell: identical to the baseline.
+                    if columnar:
+                        out[k] = no_failure_row()
+                        k += 1
+                    else:
+                        cells.append(
+                            MonteCarloCell(p, seed, no_failure_result())
+                        )
+                    continue
                 fail = _matrix_hook(stream, p, max_retries, task_ids)
+            if fail is None:
+                # Zero probability: seed-independent, computed once.
+                if columnar:
+                    out[k] = no_failure_row()
+                    k += 1
+                else:
+                    cells.append(
+                        MonteCarloCell(p, seed, no_failure_result())
+                    )
+                continue
             try:
+                if columnar and use_turbo:
+                    # Hot path: scalars go straight into the batch.
+                    out[k] = _run_turbo_core(
+                        workflow, low, env, mode, ordering, tr_dur,
+                        exec_dur, fail,
+                    ) + (False,)
+                    k += 1
+                    continue
                 if use_capacity:
                     result = _run_capacity(
                         workflow, low, env, mode, ordering, tr_dur,
@@ -1935,7 +2183,19 @@ def run_monte_carlo(
                         exec_dur, fail,
                     )
             except WorkflowAbortedError as exc:
-                cells.append(MonteCarloCell(p, seed, None, True, str(exc)))
+                if columnar:
+                    out[k] = _ABORT_ROW
+                    k += 1
+                else:
+                    cells.append(
+                        MonteCarloCell(p, seed, None, True, str(exc))
+                    )
             else:
-                cells.append(MonteCarloCell(p, seed, result))
+                if columnar:
+                    _store_result(out, k, result)
+                    k += 1
+                else:
+                    cells.append(MonteCarloCell(p, seed, result))
+    if columnar:
+        return k - out_offset
     return cells

@@ -7,10 +7,33 @@ across experiments — Question 1's processor ladder, Question 2a's
 full-parallelism runs, the verification pass, the CCR baseline — are
 computed exactly once per process (or, with a disk cache, once ever).
 
-The on-disk layer is a directory of pickle files named by fingerprint,
-written atomically (temp file + rename) so concurrent writers can share
-a directory.  Enable it by passing ``directory=`` or by exporting
+The on-disk layer is *directory-sharded* by fingerprint prefix: an entry
+with key ``abcd…`` lives at ``ab/abcd….pkl``, which keeps directory
+listings short for million-entry campaign caches (a flat directory with
+10⁶ files makes every create/lookup a linear scan on most filesystems).
+Legacy flat-layout files (``abcd….pkl`` at the top level) are migrated
+into their shard transparently the first time they are touched, so
+pre-existing caches keep working with no flag day.  Every write is an
+atomic publish (temp file + ``os.replace``), so any number of concurrent
+writers can share a directory; a corrupt or truncated pickle is treated
+as a miss and *quarantined* (renamed to ``*.corrupt``) so it is repaired
+by the next write instead of being re-parsed on every lookup.
+
+The in-memory layer is an LRU bounded by ``REPRO_SWEEP_CACHE_MAX``
+(or the ``max_memory_entries`` argument); the default is unbounded,
+which is right for tens-of-jobs sweeps, while campaign grids cap it so
+a million cells cannot hold every result resident.  :meth:`stats`
+reports hits/misses/evictions and the on-disk entry count.
+
+Enable the disk layer by passing ``directory=`` or by exporting
 ``REPRO_SWEEP_CACHE=/path/to/dir`` before the default cache is created.
+
+Beyond per-result entries, :meth:`put_blob`/:meth:`get_blob` store
+arbitrary picklable payloads under a caller-chosen key in the same
+sharded, atomically-published namespace (suffix ``.blob.pkl``).  The
+campaign grid engine uses blobs for whole-shard record batches: one
+entry per grid shard means a million-cell rerun is incremental at shard
+granularity instead of paying a million per-cell lookups.
 """
 
 from __future__ import annotations
@@ -18,7 +41,9 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+from collections import OrderedDict
 from pathlib import Path
+from typing import Any
 
 from repro.sim.results import SimulationResult
 
@@ -28,12 +53,45 @@ __all__ = ["SimCache", "default_cache", "reset_default_cache"]
 #: process-wide default cache.
 CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
 
+#: Environment variable bounding the in-memory LRU layer (entries);
+#: unset/empty/0 means unbounded.
+CACHE_MAX_ENV = "REPRO_SWEEP_CACHE_MAX"
+
+#: Length of the fingerprint prefix used as the shard directory name.
+SHARD_PREFIX = 2
+
+
+def resolve_max_memory_entries(limit: int | None = None) -> int | None:
+    """Effective in-memory entry bound: explicit arg, else env, else None."""
+    if limit is not None:
+        if limit < 1:
+            raise ValueError(
+                f"max_memory_entries must be >= 1, got {limit}"
+            )
+        return limit
+    env = os.environ.get(CACHE_MAX_ENV, "").strip()
+    if not env:
+        return None
+    try:
+        value = int(env)
+    except ValueError:
+        raise ValueError(
+            f"{CACHE_MAX_ENV} must be an integer, got {env!r}"
+        ) from None
+    return value if value > 0 else None
+
 
 class SimCache:
-    """In-memory (+ optional on-disk) result store keyed by fingerprint."""
+    """Sharded on-disk + bounded in-memory result store keyed by fingerprint."""
 
-    def __init__(self, directory: str | Path | None = None) -> None:
-        self._memory: dict[str, SimulationResult] = {}
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        max_memory_entries: int | None = None,
+    ) -> None:
+        #: LRU order: oldest first; move_to_end on every touch.
+        self._memory: OrderedDict[str, SimulationResult] = OrderedDict()
+        self._max_memory = resolve_max_memory_entries(max_memory_entries)
         self._directory = Path(directory) if directory else None
         if self._directory is not None:
             try:
@@ -45,10 +103,15 @@ class SimCache:
                 ) from None
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @property
     def directory(self) -> Path | None:
         return self._directory
+
+    @property
+    def max_memory_entries(self) -> int | None:
+        return self._max_memory
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -59,21 +122,93 @@ class SimCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    # -------------------------------------------------------------- #
+    # sharded paths + flat-layout migration
+    # -------------------------------------------------------------- #
+    def _shard_dir(self, key: str) -> Path:
+        return self._directory / key[:SHARD_PREFIX]
+
     def _disk_path(self, key: str) -> Path:
+        return self._shard_dir(key) / f"{key}.pkl"
+
+    def _flat_path(self, key: str) -> Path:
+        # Pre-sharding layout (flat {key}.pkl at the cache root).
         return self._directory / f"{key}.pkl"
+
+    def _migrate_flat(self, key: str) -> None:
+        """Move a legacy flat-layout entry into its shard, if present.
+
+        Rename is atomic, so a concurrent reader either finds the flat
+        file or the sharded one — never a half state; a racing migrator
+        losing the rename is harmless (the entry already moved).
+        """
+        flat = self._flat_path(key)
+        try:
+            if not flat.is_file():
+                return
+            self._shard_dir(key).mkdir(exist_ok=True)
+            os.replace(flat, self._disk_path(key))
+        except OSError:
+            pass
+
+    def _quarantine(self, path: Path) -> None:
+        """Sideline an unreadable pickle so it is never re-parsed.
+
+        The ``.corrupt`` rename makes the miss permanent-until-rewritten:
+        the next :meth:`put` publishes a fresh entry at the real path.
+        """
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            pass
+
+    def _disk_load(self, path: Path) -> Any | None:
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self._quarantine(path)
+            return None
+
+    def _disk_store(self, path: Path, payload: Any) -> None:
+        # Atomic publish: never expose a half-written pickle.
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -------------------------------------------------------------- #
+    # result entries
+    # -------------------------------------------------------------- #
+    def _remember(self, key: str, result: SimulationResult) -> None:
+        self._memory[key] = result
+        self._memory.move_to_end(key)
+        if self._max_memory is not None:
+            while len(self._memory) > self._max_memory:
+                self._memory.popitem(last=False)
+                self.evictions += 1
 
     def get(self, key: str) -> SimulationResult | None:
         """Look up a result; updates the hit/miss counters."""
         result = self._memory.get(key)
-        if result is None and self._directory is not None:
-            path = self._disk_path(key)
-            try:
-                with open(path, "rb") as fh:
-                    result = pickle.load(fh)
-            except (OSError, pickle.PickleError, EOFError):
-                result = None
-            else:
-                self._memory[key] = result
+        if result is not None:
+            self._memory.move_to_end(key)
+        elif self._directory is not None:
+            self._migrate_flat(key)
+            result = self._disk_load(self._disk_path(key))
+            if result is not None:
+                self._remember(key, result)
         if result is None:
             self.misses += 1
             return None
@@ -82,22 +217,71 @@ class SimCache:
 
     def put(self, key: str, result: SimulationResult) -> None:
         """Store a result under its fingerprint."""
-        self._memory[key] = result
+        self._remember(key, result)
         if self._directory is not None:
-            # Atomic publish: never expose a half-written pickle.
-            fd, tmp = tempfile.mkstemp(
-                dir=self._directory, suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp, self._disk_path(key))
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+            self._disk_store(self._disk_path(key), result)
+
+    # -------------------------------------------------------------- #
+    # blob entries (whole-shard record batches, checkpoints)
+    # -------------------------------------------------------------- #
+    def _blob_path(self, key: str) -> Path:
+        return self._shard_dir(key) / f"{key}.blob.pkl"
+
+    def get_blob(self, key: str) -> Any | None:
+        """Fetch an arbitrary payload stored with :meth:`put_blob`.
+
+        Disk-only (blobs are large by design — whole-shard record
+        batches — so they never occupy the LRU); returns None without a
+        disk layer.  Corrupt blobs are quarantined like result entries.
+        Counts toward hits/misses.
+        """
+        if self._directory is None:
+            self.misses += 1
+            return None
+        payload = self._disk_load(self._blob_path(key))
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put_blob(self, key: str, payload: Any) -> None:
+        """Store an arbitrary picklable payload (no-op without a disk layer)."""
+        if self._directory is not None:
+            self._disk_store(self._blob_path(key), payload)
+
+    # -------------------------------------------------------------- #
+    # observability + lifecycle
+    # -------------------------------------------------------------- #
+    def disk_entries(self) -> int:
+        """Number of result + blob pickles currently on disk."""
+        if self._directory is None:
+            return 0
+        count = 0
+        with os.scandir(self._directory) as it:
+            for entry in it:
+                name = entry.name
+                if name.endswith(".pkl"):
+                    count += 1  # legacy flat entry not yet migrated
+                elif entry.is_dir() and len(name) == SHARD_PREFIX:
+                    count += sum(
+                        1
+                        for f in os.listdir(entry.path)
+                        if f.endswith(".pkl")
+                    )
+        return count
+
+    def stats(self) -> dict[str, int | float | None]:
+        """Counters snapshot: hits/misses/evictions, sizes, hit rate."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "memory_entries": len(self._memory),
+            "max_memory_entries": self._max_memory,
+            "disk_entries": self.disk_entries(),
+            "hit_rate": self.hit_rate,
+        }
 
     def clear(self) -> None:
         """Drop the in-memory layer and reset the counters.
@@ -108,6 +292,7 @@ class SimCache:
         self._memory.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
 
 _default: SimCache | None = None
@@ -116,7 +301,8 @@ _default: SimCache | None = None
 def default_cache() -> SimCache:
     """The process-wide cache used by :func:`repro.sweep.run_jobs`.
 
-    Created lazily; honours ``REPRO_SWEEP_CACHE`` for an on-disk layer.
+    Created lazily; honours ``REPRO_SWEEP_CACHE`` for an on-disk layer
+    and ``REPRO_SWEEP_CACHE_MAX`` for the in-memory LRU bound.
     """
     global _default
     if _default is None:

@@ -44,9 +44,8 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
 
 from repro.audit import audit_simulation
-from repro.sim.kernel import KernelConfig, run_fast_kernel_batch
+from repro.sim.kernel import run_fast_kernel_batch
 from repro.sim.results import SimulationResult
-from repro.sim.scheduler import ordering_by_name
 from repro.sweep.cache import SimCache, default_cache
 from repro.sweep.job import SimJob
 
@@ -160,17 +159,7 @@ def _batchable(job: SimJob) -> bool:
 
 def _execute_batch(jobs: Sequence[SimJob]) -> list[SimulationResult]:
     """Run one workflow-sharing unit through the batched fast kernel."""
-    configs = [
-        KernelConfig(
-            environment=job.environment(),
-            data_mode=job.data_mode,
-            ordering=ordering_by_name(job.ordering),
-            failures=(
-                job.failures.build() if job.failures is not None else None
-            ),
-        )
-        for job in jobs
-    ]
+    configs = [job.kernel_config() for job in jobs]
     return run_fast_kernel_batch(jobs[0].workflow, configs)
 
 

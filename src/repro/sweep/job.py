@@ -29,7 +29,7 @@ from repro.sim.executor import (
     simulate,
 )
 from repro.sim.failures import FailureModel
-from repro.sim.kernel import resolve_kernel
+from repro.sim.kernel import KernelConfig, resolve_kernel
 from repro.sim.results import SimulationResult
 from repro.sim.scheduler import ordering_by_name
 from repro.workflow.dag import Workflow
@@ -140,6 +140,25 @@ class SimJob:
             separate_links=self.separate_links,
             record_trace=(
                 self.record_trace if record_trace is None else record_trace
+            ),
+        )
+
+    def kernel_config(self) -> KernelConfig:
+        """This point as a fast-kernel :class:`KernelConfig`.
+
+        Every configuration is kernel-eligible (there is no demotion
+        path any more), so this always succeeds; the batch executor and
+        the campaign grid engine both build their
+        :func:`~repro.sim.kernel.run_fast_kernel_batch` units from it.
+        A fresh :class:`~repro.sim.failures.FailureModel` is built per
+        call, exactly like :meth:`run`.
+        """
+        return KernelConfig(
+            environment=self.environment(),
+            data_mode=self.data_mode,
+            ordering=ordering_by_name(self.ordering),
+            failures=(
+                self.failures.build() if self.failures is not None else None
             ),
         )
 

@@ -18,7 +18,6 @@ from repro.sim import (
     ExecutionEnvironment,
     FailureModel,
     KernelConfig,
-    KernelIneligibleError,
     kernel_eligible,
     resolve_kernel,
     run_fast_kernel,
@@ -96,7 +95,8 @@ class TestEligibility:
 
     def test_fast_never_raises(self):
         # Failures, contention and finite capacity all run on the fast
-        # kernel; KernelIneligibleError survives only as an API name.
+        # kernel; KernelIneligibleError survives only as a deprecated
+        # API name (see test_ineligible_alias_deprecated).
         r = simulate(small_workflow(), 2, kernel="fast",
                      failures=FailureModel(0.5, seed=3))
         assert r.makespan > 0
@@ -106,7 +106,19 @@ class TestEligibility:
         r = simulate(small_workflow(), 2, kernel="fast",
                      storage_capacity_bytes=1e9)
         assert r.makespan > 0
-        assert issubclass(KernelIneligibleError, ValueError)
+
+    def test_ineligible_alias_deprecated(self):
+        # The raise paths are gone; accessing the name (from the kernel
+        # module or the sim package) warns but keeps old except clauses
+        # importable, and the alias is still a ValueError subclass.
+        import repro.sim as sim_pkg
+        import repro.sim.kernel as kernel_mod
+
+        with pytest.warns(DeprecationWarning, match="KernelIneligibleError"):
+            exc = kernel_mod.KernelIneligibleError
+        assert issubclass(exc, ValueError)
+        with pytest.warns(DeprecationWarning, match="KernelIneligibleError"):
+            assert sim_pkg.KernelIneligibleError is exc
 
     def test_run_fast_kernel_handles_contention_and_capacity(self):
         for env in (
@@ -386,6 +398,29 @@ class TestMonteCarlo:
         baseline = simulate(wf, 2, record_trace=False, kernel="fast")
         for cell in cells:
             assert cell.result == baseline
+
+    def test_failure_free_cells_dedup_exact(self):
+        # A low-probability grid mixes seeds that draw a failure with
+        # seeds that provably cannot; the latter must reuse the
+        # no-failure baseline (identity) and every cell must still be
+        # bit-identical to a stand-alone event-engine run (exactness).
+        wf = montage_workflow(0.2)
+        seeds = tuple(range(12))
+        cells = run_monte_carlo(wf, self._config(), [0.0, 0.05], seeds,
+                                max_retries=50)
+        baseline = cells[0].result
+        shared = sum(1 for c in cells if c.result is baseline)
+        ran = sum(1 for c in cells if c.result is not baseline)
+        assert shared > len(seeds), "p=0 cells plus some p=0.005 cells"
+        assert ran > 0, "some seed must actually draw a failure"
+        for cell in cells:
+            ref = simulate(
+                wf, 4, record_trace=False,
+                failures=FailureModel(cell.probability, seed=cell.seed,
+                                      max_retries=50),
+                kernel="event",
+            )
+            assert cell.result == ref
 
     def test_summary_only_skips_traces(self):
         wf = small_workflow()
