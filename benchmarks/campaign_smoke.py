@@ -1,0 +1,42 @@
+"""CI smoke for the campaign orchestrator: tiny policy study, audited.
+
+Runs :func:`repro.experiments.ablations.campaign_policy_study` at smoke
+scale — 2 plates x 2 policies x 5 seeds — with every campaign's
+provenance log reconciled by the campaign audit oracle, and fails (exit
+status 1) if any audit violation surfaced.  This keeps the perf-smoke
+job exercising the full orchestrate → log → audit loop on every push
+without the cost of a real campaign.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/campaign_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main() -> int:
+    from repro.experiments.ablations import campaign_policy_study
+
+    study = campaign_policy_study(
+        n_plates=2,
+        policies=("immediate", "sweep"),
+        n_seeds=5,
+    )
+    print(study.as_table())
+    violations = sum(row[-1] for row in study.raw)
+    if violations:
+        print(
+            f"campaign smoke FAILED: {violations} provenance-audit "
+            "violations",
+            file=sys.stderr,
+        )
+        return 1
+    print("campaign smoke ok: all provenance logs audited clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

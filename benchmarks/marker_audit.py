@@ -11,7 +11,11 @@ running a single test:
    silently drop a test from the slow set);
 2. strict-marker collection of the *full* suite (``-m ""``) succeeds;
 3. the tier-1 selection actually deselects something (the ``slow``
-   tier exists) and still selects a non-empty fast tier.
+   tier exists) and still selects a non-empty fast tier;
+4. every expected suite directory (``_EXPECTED_SUITES``) exists and
+   contains at least one test module — a suite that is deleted,
+   emptied, or never lands (e.g. ``tests/campaign``) cannot silently
+   vanish from "tier-1 passed".
 
 Exit status is non-zero on any violation, so CI can run it as a gate.
 
@@ -37,6 +41,20 @@ _MARK_DECL = re.compile(r"^@pytest\.mark\.([A-Za-z_]\w*)", re.MULTILINE)
 #: Built-in / structural marks that are legitimate without declaration.
 _ALWAYS_OK = {"parametrize", "skip", "skipif", "xfail", "usefixtures",
               "filterwarnings"}
+
+#: Suite directories the tier-1 run is expected to cover; each must
+#: exist and contain at least one ``test_*.py`` module.
+_EXPECTED_SUITES = (
+    "tests/audit",
+    "tests/campaign",
+    "tests/core",
+    "tests/experiments",
+    "tests/grid",
+    "tests/montage",
+    "tests/sim",
+    "tests/sweep",
+    "tests/workflow",
+)
 
 
 def _pytest(*args: str) -> subprocess.CompletedProcess:
@@ -111,6 +129,14 @@ def main() -> int:
         f"markers used: {', '.join(sorted(uses)) or '(none)'} "
         f"({len(declared)} declared)"
     )
+
+    for suite in _EXPECTED_SUITES:
+        suite_dir = REPO_ROOT / suite
+        if not any(suite_dir.glob("test_*.py")):
+            failures.append(
+                f"expected suite {suite} is missing or has no test "
+                "modules"
+            )
 
     full, _ = collected_counts("-m", "")
     tier1, tier1_deselected = collected_counts()

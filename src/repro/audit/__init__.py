@@ -21,10 +21,18 @@ returned:
   costs recomputed from the trace-derived quantities under both the
   provisioned and on-demand plans.
 
+One level up, :func:`audit_campaign` applies the same discipline to a
+whole campaign: every claim a provenance log makes — no double billing,
+every retry justified by a recorded failure, budgets respected, totals
+reconciling with :mod:`repro.core.costs` — is re-derived from the log
+alone (see :mod:`repro.audit.campaign`).
+
 Entry points: :func:`audit_simulation` (library),
 ``simulate(..., audit=True)`` (one-call), ``run_jobs(..., audit=True)``
-/ ``REPRO_SWEEP_AUDIT=1`` (sweeps), and ``python -m repro report
---audit`` (the full paper report, every point audited).
+/ ``REPRO_SWEEP_AUDIT=1`` (sweeps), ``python -m repro report
+--audit`` (the full paper report, every point audited), and
+:func:`audit_campaign` / ``python -m repro campaign --audit``
+(campaign provenance logs).
 """
 
 from repro.audit.oracle import (
@@ -35,10 +43,23 @@ from repro.audit.oracle import (
 )
 from repro.audit.trace_model import DerivedTrace
 
+
+def __getattr__(name: str):
+    # Lazy forward: repro.audit.campaign reaches the campaign package,
+    # whose grid engine imports the sweep executor, which imports
+    # repro.audit — importing it eagerly here would re-enter that cycle
+    # whichever module is imported first.
+    if name == "audit_campaign":
+        from repro.audit.campaign import audit_campaign
+
+        return audit_campaign
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "AuditError",
     "AuditReport",
     "AuditViolation",
     "DerivedTrace",
+    "audit_campaign",
     "audit_simulation",
 ]

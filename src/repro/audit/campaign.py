@@ -1,0 +1,390 @@
+"""Campaign-level legality, reconciled from the provenance log alone.
+
+The trace oracle (:mod:`repro.audit.oracle`) audits one simulation
+against its own event records; this module does the same one level up:
+given only a campaign's provenance log — no plates, no grid engine, no
+re-execution — :func:`audit_campaign` re-derives every campaign-level
+claim and reconciles it, reporting violations under the ``campaign``
+category:
+
+* **structure** — exactly one header (first) and one summary (last),
+  a known schema version, contiguous sequence numbers, and every
+  referenced plate present in the header manifest;
+* **no double billing** — at most one record per ``(plate, attempt)``
+  coordinate, attempt indices contiguous from 0, and no attempt
+  recorded after the plate already succeeded;
+* **retry traceability** — every attempt ``k > 0`` is preceded (in
+  sequence order) by a recorded *failed* attempt ``k - 1`` of the same
+  plate: no resubmission without a recorded failure to justify it;
+* **budget legality** — no plate exceeds ``max_plate_attempts``;
+  ``retry-budget`` abandons are only recorded when the budget really is
+  exhausted by a failure; ``cost-budget`` abandons only under the
+  budget policy once the cumulative billed cost (replayed in sequence
+  order) has reached ``cost_budget`` — and conversely, under the budget
+  policy no resubmission may have been dispatched without head-room;
+* **seed lineage** — every attempt's seed equals
+  ``base_seed + attempt * seed_stride`` (the header's stride), so any
+  attempt can be replayed bit-identically from the log;
+* **cost reconciliation** — every attempt's ``billed_cost`` re-derives
+  from its recorded metrics under the header's price schedule via
+  :func:`repro.core.costs.compute_cost` (the same
+  :func:`repro.campaign.orchestrator.billed_cost_of` rule the
+  orchestrator bills with), and the summary's totals and counts match
+  the records;
+* **terminal completeness** — every manifest plate ends in exactly one
+  terminal state (success or abandon), and nothing follows it.
+
+The negative suite (``tests/campaign/test_campaign_audit_negative.py``)
+proves these checks fire by injecting a double-billed plate, a dropped
+retry-justifying failure, and an over-budget resubmission.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.audit.oracle import AuditReport, AuditViolation
+from repro.campaign.provenance import (
+    SCHEMA_VERSION,
+    ProvenanceLog,
+    read_records,
+)
+from repro.core.pricing import PricingModel
+
+# NOTE: repro.campaign.orchestrator is imported lazily inside the
+# checks: the orchestrator pulls in the grid engine, whose sweep
+# executor imports repro.audit — an eager import here would dead-lock
+# that cycle when repro.campaign is imported first.
+
+__all__ = ["audit_campaign"]
+
+#: Relative tolerance for dollar reconciliation (floats in JSON are
+#: repr-faithful, so the only slack needed is re-summation order).
+_REL_TOL = 1e-9
+_ABS_TOL = 1e-9
+
+
+def _coerce_records(
+    log: ProvenanceLog | str | Path | Iterable[dict[str, Any]],
+) -> list[dict[str, Any]]:
+    if isinstance(log, ProvenanceLog):
+        return log.records()
+    if isinstance(log, (str, Path)):
+        return read_records(log)
+    return list(log)
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= max(_ABS_TOL, _REL_TOL * max(abs(a), abs(b)))
+
+
+class _CampaignAuditor:
+    """Single-use checker over one log's parsed records."""
+
+    def __init__(self, records: list[dict[str, Any]]) -> None:
+        self.records = records
+        self.violations: list[AuditViolation] = []
+        self.n_checks = 0
+
+    def check(self, ok: bool, message: str) -> bool:
+        self.n_checks += 1
+        if not ok:
+            self.violations.append(AuditViolation("campaign", message))
+        return ok
+
+    # ---------------------------------------------------------- #
+    def run(self) -> AuditReport:
+        header = self._structure()
+        if header is None:
+            # Without a parseable header nothing else is checkable.
+            return self._report({})
+        body = [
+            r for r in self.records[1:] if r.get("kind") != "summary"
+        ]
+        self._sequencing(body)
+        self._plates(header, body)
+        self._costs(header, body)
+        self._summary(header, body)
+        return self._report(header)
+
+    def _report(self, header: dict[str, Any]) -> AuditReport:
+        report = AuditReport(
+            workflow_name=(
+                f"campaign {header.get('campaign', '?')[:12]} "
+                f"[{header.get('policy', '?')}]"
+            ),
+            data_mode=str(header.get("data_mode", "?")),
+        )
+        report.n_checks = self.n_checks
+        report.violations.extend(self.violations)
+        return report
+
+    # ---------------------------------------------------------- #
+    def _structure(self) -> dict[str, Any] | None:
+        if not self.check(bool(self.records), "empty provenance log"):
+            return None
+        header = self.records[0]
+        if not self.check(
+            header.get("kind") == "header",
+            f"first record must be the header, got "
+            f"{header.get('kind')!r}",
+        ):
+            return None
+        self.check(
+            header.get("schema") == SCHEMA_VERSION,
+            f"unknown schema version {header.get('schema')!r} "
+            f"(expected {SCHEMA_VERSION})",
+        )
+        self.check(
+            sum(1 for r in self.records if r.get("kind") == "header") == 1,
+            "more than one header record",
+        )
+        n_summaries = sum(
+            1 for r in self.records if r.get("kind") == "summary"
+        )
+        self.check(n_summaries == 1, f"expected one summary, got {n_summaries}")
+        if n_summaries:
+            self.check(
+                self.records[-1].get("kind") == "summary",
+                "summary is not the last record",
+            )
+        return header
+
+    def _sequencing(self, body: list[dict[str, Any]]) -> None:
+        seqs = [r.get("seq") for r in body]
+        self.check(
+            seqs == list(range(len(seqs))),
+            f"sequence numbers are not contiguous from 0: {seqs[:10]}...",
+        )
+
+    def _plates(
+        self, header: dict[str, Any], body: list[dict[str, Any]]
+    ) -> None:
+        from repro.campaign.orchestrator import attempt_seed
+
+        manifest = {
+            p["name"]: p["fingerprint"] for p in header.get("plates", [])
+        }
+        base_seed = header.get("base_seed", 0)
+        stride = header.get("seed_stride")
+        max_attempts = header.get("max_plate_attempts", 0)
+
+        # Per-plate timelines, in sequence order.
+        timeline: dict[str, list[dict[str, Any]]] = {}
+        for r in body:
+            timeline.setdefault(r.get("plate"), []).append(r)
+
+        for name in timeline:
+            self.check(
+                name in manifest,
+                f"record references plate {name!r} absent from the "
+                "header manifest",
+            )
+        for name, events in timeline.items():
+            attempts = [e for e in events if e.get("kind") == "attempt"]
+            abandons = [e for e in events if e.get("kind") == "abandon"]
+            self.check(
+                all(
+                    e.get("plate_fp") == manifest.get(name)
+                    for e in events
+                ),
+                f"plate {name!r}: fingerprint differs from the manifest",
+            )
+            # -- double billing -------------------------------------- #
+            indices = [e.get("attempt") for e in attempts]
+            self.check(
+                len(indices) == len(set(indices)),
+                f"plate {name!r}: attempt billed twice "
+                f"(indices {sorted(indices)})",
+            )
+            self.check(
+                sorted(set(indices)) == list(range(len(set(indices)))),
+                f"plate {name!r}: attempt indices not contiguous from 0: "
+                f"{sorted(set(indices))}",
+            )
+            successes = [
+                e for e in attempts if e.get("outcome") == "success"
+            ]
+            self.check(
+                len(successes) <= 1,
+                f"plate {name!r}: more than one successful attempt billed",
+            )
+            if successes:
+                last_attempt = max(
+                    attempts, key=lambda e: e.get("seq", -1)
+                )
+                self.check(
+                    last_attempt is successes[0],
+                    f"plate {name!r}: attempt billed after the plate "
+                    "already succeeded",
+                )
+            # -- retry traceability ---------------------------------- #
+            by_index = {e.get("attempt"): e for e in attempts}
+            for e in attempts:
+                k = e.get("attempt", 0)
+                if k == 0:
+                    continue
+                prev = by_index.get(k - 1)
+                self.check(
+                    prev is not None
+                    and prev.get("outcome") == "failed"
+                    and prev.get("seq", 1 << 62) < e.get("seq", -1),
+                    f"plate {name!r}: attempt {k} has no prior recorded "
+                    f"failure of attempt {k - 1} to justify it",
+                )
+            # -- retry budget ---------------------------------------- #
+            self.check(
+                len(attempts) <= max_attempts,
+                f"plate {name!r}: {len(attempts)} attempts exceed the "
+                f"configured budget of {max_attempts}",
+            )
+            for e in abandons:
+                if e.get("reason") == "retry-budget":
+                    self.check(
+                        len(attempts) == max_attempts
+                        and not successes,
+                        f"plate {name!r}: retry-budget abandon recorded "
+                        f"but only {len(attempts)} of {max_attempts} "
+                        "attempts were spent (or the plate succeeded)",
+                    )
+            # -- seed lineage ---------------------------------------- #
+            for e in attempts:
+                expected = attempt_seed(base_seed, e.get("attempt", 0))
+                self.check(
+                    stride is not None and e.get("seed") == expected,
+                    f"plate {name!r}: attempt {e.get('attempt')} seed "
+                    f"{e.get('seed')} != derived {expected}",
+                )
+            # -- terminal completeness ------------------------------- #
+            terminal = bool(successes) + len(abandons)
+            self.check(
+                terminal <= 1,
+                f"plate {name!r}: more than one terminal state recorded",
+            )
+
+        for name in manifest:
+            events = timeline.get(name, [])
+            self.check(
+                any(
+                    e.get("outcome") == "success"
+                    or e.get("kind") == "abandon"
+                    for e in events
+                ),
+                f"plate {name!r}: no terminal state (success or abandon) "
+                "recorded",
+            )
+
+    def _costs(
+        self, header: dict[str, Any], body: list[dict[str, Any]]
+    ) -> None:
+        from repro.campaign.orchestrator import billed_cost_of
+
+        pricing_spec = dict(header.get("pricing", {}))
+        try:
+            pricing = PricingModel(**pricing_spec)
+        except TypeError:
+            self.check(False, f"malformed price schedule: {pricing_spec!r}")
+            return
+        n_processors = header.get("n_processors", 1)
+        data_mode = header.get("data_mode", "regular")
+        cost_budget = header.get("cost_budget")
+        budgeted = header.get("policy") == "budget" and cost_budget is not None
+
+        spent = 0.0
+        for r in body:
+            if r.get("kind") != "attempt":
+                if (
+                    r.get("kind") == "abandon"
+                    and r.get("reason") == "cost-budget"
+                ):
+                    self.check(
+                        budgeted and spent >= cost_budget,
+                        f"plate {r.get('plate')!r}: cost-budget abandon "
+                        f"recorded at ${spent:.4f} spent, but the budget "
+                        f"is {cost_budget!r} under policy "
+                        f"{header.get('policy')!r}",
+                    )
+                continue
+            metrics = r.get("metrics", {})
+            try:
+                derived = billed_cost_of(
+                    metrics, pricing, n_processors, data_mode
+                )
+            except (KeyError, TypeError):
+                self.check(
+                    False,
+                    f"plate {r.get('plate')!r} attempt "
+                    f"{r.get('attempt')}: unreadable metrics "
+                    f"{metrics!r}",
+                )
+                continue
+            self.check(
+                _close(derived, r.get("billed_cost", float("nan"))),
+                f"plate {r.get('plate')!r} attempt {r.get('attempt')}: "
+                f"billed ${r.get('billed_cost')} but the recorded "
+                f"metrics price to ${derived:.6f}",
+            )
+            if budgeted and r.get("attempt", 0) > 0:
+                self.check(
+                    spent < cost_budget,
+                    f"plate {r.get('plate')!r} attempt "
+                    f"{r.get('attempt')}: resubmission dispatched at "
+                    f"${spent:.4f} spent, >= the ${cost_budget} budget",
+                )
+            spent += float(r.get("billed_cost", 0.0))
+
+    def _summary(
+        self, header: dict[str, Any], body: list[dict[str, Any]]
+    ) -> None:
+        summaries = [
+            r for r in self.records if r.get("kind") == "summary"
+        ]
+        if not summaries:
+            return
+        summary = summaries[0]
+        attempts = [r for r in body if r.get("kind") == "attempt"]
+        completed = {
+            r["plate"] for r in attempts if r.get("outcome") == "success"
+        }
+        abandoned = {
+            r["plate"] for r in body if r.get("kind") == "abandon"
+        }
+        total_billed = sum(float(r.get("billed_cost", 0.0)) for r in attempts)
+        self.check(
+            summary.get("completed") == len(completed),
+            f"summary says {summary.get('completed')} completed, records "
+            f"show {len(completed)}",
+        )
+        self.check(
+            summary.get("abandoned") == len(abandoned),
+            f"summary says {summary.get('abandoned')} abandoned, records "
+            f"show {len(abandoned)}",
+        )
+        self.check(
+            summary.get("total_attempts") == len(attempts),
+            f"summary says {summary.get('total_attempts')} attempts, "
+            f"records show {len(attempts)}",
+        )
+        self.check(
+            _close(
+                float(summary.get("total_billed", float("nan"))),
+                total_billed,
+            ),
+            f"summary total ${summary.get('total_billed')} does not "
+            f"reconcile with the records' ${total_billed:.6f}",
+        )
+
+
+def audit_campaign(
+    log: ProvenanceLog | str | Path | Iterable[dict[str, Any]],
+) -> AuditReport:
+    """Audit a campaign's provenance log; see the module docstring.
+
+    Accepts a :class:`~repro.campaign.provenance.ProvenanceLog`, a path
+    to a JSONL log file, or an iterable of parsed records.  Returns an
+    :class:`~repro.audit.oracle.AuditReport` whose violations all carry
+    the ``campaign`` category; ``raise_if_failed()`` converts a dirty
+    report into an :class:`~repro.audit.oracle.AuditError`.
+    """
+    return _CampaignAuditor(_coerce_records(log)).run()

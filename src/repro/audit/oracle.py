@@ -47,7 +47,9 @@ class AuditViolation:
 
     ``category`` is one of ``trace`` (malformed records), ``metric``
     (aggregate mismatch), ``precedence``, ``capacity``, ``link``,
-    ``lifecycle``, ``failure`` (schedule illegality) or ``cost``.
+    ``lifecycle``, ``failure`` (schedule illegality), ``cost``, or
+    ``campaign`` (campaign-level legality of a provenance log — see
+    :mod:`repro.audit.campaign`).
     """
 
     category: str

@@ -1,0 +1,61 @@
+"""Failure-aware campaign orchestration with auditable provenance.
+
+The layer between one simulated plate and the paper's whole-sky
+campaign: :func:`run_campaign` executes a plate set under a failure
+model via the columnar :mod:`repro.grid` engine, retries or abandons
+failed plates according to a pluggable
+:class:`~repro.campaign.policies.ResubmissionPolicy`, checkpoints
+through the sharded :class:`~repro.sweep.cache.SimCache` (a killed
+campaign resumes from completed plates only), and records every billed
+attempt in an append-only :class:`~repro.campaign.provenance.ProvenanceLog`
+that :func:`repro.audit.campaign.audit_campaign` can reconcile without
+re-running anything.
+"""
+
+from repro.campaign.orchestrator import (
+    SEED_STRIDE,
+    BILLING_METRICS,
+    CampaignConfig,
+    CampaignResult,
+    PlateOutcome,
+    attempt_seed,
+    billed_cost_of,
+    run_campaign,
+)
+from repro.campaign.policies import (
+    BUDGET,
+    IMMEDIATE,
+    POLICIES,
+    SWEEP,
+    ResubmissionPolicy,
+    policy_by_name,
+)
+from repro.campaign.provenance import (
+    SCHEMA_VERSION,
+    ProvenanceLog,
+    ProvenanceMismatchError,
+    canonical_line,
+    read_records,
+)
+
+__all__ = [
+    "SEED_STRIDE",
+    "BILLING_METRICS",
+    "CampaignConfig",
+    "CampaignResult",
+    "PlateOutcome",
+    "attempt_seed",
+    "billed_cost_of",
+    "run_campaign",
+    "BUDGET",
+    "IMMEDIATE",
+    "POLICIES",
+    "SWEEP",
+    "ResubmissionPolicy",
+    "policy_by_name",
+    "SCHEMA_VERSION",
+    "ProvenanceLog",
+    "ProvenanceMismatchError",
+    "canonical_line",
+    "read_records",
+]

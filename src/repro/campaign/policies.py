@@ -1,0 +1,95 @@
+"""Resubmission policies for failed plate attempts.
+
+A campaign attempt either succeeds or fails (the attempt's task-retry
+budget is exhausted and the run aborts).  What happens next is policy:
+
+``immediate``
+    In-pass retry: a failed plate is resubmitted right away on the pool
+    slot it already holds, before the next plate starts.  There are no
+    synchronization barriers, so the campaign's completion time is the
+    makespan of the most loaded pool over *all* of its plates' attempts.
+
+``sweep``
+    End-of-pass failure sweep (the shape of real resubmission tooling
+    such as ``find_and_resubmit_failures.py``): pass *k* runs attempt
+    *k* of every still-pending plate, then the operator collects the
+    failures and resubmits them as pass *k + 1*.  Each pass is a
+    barrier — its duration is the most loaded pool's time within the
+    pass — so stragglers serialize across passes.
+
+``budget``
+    Budget-capped abandon: identical scheduling to ``sweep``, but a
+    resubmission is dispatched only while the campaign's cumulative
+    billed cost is still below ``cost_budget`` (checked in canonical
+    schedule order at dispatch time).  First attempts always run — the
+    budget caps *re*-work, not the campaign itself; a plate denied
+    resubmission is abandoned with reason ``cost-budget``.
+
+Because a plate attempt's outcome depends only on
+``(plate, configuration, probability, derived seed)`` — never on *when*
+it ran — all three policies execute the same attempt for the same
+``(plate, attempt)`` coordinate and differ only in schedule assembly,
+billing order and resubmission eligibility.  That is what makes them
+differentially testable against per-plate event-engine runs, and it is
+why one columnar grid execution per pass serves every policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ResubmissionPolicy",
+    "IMMEDIATE",
+    "SWEEP",
+    "BUDGET",
+    "POLICIES",
+    "policy_by_name",
+]
+
+
+@dataclass(frozen=True)
+class ResubmissionPolicy:
+    """One resubmission discipline (see module docstring).
+
+    ``barriers`` — does the schedule synchronize at pass boundaries?
+    ``budgeted`` — are resubmissions gated on the cost budget?
+    """
+
+    name: str
+    barriers: bool
+    budgeted: bool
+
+    def allows_resubmission(
+        self, spent: float, cost_budget: float | None
+    ) -> bool:
+        """May a retry be dispatched after ``spent`` dollars billed?
+
+        Un-budgeted policies always say yes; the ``budget`` policy
+        requires head-room at dispatch time (a campaign without a
+        configured budget behaves like ``sweep``).
+        """
+        if not self.budgeted or cost_budget is None:
+            return True
+        return spent < cost_budget
+
+
+IMMEDIATE = ResubmissionPolicy("immediate", barriers=False, budgeted=False)
+SWEEP = ResubmissionPolicy("sweep", barriers=True, budgeted=False)
+BUDGET = ResubmissionPolicy("budget", barriers=True, budgeted=True)
+
+#: Registry, in documentation order.
+POLICIES: dict[str, ResubmissionPolicy] = {
+    p.name: p for p in (IMMEDIATE, SWEEP, BUDGET)
+}
+
+
+def policy_by_name(name: str) -> ResubmissionPolicy:
+    """Look up a policy; raises ``ValueError`` with the known names."""
+    try:
+        return POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown resubmission policy {name!r}; "
+            f"known: {', '.join(sorted(POLICIES))}"
+        ) from None

@@ -8,6 +8,7 @@ Everything the library does, from a shell::
     python -m repro modes --degree 1
     python -m repro ccr --degree 1 --values 0.05,0.5,2
     python -m repro grid --plates 16 --processors 4,8 --probabilities 0,0.05
+    python -m repro campaign --plates 50 --policy sweep --audit
     python -m repro gantt --degree 1 --processors 8
     python -m repro dax --degree 1 --output montage1.xml
     python -m repro report [--fast] [--audit]
@@ -215,6 +216,65 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     print(format_table(("metric", "value"), rows))
     if args.verbose:
         _print_cache_stats()
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.audit import audit_campaign
+    from repro.campaign import CampaignConfig, ProvenanceLog, run_campaign
+    from repro.montage import campaign_plates
+    from repro.sweep.cache import SimCache, default_cache
+
+    plates = campaign_plates(
+        args.plates, degree=args.degree, jitter=args.jitter
+    )
+    config = CampaignConfig(
+        n_processors=args.processors,
+        n_pools=args.pools,
+        probability=args.probability,
+        base_seed=args.seed,
+        max_task_retries=args.max_task_retries,
+        max_plate_attempts=args.max_plate_attempts,
+        cost_budget=args.cost_budget,
+        data_mode=args.mode,
+        bandwidth_bytes_per_sec=args.bandwidth_mbps * MBPS,
+    )
+    cache = SimCache(args.cache) if args.cache else default_cache()
+    log = ProvenanceLog(args.log)
+    result = run_campaign(
+        plates,
+        args.policy,
+        config,
+        cache=cache,
+        log=log,
+        workers=args.workers,
+        shards=args.shards,
+        progress=print if args.verbose else None,
+    )
+    rows = [
+        ("policy", result.policy.name),
+        ("plates", len(result.outcomes)),
+        ("completed", result.n_completed),
+        ("abandoned", result.n_abandoned),
+        ("attempts", result.total_attempts),
+        ("passes", result.n_passes),
+        ("total billed", format_money(result.total_billed)),
+        ("completion time", format_duration(result.completion_seconds)),
+        ("provenance lines", len(log)),
+        ("replayed (resume)", log.replayed),
+    ]
+    if log.path is not None:
+        rows.append(("provenance log", str(log.path)))
+    print(format_table(("metric", "value"), rows))
+    if args.verbose:
+        _print_cache_stats()
+    if args.audit:
+        report = audit_campaign(log)
+        print(f"\n{report.summary()}")
+        if not report.ok:
+            for violation in report.violations[:20]:
+                print(f"  - {violation}")
+            return 1
     return 0
 
 
@@ -483,6 +543,91 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-shard progress and cache statistics",
     )
     p.set_defaults(handler=_cmd_grid)
+
+    p = sub.add_parser(
+        "campaign",
+        help=(
+            "failure-aware campaign: resubmission policies, provenance "
+            "log, campaign audit"
+        ),
+    )
+    p.add_argument(
+        "--plates", type=int, default=50,
+        help="number of sky plates to run (default 50)",
+    )
+    p.add_argument(
+        "--degree", type=float, default=1.0,
+        help="mosaic size of each plate in square degrees (default 1.0)",
+    )
+    p.add_argument(
+        "--jitter", type=float, default=0.05,
+        help="per-plate runtime/size jitter fraction (default 0.05)",
+    )
+    p.add_argument(
+        "--policy", choices=["immediate", "sweep", "budget"],
+        default="sweep",
+        help="resubmission policy for failed plates (default sweep)",
+    )
+    p.add_argument(
+        "--probability", type=float, default=0.05,
+        help="per-task failure probability (default 0.05)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign base seed; attempt seeds derive from it",
+    )
+    p.add_argument("--processors", type=int, default=8)
+    p.add_argument(
+        "--pools", type=int, default=4,
+        help="parallel plate slots in the completion-time model",
+    )
+    p.add_argument(
+        "--max-task-retries", type=int, default=1,
+        help="within-attempt task retry budget; exhausting it fails "
+             "the attempt (default 1)",
+    )
+    p.add_argument(
+        "--max-plate-attempts", type=int, default=3,
+        help="campaign-level attempts per plate before abandoning "
+             "(default 3)",
+    )
+    p.add_argument(
+        "--cost-budget", type=float, default=None,
+        help="dollar cap on resubmissions (budget policy only)",
+    )
+    p.add_argument(
+        "--mode", choices=["remote-io", "regular", "cleanup"],
+        default="regular",
+    )
+    p.add_argument("--bandwidth-mbps", type=float, default=10.0)
+    p.add_argument(
+        "--log", type=str, default=None,
+        help="provenance log path (JSONL); rerun with the same log "
+             "and cache to resume a killed campaign",
+    )
+    p.add_argument(
+        "--cache", type=str, default=None,
+        help="on-disk checkpoint cache directory (default: "
+             "REPRO_SWEEP_CACHE / in-memory)",
+    )
+    p.add_argument(
+        "--shards", type=int, default=None,
+        help="checkpoint granularity (default: one shard per plate)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool width (default: REPRO_SWEEP_WORKERS/auto)",
+    )
+    p.add_argument(
+        "--audit", action="store_true",
+        help="reconcile the provenance log with the campaign audit "
+             "oracle; non-zero exit on violations",
+    )
+    p.add_argument(
+        "--verbose", action="store_true",
+        help="print per-pass progress and cache statistics",
+    )
+    p.set_defaults(handler=_cmd_campaign)
 
     p = sub.add_parser(
         "modes", help="Figure 7/8/9: compare data-management modes"

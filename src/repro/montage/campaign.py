@@ -23,11 +23,57 @@ from repro.core.costs import CostBreakdown, compute_cost
 from repro.core.plans import ExecutionPlan
 from repro.core.pricing import AWS_2008, PricingModel
 from repro.montage.generator import montage_workflow
+from repro.montage.sky import sky_plate_centers
 from repro.montage.twomass import TWO_MASS, TwoMassArchive
 from repro.sim.executor import DEFAULT_BANDWIDTH, simulate
 from repro.util.units import MONTH
+from repro.workflow.dag import Workflow
 
-__all__ = ["CampaignPlan", "plan_whole_sky_campaign"]
+__all__ = ["CampaignPlan", "campaign_plates", "plan_whole_sky_campaign"]
+
+
+def campaign_plates(
+    n_plates: int,
+    degree: float = 1.0,
+    jitter: float = 0.05,
+) -> tuple[Workflow, ...]:
+    """The first ``n_plates`` sky plates as distinct executable workflows.
+
+    Plates follow the :func:`repro.montage.sky.sky_plate_centers` tiling
+    order and are named after their centers, so the campaign
+    orchestrator's provenance log reads as sky coordinates.  Each plate
+    gets a deterministic, total-preserving runtime/size ``jitter`` keyed
+    on its tiling index — real plates differ by source density — which
+    also guarantees the distinct content fingerprints the provenance
+    layer requires.  ``jitter`` must be positive for more plates than
+    one (identical plates would share a fingerprint).
+    """
+    if n_plates < 1:
+        raise ValueError(f"need at least one plate, got {n_plates}")
+    if n_plates > 1 and jitter <= 0.0:
+        raise ValueError(
+            "campaign plates need jitter > 0: without it every plate is "
+            "content-identical and the provenance log cannot tell them "
+            "apart"
+        )
+    centers = sky_plate_centers(degree)
+    if n_plates > len(centers):
+        raise ValueError(
+            f"the {degree} deg tiling has only {len(centers)} plates, "
+            f"{n_plates} requested"
+        )
+    return tuple(
+        montage_workflow(
+            degree,
+            jitter=jitter,
+            seed=i,
+            name=(
+                f"plate{i:04d}_ra{centers[i].ra_deg:07.2f}"
+                f"_dec{centers[i].dec_deg:+06.2f}"
+            ),
+        )
+        for i in range(n_plates)
+    )
 
 
 @dataclass(frozen=True)

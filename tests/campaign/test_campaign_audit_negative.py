@@ -1,0 +1,174 @@
+"""Negative campaign audits: doctored provenance logs must be caught.
+
+Mirrors ``tests/audit/test_negative.py`` one level up: each test takes a
+genuine campaign's provenance records, injects one specific lie — a
+double-billed plate, a dropped retry-justifying failure, an over-budget
+resubmission, a doctored bill, seed or summary — and asserts
+:func:`repro.audit.audit_campaign` pins it with a ``campaign``
+violation.  This is the evidence that the clean audits in
+``test_campaign.py`` actually constrain the orchestrator.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.audit import audit_campaign
+from repro.campaign import CampaignConfig, run_campaign
+from repro.montage.generator import montage_workflow
+from repro.sweep.cache import SimCache
+
+pytestmark = pytest.mark.audit
+
+
+@pytest.fixture(scope="module")
+def records():
+    """A real failed campaign's records: retries, abandons, real bills."""
+    plates = tuple(
+        montage_workflow(0.4, jitter=0.05, seed=i, name=f"neg-plate{i}")
+        for i in range(2)
+    )
+    result = run_campaign(
+        plates,
+        "sweep",
+        CampaignConfig(
+            n_processors=2,
+            probability=0.9,  # every ~30-task attempt fails
+            max_task_retries=0,
+            max_plate_attempts=2,
+            base_seed=11,
+        ),
+        cache=SimCache(),
+    )
+    report = audit_campaign(result.log)
+    assert report.ok, report.summary()
+    recs = result.log.records()
+    # The fixture must contain what the lies below need: a resubmission
+    # (attempt 1) justified by a recorded failure (attempt 0).
+    assert any(
+        r["kind"] == "attempt" and r["attempt"] == 1 for r in recs
+    )
+    return recs
+
+
+def _renumbered(records):
+    """Re-sequence the body so only the injected lie is out of order."""
+    body = records[1:-1]
+    for i, rec in enumerate(body):
+        rec["seq"] = i
+    if records[-1].get("kind") == "summary":
+        records[-1]["seq"] = len(body)
+    return records
+
+
+def _violations(records, fragment):
+    report = audit_campaign(records)
+    assert not report.ok, "corruption went undetected"
+    assert all(v.category == "campaign" for v in report.violations)
+    assert any(fragment in str(v) for v in report.violations), (
+        f"expected a violation mentioning {fragment!r}, got: "
+        + "; ".join(str(v) for v in report.violations[:5])
+    )
+    return report
+
+
+class TestInjectedLies:
+    def test_double_billed_attempt(self, records):
+        recs = copy.deepcopy(records)
+        i, dup = next(
+            (i, r)
+            for i, r in enumerate(recs)
+            if r["kind"] == "attempt"
+        )
+        recs.insert(i + 1, copy.deepcopy(dup))
+        _violations(_renumbered(recs), "billed twice")
+
+    def test_dropped_retry_justification(self, records):
+        # Remove the failed attempt 0 that justifies some attempt 1:
+        # the resubmission is now a retry without a recorded failure.
+        recs = copy.deepcopy(records)
+        resub = next(
+            r
+            for r in recs
+            if r["kind"] == "attempt" and r["attempt"] == 1
+        )
+        recs = [
+            r
+            for r in recs
+            if not (
+                r["kind"] == "attempt"
+                and r["plate"] == resub["plate"]
+                and r["attempt"] == 0
+            )
+        ]
+        _violations(_renumbered(recs), "justify")
+
+    def test_over_budget_resubmission(self, records):
+        # Rewrite history as a budget campaign whose cap the recorded
+        # pass-0 spending already exhausted: every recorded attempt-1
+        # dispatch is now illegal.
+        recs = copy.deepcopy(records)
+        first_bill = next(
+            r["billed_cost"] for r in recs if r["kind"] == "attempt"
+        )
+        recs[0]["policy"] = "budget"
+        recs[0]["cost_budget"] = first_bill / 2
+        _violations(recs, "resubmission dispatched")
+
+    def test_doctored_bill(self, records):
+        recs = copy.deepcopy(records)
+        victim = next(r for r in recs if r["kind"] == "attempt")
+        victim["billed_cost"] *= 0.5
+        _violations(recs, "price to")
+
+    def test_doctored_seed(self, records):
+        recs = copy.deepcopy(records)
+        victim = next(r for r in recs if r["kind"] == "attempt")
+        victim["seed"] += 1
+        _violations(recs, "derived")
+
+    def test_doctored_summary_total(self, records):
+        recs = copy.deepcopy(records)
+        assert recs[-1]["kind"] == "summary"
+        recs[-1]["total_billed"] *= 2
+        _violations(recs, "reconcile")
+
+    def test_phantom_plate(self, records):
+        recs = copy.deepcopy(records)
+        ghost = copy.deepcopy(
+            next(r for r in recs if r["kind"] == "attempt")
+        )
+        ghost["plate"] = "ghost-plate"
+        recs.insert(recs.index(next(
+            r for r in recs if r["kind"] == "attempt"
+        )), ghost)
+        _violations(_renumbered(recs), "manifest")
+
+    def test_unjustified_cost_budget_abandon(self, records):
+        # A cost-budget abandon under a non-budget policy is illegal.
+        recs = copy.deepcopy(records)
+        victim = next(r for r in recs if r["kind"] == "abandon")
+        victim["reason"] = "cost-budget"
+        _violations(recs, "cost-budget abandon")
+
+
+class TestStructuralLies:
+    def test_missing_header(self, records):
+        recs = copy.deepcopy(records)[1:]
+        report = audit_campaign(recs)
+        assert not report.ok
+
+    def test_missing_summary(self, records):
+        recs = copy.deepcopy(records)[:-1]
+        _violations(recs, "summary")
+
+    def test_broken_sequencing(self, records):
+        recs = copy.deepcopy(records)
+        body = [r for r in recs[1:] if r["kind"] != "summary"]
+        body[-1]["seq"] += 7
+        _violations(recs, "contiguous")
+
+    def test_empty_log_rejected(self):
+        _violations([], "empty")

@@ -1,0 +1,192 @@
+"""Differential properties of the campaign orchestrator.
+
+Two claims, checked over Hypothesis-generated campaigns of arbitrary
+small DAG plates:
+
+1. **Differential replay** — every attempt record in the provenance log
+   is bit-identical to a stand-alone event-engine run of that plate
+   under the record's derived seed: a successful attempt's billed
+   metrics equal the event run's metrics exactly, and a failed attempt
+   corresponds to the event engine raising
+   :class:`~repro.sim.failures.WorkflowAbortedError` — with the failed
+   attempt billed at the plate's failure-free baseline.
+2. **Resume byte-identity** — killing a campaign after any attempt and
+   resuming it produces a provenance log byte-identical to the
+   uninterrupted run's, with the interrupted prefix verified rather
+   than rewritten.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import (
+    CampaignConfig,
+    ProvenanceLog,
+    attempt_seed,
+    run_campaign,
+)
+from repro.sim import FailureModel, simulate
+from repro.sim.failures import WorkflowAbortedError
+from repro.sweep.cache import SimCache
+
+from tests.strategies import workflows
+
+pytestmark = pytest.mark.property
+
+#: The metric fields every attempt record bills from, compared == (the
+#: kernel and the event engine agree bit for bit, not approximately).
+METRICS = (
+    "makespan",
+    "compute_seconds",
+    "storage_byte_seconds",
+    "bytes_in",
+    "bytes_out",
+)
+
+
+@st.composite
+def campaigns(draw):
+    """(plates, config) for a small but adversarial campaign."""
+    n_plates = draw(st.integers(1, 3))
+    plates = tuple(
+        draw(workflows(max_tasks=5)).copy(name=f"plate{i}")
+        for i in range(n_plates)
+    )
+    config = CampaignConfig(
+        n_processors=draw(st.integers(1, 4)),
+        n_pools=draw(st.integers(1, 2)),
+        probability=draw(st.sampled_from([0.0, 0.1, 0.4])),
+        base_seed=draw(st.integers(0, 2**16)),
+        max_task_retries=draw(st.integers(0, 1)),
+        max_plate_attempts=draw(st.integers(1, 3)),
+    )
+    return plates, config
+
+
+class TestDifferentialReplay:
+    @given(campaigns())
+    @settings(max_examples=15, deadline=None)
+    def test_every_attempt_matches_event_engine(self, campaign):
+        plates, config = campaign
+        by_name = {wf.name: wf for wf in plates}
+        result = run_campaign(plates, "sweep", config, cache=SimCache())
+
+        baselines = {
+            wf.name: simulate(wf, config.n_processors, kernel="event")
+            for wf in plates
+        }
+        for rec in result.log.records():
+            if rec["kind"] != "attempt":
+                continue
+            assert rec["seed"] == attempt_seed(
+                config.base_seed, rec["attempt"]
+            )
+            plate = by_name[rec["plate"]]
+            try:
+                ref = simulate(
+                    plate,
+                    config.n_processors,
+                    failures=FailureModel(
+                        config.probability,
+                        seed=rec["seed"],
+                        max_retries=config.max_task_retries,
+                    ),
+                    kernel="event",
+                )
+                aborted = False
+            except WorkflowAbortedError:
+                aborted = True
+            if rec["outcome"] == "success":
+                assert not aborted
+                for name in METRICS:
+                    assert rec["metrics"][name] == getattr(ref, name), name
+            else:
+                # The event engine reproduces the abort, and the billed
+                # metrics are the plate's failure-free baseline.
+                assert aborted
+                baseline = baselines[rec["plate"]]
+                for name in METRICS:
+                    assert rec["metrics"][name] == getattr(
+                        baseline, name
+                    ), name
+
+    @given(campaigns())
+    @settings(max_examples=15, deadline=None)
+    def test_outcomes_reconcile_with_log(self, campaign):
+        plates, config = campaign
+        result = run_campaign(plates, "sweep", config, cache=SimCache())
+        attempts = [
+            r for r in result.log.records() if r["kind"] == "attempt"
+        ]
+        assert result.total_attempts == len(attempts)
+        assert result.total_billed == pytest.approx(
+            sum(r["billed_cost"] for r in attempts)
+        )
+        for outcome in result.outcomes:
+            mine = [r for r in attempts if r["plate"] == outcome.plate]
+            assert outcome.attempts == len(mine)
+            assert outcome.completed == any(
+                r["outcome"] == "success" for r in mine
+            )
+
+
+class _Killed(Exception):
+    pass
+
+
+class TestResumeByteIdentity:
+    @given(campaigns(), st.integers(1, 6))
+    @settings(max_examples=8, deadline=None)
+    def test_interrupted_log_tail_is_byte_identical(self, campaign, cut):
+        plates, config = campaign
+        with tempfile.TemporaryDirectory() as td:
+            root = Path(td)
+            ref = run_campaign(
+                plates,
+                "sweep",
+                config,
+                cache=SimCache(root / "ref-cache"),
+                log=ProvenanceLog(root / "ref.jsonl"),
+            )
+            ref_bytes = (root / "ref.jsonl").read_bytes()
+
+            def kill(record, seen=[0]):
+                seen[0] += 1
+                if seen[0] >= cut:
+                    raise _Killed
+
+            log_path = root / "campaign.jsonl"
+            cache = root / "cache"
+            try:
+                run_campaign(
+                    plates,
+                    "sweep",
+                    config,
+                    cache=SimCache(cache),
+                    log=ProvenanceLog(log_path),
+                    on_attempt=kill,
+                )
+                killed = False
+            except _Killed:
+                killed = True
+            prefix = log_path.read_bytes()
+            assert ref_bytes.startswith(prefix)
+
+            if killed:
+                resumed = run_campaign(
+                    plates,
+                    "sweep",
+                    config,
+                    cache=SimCache(cache),
+                    log=ProvenanceLog(log_path),
+                )
+                assert resumed.log.replayed == len(
+                    prefix.decode().splitlines()
+                )
+            assert log_path.read_bytes() == ref_bytes

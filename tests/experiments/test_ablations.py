@@ -55,5 +55,5 @@ class TestStudyShapes:
         assert [s.name for s in studies] == [
             "billing-granularity", "vm-overhead", "fee-sensitivity",
             "link-contention", "failures", "montecarlo", "scheduler",
-            "storage-capacity", "clustering",
+            "storage-capacity", "clustering", "campaign-policies",
         ]

@@ -1,0 +1,122 @@
+"""Interrupted grid reruns under damaged shard checkpoints.
+
+``test_grid.py`` proves a clean interrupted rerun executes only the
+missing shards; this module covers the unhappy path: checkpoints that
+are present but *rotten*.  A corrupt shard blob must be quarantined
+(renamed ``*.corrupt``), its shard transparently re-executed, the fresh
+checkpoint republished at the real path — and the merged result must be
+identical to an undamaged run's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.grid.engine as engine
+from repro.grid import GridPlan, plan_shards, run_grid
+from repro.montage.generator import montage_workflow
+from repro.sweep.cache import SimCache
+
+
+def small_plan(n_plates: int = 5) -> GridPlan:
+    return GridPlan(
+        plates=tuple(
+            montage_workflow(
+                0.4, jitter=0.05, seed=i, name=f"rc-plate{i:02d}"
+            )
+            for i in range(n_plates)
+        ),
+        processors=(2,),
+        probabilities=(0.0, 0.2),
+        seeds=(1,),
+    )
+
+
+@pytest.fixture()
+def serial(monkeypatch):
+    """Pin the engine to the serial path so _execute_shard is patchable."""
+    monkeypatch.setenv("REPRO_SWEEP_WORKERS", "1")
+
+
+def _counting(monkeypatch):
+    calls: list[tuple] = []
+    real = engine._execute_shard
+
+    def wrapper(*args):
+        calls.append(args)
+        return real(*args)
+
+    monkeypatch.setattr(engine, "_execute_shard", wrapper)
+    return calls
+
+
+class TestResumeThroughQuarantine:
+    def test_corrupt_and_missing_shards_reexecute(
+        self, tmp_path, monkeypatch, serial
+    ):
+        plan = small_plan(5)
+        n_shards = len(plan_shards(plan, 3))
+        assert n_shards >= 2
+        full = run_grid(plan, shards=3, cache=SimCache(tmp_path))
+
+        blobs = sorted(tmp_path.glob("*/*.blob.pkl"))
+        assert len(blobs) == n_shards
+        # One checkpoint rots, one vanishes — an interrupted campaign
+        # hit by disk damage.
+        blobs[0].write_bytes(b"\x80\x04 truncated garbage")
+        blobs[1].unlink()
+
+        calls = _counting(monkeypatch)
+        events: list[str] = []
+        rerun = run_grid(
+            plan,
+            shards=3,
+            cache=SimCache(tmp_path),
+            progress=events.append,
+        )
+        # Exactly the damaged shards re-executed; the rest answered
+        # from their checkpoints.
+        assert len(calls) == 2
+        assert sum("from checkpoint" in e for e in events) == n_shards - 2
+        assert np.array_equal(full.batch, rerun.batch)
+        # The rotten pickle was quarantined, never deleted.
+        assert blobs[0].with_suffix(".corrupt").exists()
+        assert not blobs[0].exists() or blobs[0].stat().st_size > 50
+
+    def test_requarantined_checkpoint_is_republished(
+        self, tmp_path, monkeypatch, serial
+    ):
+        plan = small_plan(3)
+        run_grid(plan, shards=2, cache=SimCache(tmp_path))
+        blob = sorted(tmp_path.glob("*/*.blob.pkl"))[0]
+        blob.write_bytes(b"rotten")
+        run_grid(plan, shards=2, cache=SimCache(tmp_path))
+
+        # The re-execution republished a good checkpoint at the real
+        # path, so a third run is answered entirely from the cache.
+        calls = _counting(monkeypatch)
+        events: list[str] = []
+        third = run_grid(
+            plan,
+            shards=2,
+            cache=SimCache(tmp_path),
+            progress=events.append,
+        )
+        assert calls == []
+        assert all("from checkpoint" in e for e in events)
+        assert not third.batch["aborted"][
+            : len(plan.seeds) * len(plan.probabilities)
+        ].all()
+
+    def test_wrong_shaped_checkpoint_is_ignored(self, tmp_path, serial):
+        # A *valid* pickle of the wrong shape (e.g. from a stale layout)
+        # must be treated as a miss, not merged.
+        import pickle
+
+        plan = small_plan(2)
+        full = run_grid(plan, shards=1, cache=SimCache(tmp_path))
+        blob = next(tmp_path.glob("*/*.blob.pkl"))
+        blob.write_bytes(pickle.dumps(np.zeros(3)))
+        rerun = run_grid(plan, shards=1, cache=SimCache(tmp_path))
+        assert np.array_equal(full.batch, rerun.batch)
