@@ -51,6 +51,7 @@ _EXPECTED_SUITES = (
     "tests/experiments",
     "tests/grid",
     "tests/montage",
+    "tests/service",
     "tests/sim",
     "tests/sweep",
     "tests/workflow",

@@ -26,7 +26,13 @@ least 1.5x, and ``montecarlo`` must report ``results_identical`` and a
 tolerance).  The campaign numbers in ``BENCH_campaign.json`` are gated
 as well: at least 100k cells, ``results_identical``, a
 ``speedup_vs_per_cell_fast`` of at least 5x, a cells/second floor, and
-sublinear RSS growth with a per-cell marginal-memory ceiling.
+sublinear RSS growth with a per-cell marginal-memory ceiling.  The
+service numbers in ``BENCH_service.json`` are gated too: at the 10⁶
+requests/month point the fluid engine must beat the event engine's
+projected wall time by at least 100x with a requests/second floor
+(both tolerance-relaxed), its mean response-time error against the
+event engine on the replayed windows must stay within 5% (absolute),
+and at least 3 validation windows must be present.
 ``--report-only``
 prints the comparison but always exits 0 (what CI uses on pull
 requests, where shared-runner noise would make a hard gate flaky).
@@ -56,6 +62,7 @@ REPO_ROOT = BENCH_DIR.parent
 OUTPUT = BENCH_DIR / "BENCH_sweep.json"
 KERNEL_BENCH = BENCH_DIR / "BENCH_kernel.json"
 CAMPAIGN_BENCH = BENCH_DIR / "BENCH_campaign.json"
+SERVICE_BENCH = BENCH_DIR / "BENCH_service.json"
 
 #: Environment override for the allowed fractional slowdown (0.25 = 25%).
 TOLERANCE_ENV = "REPRO_PERF_TOLERANCE"
@@ -87,6 +94,27 @@ CAMPAIGN_MIN_CELLS = 100_000
 #: cell (a SUMMARY_DTYPE row is ~112 bytes; allow allocator slack),
 #: relaxed by the tolerance.
 CAMPAIGN_RSS_BYTES_PER_CELL_CEILING = 2048.0
+
+#: The fluid service engine must beat the event engine's projected
+#: wall time at 10⁶ requests/month by this factor (the issue's
+#: acceptance floor), relaxed by the tolerance.
+SERVICE_SPEEDUP_FLOOR = 100.0
+
+#: Ceiling on the fluid engine's mean relative error of the miss-path
+#: response time against the event engine over the replayed validation
+#: windows.  Absolute — accuracy is not a machine-speed question.
+SERVICE_ERROR_CEILING = 0.05
+
+#: Absolute throughput floor for the fluid engine (sampled requests per
+#: wall-clock second, including traffic sampling), tolerance-relaxed.
+SERVICE_REQUESTS_PER_SECOND_FLOOR = 200_000.0
+
+#: The validation must cover at least this many non-empty windows for
+#: its error statistics to mean anything (absolute).
+SERVICE_MIN_WINDOWS = 3
+
+#: The benchmark must run at the gated traffic level (absolute).
+SERVICE_MIN_REQUESTS = 900_000
 
 
 def resolve_tolerance() -> float:
@@ -262,6 +290,69 @@ def check_campaign(tolerance: float) -> list[str]:
             f"{marginal if marginal is not None else 'missing'} over the "
             f"{CAMPAIGN_RSS_BYTES_PER_CELL_CEILING:.0f} B ceiling "
             f"(tolerance-adjusted: {ceiling:.0f} B)"
+        )
+    return failures
+
+
+def check_service(tolerance: float) -> list[str]:
+    """Gate the service-engine numbers committed in BENCH_service.json.
+
+    Returns failure lines (empty list = pass).  Speedup and throughput
+    floors are relaxed by the tolerance; the error ceiling, window
+    count and request-count floors are absolute.
+    """
+    if not SERVICE_BENCH.exists():
+        return [
+            f"  {SERVICE_BENCH.name}: missing "
+            "(run benchmarks/service_bench.py)"
+        ]
+    try:
+        data = json.loads(SERVICE_BENCH.read_text())
+    except (OSError, ValueError):
+        return [f"  {SERVICE_BENCH.name}: unreadable"]
+    service = data.get("service")
+    if service is None:
+        return [
+            f"  {SERVICE_BENCH.name}: no service section "
+            "(re-run benchmarks/service_bench.py)"
+        ]
+    failures = []
+    n_requests = service.get("n_requests") or 0
+    if n_requests < SERVICE_MIN_REQUESTS:
+        failures.append(
+            f"  service.n_requests {n_requests:,} below the "
+            f"{SERVICE_MIN_REQUESTS:,} floor (benchmark must run at "
+            "the 10^6 requests/month point)"
+        )
+    n_windows = service.get("n_windows") or 0
+    if n_windows < SERVICE_MIN_WINDOWS:
+        failures.append(
+            f"  service.n_windows {n_windows} below the "
+            f"{SERVICE_MIN_WINDOWS}-window floor"
+        )
+    error = service.get("mean_response_error")
+    if error is None or error > SERVICE_ERROR_CEILING:
+        failures.append(
+            f"  service.mean_response_error "
+            f"{error if error is not None else 'missing'} over the "
+            f"{SERVICE_ERROR_CEILING:.0%} ceiling — the fluid model no "
+            "longer tracks the event engine"
+        )
+    floor = SERVICE_SPEEDUP_FLOOR / (1.0 + tolerance)
+    speedup = service.get("speedup_vs_event_projected") or 0.0
+    if speedup < floor:
+        failures.append(
+            f"  service.speedup_vs_event_projected {speedup:.0f}x below "
+            f"the {SERVICE_SPEEDUP_FLOOR:.0f}x floor "
+            f"(tolerance-adjusted: {floor:.0f}x)"
+        )
+    rate_floor = SERVICE_REQUESTS_PER_SECOND_FLOOR / (1.0 + tolerance)
+    rate = service.get("requests_per_second") or 0.0
+    if rate < rate_floor:
+        failures.append(
+            f"  service.requests_per_second {rate:,.0f} below the "
+            f"{SERVICE_REQUESTS_PER_SECOND_FLOOR:,.0f} floor "
+            f"(tolerance-adjusted: {rate_floor:,.0f})"
         )
     return failures
 
@@ -447,6 +538,19 @@ def main(argv: list[str] | None = None) -> int:
             f"  campaign ok (>= {CAMPAIGN_MIN_CELLS:,} cells, "
             f"speedup >= {CAMPAIGN_SPEEDUP_FLOOR}x, "
             "results identical, RSS sublinear)"
+        )
+
+    print("== service-engine gate (BENCH_service.json) ==")
+    service_failures = check_service(resolve_tolerance())
+    if service_failures:
+        for line in service_failures:
+            print(line)
+        regressions.extend(service_failures)
+    else:
+        print(
+            f"  service ok (speedup >= {SERVICE_SPEEDUP_FLOOR:.0f}x, "
+            f"mean error <= {SERVICE_ERROR_CEILING:.0%}, "
+            f">= {SERVICE_MIN_WINDOWS} windows)"
         )
 
     print("== run_all timings ==")

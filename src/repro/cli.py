@@ -9,6 +9,7 @@ Everything the library does, from a shell::
     python -m repro ccr --degree 1 --values 0.05,0.5,2
     python -m repro grid --plates 16 --processors 4,8 --probabilities 0,0.05
     python -m repro campaign --plates 50 --policy sweep --audit
+    python -m repro service --requests-per-month 1e6 --processors 512
     python -m repro gantt --degree 1 --processors 8
     python -m repro dax --degree 1 --output montage1.xml
     python -m repro report [--fast] [--audit]
@@ -275,6 +276,115 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             for violation in report.violations[:20]:
                 print(f"  - {violation}")
             return 1
+    return 0
+
+
+def _cmd_service(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.service.scale import (
+        FluidServiceEngine,
+        montage_traffic,
+        resolve_service_engine,
+        sample_traffic,
+        validate_fluid,
+    )
+
+    degrees = tuple(float(d) for d in args.degrees.split(","))
+    weights = (
+        tuple(float(w) for w in args.weights.split(","))
+        if args.weights
+        else None
+    )
+    spec = montage_traffic(
+        args.requests_per_month,
+        horizon_months=args.months,
+        degrees=degrees,
+        weights=weights,
+        n_regions=args.regions,
+        zipf_exponent=args.zipf,
+        retention_months=args.retention_months,
+        seed=args.seed,
+        bandwidth_bytes_per_sec=args.bandwidth_mbps * MBPS,
+    )
+    sample = sample_traffic(spec)
+    engine_name = resolve_service_engine(args.engine, sample.n_requests)
+    rows = [
+        ("engine", engine_name),
+        ("requests", f"{sample.n_requests:,}"),
+        ("cache hit rate", f"{sample.hit_rate:.1%}"),
+        ("pool", args.processors),
+    ]
+    if engine_name == "event":
+        from repro.service.arrivals import ServiceRequest
+        from repro.service.economics import service_economics
+        from repro.service.simulator import ServiceSimulator
+
+        workflows = [c.workflow for c in spec.mix]
+        misses = ~sample.hit
+        requests = [
+            ServiceRequest(
+                request_id=f"req-{i:07d}",
+                workflow=workflows[int(k)],
+                arrival_time=float(t),
+            )
+            for i, (t, k) in enumerate(
+                zip(sample.times[misses], sample.class_idx[misses])
+            )
+        ]
+        result = ServiceSimulator(args.processors).run(requests)
+        # An undersized pool drains past the nominal horizon; the pool
+        # is then held until the backlog clears.
+        eco = service_economics(
+            result,
+            AWS_2008,
+            period_seconds=max(spec.horizon_seconds, result.horizon),
+        )
+        rows += [
+            ("misses simulated", f"{result.n_requests:,}"),
+            ("mean response (miss)",
+             format_duration(result.mean_response_time())),
+            ("p95 response (miss)",
+             format_duration(result.percentile_response_time(95.0))),
+            ("pool utilization", f"{eco.pool_utilization:.1%}"),
+            ("pool bill", format_money(eco.pool_cpu_cost)),
+        ]
+    else:
+        engine = FluidServiceEngine(args.processors)
+        result = engine.run(sample)
+        eco = result.economics
+        misses = ~sample.hit
+        p95_miss = (
+            float(np.percentile(result.response_times()[misses], 95.0))
+            if misses.any()
+            else 0.0
+        )
+        rows += [
+            ("mean response", format_duration(eco.mean_response_time)),
+            ("mean response (miss)",
+             format_duration(result.miss_mean_response_time())),
+            ("p95 response (miss)", format_duration(p95_miss)),
+            ("pool utilization", f"{eco.pool_utilization:.1%}"),
+            ("peak backlog (jobs)", f"{result.peak_backlog():,.0f}"),
+            ("pool bill", format_money(eco.pool_cpu_cost)),
+            ("cache storage rent", format_money(eco.cache_storage_cost)),
+            ("total cost", format_money(eco.total_cost)),
+            ("cost per request", format_money(eco.cost_per_request)),
+            ("simulated req/s", f"{result.requests_per_second_simulated:,.0f}"),
+        ]
+    print(format_table(("metric", "value"), rows))
+    if args.validate:
+        validation = validate_fluid(
+            sample, args.processors, n_windows=args.validate_windows
+        )
+        projected = validation.projected_event_seconds(sample.n_requests)
+        print(
+            f"\nvalidation ({len(validation.windows)} windows): "
+            f"mean error {validation.mean_error:.1%}, "
+            f"max error {validation.max_error:.1%}, "
+            f"projected event-engine time "
+            f"{format_duration(projected)}"
+        )
     return 0
 
 
@@ -628,6 +738,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-pass progress and cache statistics",
     )
     p.set_defaults(handler=_cmd_campaign)
+
+    p = sub.add_parser(
+        "service",
+        help=(
+            "mosaic-as-a-service at scale: fluid or event engine over "
+            "sustained request traffic"
+        ),
+    )
+    p.add_argument(
+        "--requests-per-month", type=float, default=1e6,
+        help="sustained request rate (default 1e6)",
+    )
+    p.add_argument(
+        "--months", type=float, default=1.0,
+        help="service horizon in months (default 1)",
+    )
+    p.add_argument(
+        "--degrees", type=str, default="1.0",
+        help="comma-separated mosaic sizes in the request mix",
+    )
+    p.add_argument(
+        "--weights", type=str, default=None,
+        help="comma-separated mix weights (default: uniform)",
+    )
+    p.add_argument(
+        "--processors", type=int, default=512,
+        help="provisioned shared pool (default 512)",
+    )
+    p.add_argument(
+        "--regions", type=int, default=50_000,
+        help="distinct sky regions requests draw from (default 50000)",
+    )
+    p.add_argument(
+        "--zipf", type=float, default=1.0,
+        help="Zipf popularity exponent over regions (default 1.0)",
+    )
+    p.add_argument(
+        "--retention-months", type=float, default=1.0,
+        help="result-cache TTL in months; 0 disables the cache",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--bandwidth-mbps", type=float, default=10.0)
+    p.add_argument(
+        "--engine", choices=["auto", "event", "fluid"], default="auto",
+        help="auto: event up to 2000 requests, fluid beyond",
+    )
+    p.add_argument(
+        "--validate", action="store_true",
+        help="replay subsampled windows through the event engine and "
+             "report the fluid model's error",
+    )
+    p.add_argument(
+        "--validate-windows", type=int, default=3,
+        help="number of validation windows (default 3)",
+    )
+    p.set_defaults(handler=_cmd_service)
 
     p = sub.add_parser(
         "modes", help="Figure 7/8/9: compare data-management modes"

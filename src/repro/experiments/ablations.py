@@ -24,7 +24,10 @@ Studies
 - :func:`campaign_policy_study` — Monte Carlo cost/completion-time
   distributions of the campaign resubmission policies
   (:mod:`repro.campaign`), every provenance log reconciled by
-  :func:`repro.audit.campaign.audit_campaign`.
+  :func:`repro.audit.campaign.audit_campaign`;
+- :func:`service_scale_study` — fluid-engine error and speedup vs the
+  event simulator across traffic levels (:mod:`repro.service.scale`),
+  each level differentially validated on subsampled windows.
 """
 
 from __future__ import annotations
@@ -71,6 +74,7 @@ __all__ = [
     "storage_capacity_study",
     "clustering_study",
     "campaign_policy_study",
+    "service_scale_study",
     "all_studies",
 ]
 
@@ -608,6 +612,92 @@ def campaign_policy_study(
     )
 
 
+def service_scale_study(
+    traffic_levels: tuple[float, ...] = (1e5, 1e6, 1e7),
+    n_processors: int = 512,
+    n_regions: int = 50_000,
+    n_windows: int = 3,
+    seed: int = 7,
+) -> StudyResult:
+    """Fluid-engine error and speedup vs the event simulator, by scale.
+
+    For each sustained traffic level (requests/month) the full stream is
+    sampled and run through the fluid engine
+    (:class:`repro.service.scale.FluidServiceEngine`), then
+    differentially validated by replaying ``n_windows`` subsampled
+    one-hour windows through the event-based
+    :class:`~repro.service.simulator.ServiceSimulator`
+    (:func:`repro.service.scale.validate_fluid`).  Reported per level:
+    the cache hit rate, mean relative error of the fluid miss-path
+    response time against the event engine, the fluid wall time, the
+    event engine's *projected* wall time for the full stream (measured
+    seconds/request × stream size — running it outright at 10⁷ requests
+    would take days), and the resulting speedup.
+    """
+    from repro.service.scale import (
+        FluidServiceEngine,
+        montage_traffic,
+        sample_traffic,
+        validate_fluid,
+    )
+
+    raw = []
+    for level in traffic_levels:
+        spec = montage_traffic(
+            level, horizon_months=1.0, n_regions=n_regions, seed=seed
+        )
+        sample = sample_traffic(spec)
+        result = FluidServiceEngine(n_processors).run(sample)
+        validation = validate_fluid(
+            sample, n_processors, n_windows=n_windows
+        )
+        projected = validation.projected_event_seconds(sample.n_requests)
+        speedup = (
+            projected / result.elapsed_seconds
+            if result.elapsed_seconds > 0
+            else float("inf")
+        )
+        raw.append(
+            (
+                level,
+                sample.n_requests,
+                sample.hit_rate,
+                validation.mean_error,
+                validation.max_error,
+                result.elapsed_seconds,
+                projected,
+                speedup,
+            )
+        )
+    return StudyResult(
+        name="service-scale",
+        title=(
+            f"Service-at-scale ablation — fluid vs event engine, "
+            f"{n_processors} processors, {n_windows} validation "
+            f"windows/level"
+        ),
+        headers=(
+            "req/month", "requests", "hit rate", "mean err", "max err",
+            "fluid wall", "event wall (proj.)", "speedup",
+        ),
+        rows=[
+            (
+                f"{level:.0e}",
+                f"{n:,}",
+                f"{hit:.1%}",
+                f"{mean_err:.1%}",
+                f"{max_err:.1%}",
+                f"{fluid_s:.2f} s",
+                format_duration(event_s),
+                f"{speedup:,.0f}x",
+            )
+            for level, n, hit, mean_err, max_err, fluid_s, event_s,
+            speedup in raw
+        ],
+        raw=raw,
+    )
+
+
 def all_studies(workflow: Workflow) -> list[StudyResult]:
     """Run every ablation on one workflow (the runner's --extensions)."""
     return [
@@ -621,4 +711,5 @@ def all_studies(workflow: Workflow) -> list[StudyResult]:
         storage_capacity_study(workflow),
         clustering_study(workflow),
         campaign_policy_study(),
+        service_scale_study(traffic_levels=(1e5, 1e6)),
     ]

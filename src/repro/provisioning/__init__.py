@@ -10,7 +10,9 @@ choice:
 * :mod:`repro.provisioning.provisioner` — enumerate and price candidate
   pool sizes for a workflow;
 * :mod:`repro.provisioning.optimizer` — pick the cheapest plan meeting a
-  deadline, the fastest plan within a budget, or a weighted compromise.
+  deadline, the fastest plan within a budget, or a weighted compromise;
+* :mod:`repro.provisioning.autoscale` — epoch-granular pool elasticity
+  for the full-scale service, evaluated through the fluid engine.
 """
 
 from repro.provisioning.provisioner import ProvisioningCandidate, candidate_plans
@@ -26,6 +28,11 @@ from repro.provisioning.bursting import (
     simulate_bursting,
 )
 from repro.provisioning.advisor import PlanOption, Recommendation, advise_plan
+from repro.provisioning.autoscale import (
+    AutoscaleOutcome,
+    AutoscalePolicy,
+    evaluate_autoscale,
+)
 
 __all__ = [
     "ProvisioningCandidate",
@@ -40,4 +47,7 @@ __all__ = [
     "PlanOption",
     "Recommendation",
     "advise_plan",
+    "AutoscaleOutcome",
+    "AutoscalePolicy",
+    "evaluate_autoscale",
 ]

@@ -19,7 +19,15 @@ time; this subpackage simulates the whole service:
 * :mod:`repro.service.cache` — the paper's Question-3 recommendation
   ("save popular mosaics of the sky, areas such as those around Orion")
   as a working result cache with popularity-driven request streams and a
-  retention-policy cost model.
+  retention-policy cost model;
+* :mod:`repro.service.summaries` — per-workflow-class resource profiles
+  (makespan/busy/storage vs pool share) precomputed by the fast kernel
+  and memoized in the sweep cache;
+* :mod:`repro.service.scale` — the fluid-approximation engine: 10⁵–10⁷
+  requests/month simulated in seconds from class summaries, an
+  epoch-stepped M/G/c + fluid-backlog queueing model, and a vectorized
+  Zipf/TTL result-cache model, differentially validated against the
+  event simulator on subsampled traffic windows.
 """
 
 from repro.service.arrivals import (
@@ -34,7 +42,32 @@ from repro.service.simulator import (
     ServiceSimulator,
 )
 from repro.service.economics import ServiceEconomics, service_economics
-from repro.service.capacity import CapacityPlan, plan_capacity
+from repro.service.capacity import (
+    CapacityPlan,
+    ScaleCandidate,
+    ScaleCapacityPlan,
+    plan_capacity,
+    plan_capacity_at_scale,
+)
+from repro.service.summaries import (
+    ClassSummary,
+    summarize_class,
+    summarize_mix,
+)
+from repro.service.scale import (
+    FluidServiceEngine,
+    FluidServiceResult,
+    FluidValidation,
+    MixComponent,
+    ScaleEconomics,
+    TrafficSample,
+    TrafficSpec,
+    WindowValidation,
+    montage_traffic,
+    resolve_service_engine,
+    sample_traffic,
+    validate_fluid,
+)
 from repro.service.portal import (
     Fulfillment,
     MontagePortal,
@@ -62,7 +95,25 @@ __all__ = [
     "ServiceEconomics",
     "service_economics",
     "CapacityPlan",
+    "ScaleCandidate",
+    "ScaleCapacityPlan",
     "plan_capacity",
+    "plan_capacity_at_scale",
+    "ClassSummary",
+    "summarize_class",
+    "summarize_mix",
+    "FluidServiceEngine",
+    "FluidServiceResult",
+    "FluidValidation",
+    "MixComponent",
+    "ScaleEconomics",
+    "TrafficSample",
+    "TrafficSpec",
+    "WindowValidation",
+    "montage_traffic",
+    "resolve_service_engine",
+    "sample_traffic",
+    "validate_fluid",
     "CacheSimulationResult",
     "MosaicCache",
     "RegionRequest",

@@ -5,11 +5,19 @@ shared pool that meets it, by simulation: double the pool until the
 objective holds, then binary-search the boundary.  The returned plan
 carries the economics of the chosen size and of the candidates examined,
 so the operator sees the cost of tightening the SLA.
+
+Two searches share that skeleton: :func:`plan_capacity` runs each
+candidate through the event-based simulator (exact, thousands of
+requests), and :func:`plan_capacity_at_scale` runs each candidate
+through the fluid engine (approximate, millions of requests in seconds)
+— the full-scale sizing the paper's Question-2 service actually needs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.pricing import AWS_2008, PricingModel
 from repro.service.arrivals import ServiceRequest
@@ -17,7 +25,13 @@ from repro.service.economics import ServiceEconomics, service_economics
 from repro.service.simulator import ServiceResult, ServiceSimulator
 from repro.sim.datamanager import DataMode
 
-__all__ = ["CapacityPlan", "plan_capacity"]
+__all__ = [
+    "CapacityPlan",
+    "ScaleCandidate",
+    "ScaleCapacityPlan",
+    "plan_capacity",
+    "plan_capacity_at_scale",
+]
 
 
 @dataclass(frozen=True)
@@ -113,6 +127,120 @@ def plan_capacity(
         else:
             lo = mid
     return CapacityPlan(
+        objective_p95_seconds=objective_p95_seconds,
+        chosen=evaluate(hi),
+        candidates=sorted(examined.values(), key=lambda c: c.n_processors),
+    )
+
+
+@dataclass(frozen=True)
+class ScaleCandidate:
+    """One examined pool size at full traffic scale."""
+
+    n_processors: int
+    meets_objective: bool
+    p95_miss_response_time: float
+    mean_response_time: float
+    pool_utilization: float
+    peak_backlog_jobs: float
+    total_cost: float
+    cost_per_request: float
+
+
+@dataclass(frozen=True)
+class ScaleCapacityPlan:
+    """The full-scale sizing decision (fluid-engine candidates)."""
+
+    objective_p95_seconds: float
+    chosen: ScaleCandidate | None
+    candidates: list[ScaleCandidate]
+
+    @property
+    def feasible(self) -> bool:
+        return self.chosen is not None
+
+    @property
+    def n_processors(self) -> int:
+        if self.chosen is None:
+            raise ValueError("objective infeasible within the search cap")
+        return self.chosen.n_processors
+
+
+def plan_capacity_at_scale(
+    sample,
+    objective_p95_seconds: float,
+    *,
+    pricing: PricingModel = AWS_2008,
+    max_processors: int = 65_536,
+    epoch_seconds: float = 3600.0,
+    cache=None,
+) -> ScaleCapacityPlan:
+    """Smallest pool meeting a p95 objective on the *miss* path, at scale.
+
+    ``sample`` is a :class:`~repro.service.scale.TrafficSample` — the
+    full-scale request stream with its cache verdicts.  Each candidate
+    pool runs through the fluid engine (so 10⁶-request candidates cost
+    ~100 ms each, not hours), and the objective applies to the 95th
+    percentile of cache-miss response times: the generated-mosaic path
+    whose latency provisioning actually controls (hits are a transfer,
+    indifferent to the pool).  Monotonicity in pool size justifies the
+    doubling + binary search exactly as in :func:`plan_capacity`.
+    """
+    from repro.service.scale import FluidServiceEngine
+
+    if objective_p95_seconds <= 0:
+        raise ValueError("objective must be positive")
+    if sample.n_requests == 0:
+        raise ValueError("empty traffic sample")
+
+    examined: dict[int, ScaleCandidate] = {}
+
+    def evaluate(p: int) -> ScaleCandidate:
+        if p not in examined:
+            engine = FluidServiceEngine(
+                p, epoch_seconds=epoch_seconds, pricing=pricing,
+                cache=cache,
+            )
+            result = engine.run(sample)
+            misses = ~sample.hit
+            responses = result.response_times()
+            p95_miss = (
+                float(np.percentile(responses[misses], 95.0))
+                if misses.any()
+                else 0.0
+            )
+            eco = result.economics
+            examined[p] = ScaleCandidate(
+                n_processors=p,
+                meets_objective=p95_miss <= objective_p95_seconds,
+                p95_miss_response_time=p95_miss,
+                mean_response_time=eco.mean_response_time,
+                pool_utilization=eco.pool_utilization,
+                peak_backlog_jobs=result.peak_backlog(),
+                total_cost=eco.total_cost,
+                cost_per_request=eco.cost_per_request,
+            )
+        return examined[p]
+
+    p = 1
+    while p <= max_processors and not evaluate(p).meets_objective:
+        p *= 2
+    if p > max_processors:
+        return ScaleCapacityPlan(
+            objective_p95_seconds=objective_p95_seconds,
+            chosen=None,
+            candidates=sorted(
+                examined.values(), key=lambda c: c.n_processors
+            ),
+        )
+    lo, hi = p // 2, p
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if evaluate(mid).meets_objective:
+            hi = mid
+        else:
+            lo = mid
+    return ScaleCapacityPlan(
         objective_p95_seconds=objective_p95_seconds,
         chosen=evaluate(hi),
         candidates=sorted(examined.values(), key=lambda c: c.n_processors),

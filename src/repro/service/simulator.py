@@ -27,7 +27,34 @@ from repro.sim.results import SimulationResult
 from repro.sim.scheduler import FIFO_ORDER, TaskOrdering
 from repro.util.curve import StepCurve
 
-__all__ = ["RequestOutcome", "ServiceResult", "ServiceSimulator"]
+__all__ = [
+    "RequestOutcome",
+    "ResponseStats",
+    "ServiceResult",
+    "ServiceSimulator",
+]
+
+
+class ResponseStats:
+    """Aggregate views over a cached response-time column.
+
+    Subclasses supply :meth:`response_times` as a (cached, read-only)
+    float64 array built **once**; every aggregate here derives from that
+    column, so repeated queries on million-outcome results cost one
+    vectorized pass the first time and O(1) array reuse afterwards.
+    """
+
+    def response_times(self) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def mean_response_time(self) -> float:
+        times = self.response_times()
+        return float(times.mean()) if times.size else 0.0
+
+    def percentile_response_time(self, q: float) -> float:
+        """q-th percentile response time (q in [0, 100])."""
+        times = self.response_times()
+        return float(np.percentile(times, q)) if times.size else 0.0
 
 
 @dataclass(frozen=True)
@@ -45,33 +72,57 @@ class RequestOutcome:
 
 
 @dataclass
-class ServiceResult:
-    """Everything measured over one service horizon."""
+class ServiceResult(ResponseStats):
+    """Everything measured over one service horizon.
+
+    Aggregates are columnar: the response-time and compute-seconds
+    columns are materialized from the outcome objects once, cached, and
+    every subsequent query (means, percentiles, totals) reads the cached
+    arrays instead of rebuilding Python lists per call.
+    """
 
     n_processors: int
     data_mode: str
     outcomes: list[RequestOutcome]
     horizon: float
     pool_busy_curve: StepCurve = field(repr=False)
+    _response_times: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _total_compute_seconds: float | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _peak_concurrency: int | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def n_requests(self) -> int:
         return len(self.outcomes)
 
     def response_times(self) -> np.ndarray:
-        return np.array([o.response_time for o in self.outcomes], dtype=float)
-
-    def mean_response_time(self) -> float:
-        times = self.response_times()
-        return float(times.mean()) if times.size else 0.0
-
-    def percentile_response_time(self, q: float) -> float:
-        """q-th percentile response time (q in [0, 100])."""
-        times = self.response_times()
-        return float(np.percentile(times, q)) if times.size else 0.0
+        """Per-request response times, cached and read-only."""
+        if self._response_times is None:
+            times = np.fromiter(
+                (o.finished_at - o.request.arrival_time
+                 for o in self.outcomes),
+                dtype=np.float64,
+                count=len(self.outcomes),
+            )
+            times.setflags(write=False)
+            self._response_times = times
+        return self._response_times
 
     def total_compute_seconds(self) -> float:
-        return sum(o.result.compute_seconds for o in self.outcomes)
+        if self._total_compute_seconds is None:
+            self._total_compute_seconds = float(
+                np.fromiter(
+                    (o.result.compute_seconds for o in self.outcomes),
+                    dtype=np.float64,
+                    count=len(self.outcomes),
+                ).sum()
+            )
+        return self._total_compute_seconds
 
     def pool_utilization(self) -> float:
         """Busy fraction of the pool over the service horizon."""
@@ -82,7 +133,9 @@ class ServiceResult:
 
     def peak_concurrency(self) -> int:
         """Most processors ever busy at once."""
-        return int(self.pool_busy_curve.max_value())
+        if self._peak_concurrency is None:
+            self._peak_concurrency = int(self.pool_busy_curve.max_value())
+        return self._peak_concurrency
 
 
 class ServiceSimulator:

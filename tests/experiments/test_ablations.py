@@ -56,4 +56,5 @@ class TestStudyShapes:
             "billing-granularity", "vm-overhead", "fee-sensitivity",
             "link-contention", "failures", "montecarlo", "scheduler",
             "storage-capacity", "clustering", "campaign-policies",
+            "service-scale",
         ]

@@ -1,9 +1,11 @@
 """Arrival-process tests."""
 
+import numpy as np
 import pytest
 
 from repro.service.arrivals import (
     ServiceRequest,
+    poisson_arrival_array,
     poisson_arrivals,
     request_stream,
     uniform_arrivals,
@@ -32,6 +34,55 @@ class TestPoisson:
             poisson_arrivals(0.0, 10.0, seed=0)
         with pytest.raises(ValueError):
             poisson_arrivals(1.0, 0.0, seed=0)
+
+
+def _poisson_arrivals_reference(
+    rate_per_second: float, horizon_seconds: float, seed: int
+) -> list[float]:
+    """The historical one-draw-per-iteration implementation, verbatim."""
+    rng = np.random.default_rng(seed)
+    times = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / rate_per_second))
+        if t >= horizon_seconds:
+            return times
+        times.append(t)
+
+
+class TestPoissonVectorization:
+    """The chunked implementation must replay the old loop exactly."""
+
+    @pytest.mark.parametrize(
+        ("rate", "horizon", "seed"),
+        [
+            (0.01, 10_000.0, 5),       # ~100 arrivals, single chunk
+            (0.5, 100_000.0, 17),      # ~50k arrivals
+            (2.0, 17.0, 3),            # tiny horizon
+            (1e-4, 5_000.0, 9),        # sparse: likely zero arrivals
+            (1.0, 1.0, 0),
+        ],
+    )
+    def test_identical_to_sequential_loop(self, rate, horizon, seed):
+        assert poisson_arrivals(rate, horizon, seed) == (
+            _poisson_arrivals_reference(rate, horizon, seed)
+        )
+
+    @pytest.mark.parametrize("chunk", [1, 2, 7, 64])
+    def test_chunk_boundary_crossing(self, chunk):
+        # Force refill chunks of every awkward size: each boundary must
+        # carry the float offset so the cumsum recurrence stays exact.
+        rate, horizon, seed = 0.08, 10_000.0, 123
+        forced = poisson_arrival_array(rate, horizon, seed, _chunk=chunk)
+        assert forced.tolist() == (
+            _poisson_arrivals_reference(rate, horizon, seed)
+        )
+
+    def test_array_variant_matches_list(self):
+        arr = poisson_arrival_array(0.05, 2_000.0, seed=4)
+        assert isinstance(arr, np.ndarray)
+        assert arr.dtype == np.float64
+        assert arr.tolist() == poisson_arrivals(0.05, 2_000.0, seed=4)
 
 
 class TestUniform:

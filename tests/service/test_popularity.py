@@ -1,0 +1,78 @@
+"""Zipf popularity determinism and tail behavior at scale."""
+
+import numpy as np
+import pytest
+
+from repro.service.cache import ZipfPopularity, popularity_stream
+
+
+class TestZipfDeterminism:
+    def test_million_draws_reproducible(self):
+        a = ZipfPopularity(10_000, seed=11).sample(1_000_000)
+        b = ZipfPopularity(10_000, seed=11).sample(1_000_000)
+        assert np.array_equal(a, b)
+
+    def test_seeds_differ(self):
+        a = ZipfPopularity(1_000, seed=1).sample(10_000)
+        b = ZipfPopularity(1_000, seed=2).sample(10_000)
+        assert not np.array_equal(a, b)
+
+    def test_draws_within_range(self):
+        draws = ZipfPopularity(500, seed=3).sample(100_000)
+        assert draws.min() >= 0
+        assert draws.max() < 500
+
+
+class TestZipfShape:
+    def test_rank_frequency_follows_exponent(self):
+        # With exponent 1, region k is ~(k+1)x rarer than region 0;
+        # check the empirical head ratios at a million draws.
+        pop = ZipfPopularity(10_000, exponent=1.0, seed=5)
+        draws = pop.sample(1_000_000)
+        counts = np.bincount(draws, minlength=10_000)
+        assert counts[0] > counts[9] > counts[99]
+        ratio = counts[0] / counts[9]
+        assert 8.0 < ratio < 12.5  # ideal 10, wide stochastic band
+
+    def test_tail_mass_is_long(self):
+        # Zipf-1 over 10k regions: the top 100 regions hold roughly
+        # half the mass, the rest spreads over thousands of regions.
+        pop = ZipfPopularity(10_000, exponent=1.0, seed=7)
+        draws = pop.sample(1_000_000)
+        counts = np.bincount(draws, minlength=10_000)
+        head = counts[:100].sum() / counts.sum()
+        assert 0.4 < head < 0.65
+        assert (counts > 0).sum() > 5_000  # the tail is actually hit
+
+    def test_higher_exponent_concentrates(self):
+        flat = ZipfPopularity(1_000, exponent=0.5, seed=9).sample(200_000)
+        steep = ZipfPopularity(1_000, exponent=2.0, seed=9).sample(200_000)
+        top_flat = np.bincount(flat, minlength=1000)[0]
+        top_steep = np.bincount(steep, minlength=1000)[0]
+        assert top_steep > top_flat
+
+    def test_uniform_at_zero_exponent(self):
+        pop = ZipfPopularity(100, exponent=0.0, seed=13)
+        assert pop.probability(0) == pytest.approx(0.01)
+        assert pop.probability(99) == pytest.approx(0.01)
+
+
+class TestPopularityStream:
+    def test_deterministic_per_seed(self):
+        a = popularity_stream(
+            ZipfPopularity(100, seed=3), 2_000.0, 0.5, seed=21
+        )
+        b = popularity_stream(
+            ZipfPopularity(100, seed=3), 2_000.0, 0.5, seed=21
+        )
+        assert [(r.time, r.region) for r in a] == [
+            (r.time, r.region) for r in b
+        ]
+
+    def test_times_sorted_within_horizon(self):
+        stream = popularity_stream(
+            ZipfPopularity(50, seed=1), 5_000.0, 0.25, seed=4
+        )
+        times = [r.time for r in stream]
+        assert times == sorted(times)
+        assert all(0 < t < 0.25 * 2_592_000.0 for t in times)

@@ -1,0 +1,405 @@
+"""The fluid service engine: summaries, traffic, cache model, engine.
+
+The differential tests against the event simulator live in
+``test_fluid_vs_event.py``; this module covers the pieces the fluid
+engine is assembled from, each against an independent oracle:
+
+* class summaries vs direct fast-kernel runs (and blob memoization);
+* the vectorized TTL cache vs the sequential :class:`MosaicCache` loop;
+* engine invariants (zero traffic, overload backlog, pool
+  monotonicity, hit-rate effects) and the economics identities;
+* capacity planning and autoscaling at scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pricing import AWS_2008
+from repro.montage.generator import montage_workflow
+from repro.provisioning import AutoscalePolicy, evaluate_autoscale
+from repro.service.cache import MosaicCache
+from repro.service.capacity import plan_capacity_at_scale
+from repro.service.scale import (
+    EVENT_FEASIBLE_REQUESTS,
+    FluidServiceEngine,
+    MixComponent,
+    TrafficSpec,
+    _resolve_ttl_cache,
+    montage_traffic,
+    resolve_service_engine,
+    sample_traffic,
+)
+from repro.service.summaries import summarize_class, summarize_mix
+from repro.sim.executor import ExecutionEnvironment
+from repro.sim.kernel import run_fast_kernel
+from repro.sweep.cache import SimCache
+from repro.util.units import MONTH
+
+
+@pytest.fixture(scope="module")
+def wf1():
+    return montage_workflow(1.0)
+
+
+@pytest.fixture(scope="module")
+def summary1(wf1):
+    return summarize_class(wf1, cache=SimCache())
+
+
+class TestClassSummary:
+    def test_ladder_values_match_direct_kernel_runs(self, wf1, summary1):
+        for share in (1, 8, summary1.saturating_share):
+            direct = run_fast_kernel(
+                wf1,
+                ExecutionEnvironment(n_processors=share),
+                data_mode="cleanup",
+            )
+            assert summary1.makespan(share) == direct.makespan
+            assert summary1.busy(share) == pytest.approx(
+                direct.cpu_busy_seconds
+            )
+
+    def test_ladder_ends_at_saturation(self, summary1):
+        # The last two rungs have exactly equal makespans, and no
+        # earlier consecutive pair does.
+        spans = summary1.makespans
+        assert spans[-1] == spans[-2]
+        assert all(a > b for a, b in zip(spans[:-2], spans[1:-1]))
+
+    def test_interpolation_monotone_between_rungs(self, summary1):
+        shares = np.linspace(1, summary1.saturating_share, 50)
+        spans = [summary1.makespan(s) for s in shares]
+        assert all(a >= b - 1e-9 for a, b in zip(spans, spans[1:]))
+
+    def test_flat_beyond_saturation(self, summary1):
+        assert summary1.makespan(10 * summary1.saturating_share) == (
+            summary1.makespans[-1]
+        )
+
+    def test_blob_memoization_round_trips(self, wf1):
+        cache = SimCache()
+        first = summarize_class(wf1, cache=cache)
+        again = summarize_class(wf1, cache=cache)
+        assert again == first
+
+    def test_extra_shares_appear_on_ladder(self, wf1):
+        summary = summarize_class(wf1, extra_shares=(48,), cache=SimCache())
+        assert 48 in summary.shares
+        direct = run_fast_kernel(
+            wf1,
+            ExecutionEnvironment(n_processors=48),
+            data_mode="cleanup",
+        )
+        assert summary.makespan(48) == direct.makespan
+
+    def test_mosaic_bytes_from_workflow_file(self, wf1, summary1):
+        assert summary1.mosaic_bytes == (
+            wf1.file("mosaic.fits").size_bytes
+        )
+
+
+class TestVectorizedTTLCache:
+    """The columnar TTL resolve must replay MosaicCache exactly."""
+
+    def _reference(self, regions, times, ttl, horizon, mosaic_bytes):
+        cache = MosaicCache(
+            mosaic_bytes=mosaic_bytes, retention_seconds=ttl
+        )
+        hits = np.array(
+            [cache.lookup(int(r), float(t)) for r, t in zip(regions, times)]
+        )
+        cache.close(horizon)
+        return hits, cache._storage_byte_seconds
+
+    @pytest.mark.parametrize("ttl_months", [0.0, 0.05, 0.5, 2.0])
+    def test_matches_sequential_loop(self, ttl_months):
+        rng = np.random.default_rng(42)
+        n = 5_000
+        times = np.sort(rng.uniform(0.0, MONTH, size=n))
+        regions = rng.integers(0, 200, size=n)
+        ttl = ttl_months * MONTH
+        mosaic_bytes = 7e6
+        hits, residency = _resolve_ttl_cache(
+            regions.astype(np.int64),
+            times,
+            ttl,
+            MONTH,
+            n_classes=1,
+            n_regions=200,
+            mosaic_bytes=np.array([mosaic_bytes]),
+        )
+        ref_hits, ref_bytes = self._reference(
+            regions, times, ttl, MONTH, mosaic_bytes
+        )
+        assert np.array_equal(hits, ref_hits)
+        assert float(residency[0]) == pytest.approx(ref_bytes, rel=1e-12)
+
+    def test_classes_partition_the_key_space(self):
+        # Same region in different classes must not collide.
+        times = np.array([0.0, 10.0, 20.0, 30.0])
+        classes = np.array([0, 1, 0, 1], dtype=np.int64)
+        regions = np.array([5, 5, 5, 5], dtype=np.int64)
+        keys = classes * 100 + regions
+        hits, residency = _resolve_ttl_cache(
+            keys, times, 1_000.0, 100.0, 2, 100,
+            np.array([1.0, 10.0]),
+        )
+        assert hits.tolist() == [False, False, True, True]
+        assert residency[0] == pytest.approx(20.0 + 80.0)
+        assert residency[1] == pytest.approx((20.0 + 70.0) * 10.0)
+
+
+class TestTrafficSampling:
+    def test_deterministic_per_seed(self):
+        spec = montage_traffic(50_000, n_regions=500, seed=3)
+        a = sample_traffic(spec)
+        b = sample_traffic(spec)
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.region, b.region)
+        assert np.array_equal(a.hit, b.hit)
+
+    def test_zero_retention_never_hits(self):
+        spec = montage_traffic(
+            50_000, n_regions=100, retention_months=0.0, seed=5
+        )
+        sample = sample_traffic(spec)
+        assert sample.hit_rate == 0.0
+        assert sample.residency_byte_seconds.sum() == 0.0
+
+    def test_popular_regions_drive_hits(self):
+        few = sample_traffic(
+            montage_traffic(100_000, n_regions=50, seed=1)
+        )
+        many = sample_traffic(
+            montage_traffic(100_000, n_regions=500_000, seed=1)
+        )
+        assert few.hit_rate > many.hit_rate
+
+    def test_mix_weights_respected(self):
+        spec = TrafficSpec(
+            requests_per_month=100_000,
+            horizon_months=0.5,
+            mix=(
+                MixComponent(montage_workflow(1.0), weight=3.0),
+                MixComponent(montage_workflow(2.0), weight=1.0),
+            ),
+            n_regions=1_000,
+            seed=9,
+        )
+        sample = sample_traffic(spec, cache=SimCache())
+        share_small = (sample.class_idx == 0).mean()
+        assert 0.72 < share_small < 0.78  # ~0.75 expected
+
+    def test_window_extracts_rezeroed_misses(self):
+        spec = montage_traffic(200_000, n_regions=1_000, seed=2)
+        sample = sample_traffic(spec)
+        window = sample.window(100_000.0, 3_600.0)
+        assert window.n_requests == window.n_misses
+        assert (window.times >= 0).all()
+        assert (window.times < 3_600.0).all()
+        mask = (
+            (sample.times >= 100_000.0)
+            & (sample.times < 103_600.0)
+            & ~sample.hit
+        )
+        assert window.n_requests == int(mask.sum())
+
+
+@pytest.fixture(scope="module")
+def traffic_sample():
+    spec = montage_traffic(200_000, n_regions=20_000, seed=11)
+    return sample_traffic(spec)
+
+
+class TestFluidEngine:
+    def test_zero_traffic_rejected_by_spec(self):
+        with pytest.raises(ValueError):
+            montage_traffic(0.0)
+
+    def test_pool_monotonicity(self, traffic_sample):
+        waits = []
+        for pool in (128, 256, 512):
+            result = FluidServiceEngine(pool).run(traffic_sample)
+            waits.append(result.miss_mean_response_time())
+        assert waits[0] >= waits[1] >= waits[2]
+
+    def test_overload_accumulates_backlog(self, traffic_sample):
+        starved = FluidServiceEngine(8).run(traffic_sample)
+        ample = FluidServiceEngine(2048).run(traffic_sample)
+        assert starved.peak_backlog() > 100.0
+        assert ample.peak_backlog() < starved.peak_backlog()
+        assert starved.pool_utilization() > ample.pool_utilization()
+
+    def test_hits_are_transfer_only(self, traffic_sample):
+        result = FluidServiceEngine(512).run(traffic_sample)
+        responses = result.response_times()
+        hits = traffic_sample.hit
+        spec = traffic_sample.spec
+        expected = (
+            spec.mix[0].workflow.file("mosaic.fits").size_bytes
+            / spec.bandwidth_bytes_per_sec
+        )
+        assert np.allclose(responses[hits], expected)
+        assert (responses[~hits] > expected).all()
+
+    def test_response_column_read_only_and_cached(self, traffic_sample):
+        result = FluidServiceEngine(512).run(traffic_sample)
+        col = result.response_times()
+        assert col is result.response_times()
+        assert not col.flags.writeable
+        assert result.mean_response_time() == pytest.approx(
+            float(col.mean())
+        )
+
+    def test_trajectories_cover_horizon(self, traffic_sample):
+        engine = FluidServiceEngine(512, epoch_seconds=7200.0)
+        result = engine.run(traffic_sample)
+        n_epochs = int(np.ceil(traffic_sample.horizon / 7200.0))
+        for name in (
+            "epoch_start", "arrival_rate", "utilization",
+            "backlog_jobs", "wait", "pool", "mean_response",
+            "p95_response", "cost_per_request",
+        ):
+            assert result.trajectories[name].shape == (n_epochs,), name
+
+    def test_economics_identities(self, traffic_sample):
+        result = FluidServiceEngine(512).run(traffic_sample)
+        eco = result.economics
+        assert eco.n_requests == traffic_sample.n_requests
+        assert eco.n_misses == traffic_sample.n_misses
+        assert eco.hit_rate == pytest.approx(traffic_sample.hit_rate)
+        assert eco.total_cost == pytest.approx(
+            eco.pool_cpu_cost
+            + eco.on_demand_total.data_management_cost
+            + eco.serve_cost
+            + eco.cache_storage_cost
+        )
+        assert eco.cost_per_request == pytest.approx(
+            eco.total_cost / eco.n_requests
+        )
+        # The pool bill is the provisioned pool held for the horizon.
+        assert eco.pool_processor_seconds == pytest.approx(
+            512 * traffic_sample.horizon
+        )
+        assert eco.pool_cpu_cost == pytest.approx(
+            AWS_2008.cpu_cost(
+                eco.pool_processor_seconds, n_instances=512
+            )
+        )
+        assert eco.cache_storage_cost == pytest.approx(
+            AWS_2008.storage_cost(
+                float(traffic_sample.residency_byte_seconds.sum())
+            )
+        )
+
+    def test_controller_resizes_pool(self, traffic_sample):
+        engine = FluidServiceEngine(512)
+        result = engine.run(
+            traffic_sample,
+            controller=lambda e, state: 256 if e % 2 else 512,
+        )
+        pools = np.unique(result.trajectories["pool"])
+        assert set(pools.tolist()) == {256, 512}
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            FluidServiceEngine(0)
+        with pytest.raises(ValueError):
+            FluidServiceEngine(8, epoch_seconds=0.0)
+
+
+class TestEngineResolution:
+    def test_explicit_engines_pass_through(self):
+        assert resolve_service_engine("event", 10**7) == "event"
+        assert resolve_service_engine("fluid", 1) == "fluid"
+
+    def test_auto_switches_on_stream_size(self):
+        assert resolve_service_engine(
+            "auto", EVENT_FEASIBLE_REQUESTS
+        ) == "event"
+        assert resolve_service_engine(
+            "auto", EVENT_FEASIBLE_REQUESTS + 1
+        ) == "fluid"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_service_engine("warp", 10)
+
+
+class TestCapacityAtScale:
+    def test_plan_meets_objective_minimally(self, traffic_sample):
+        plan = plan_capacity_at_scale(
+            traffic_sample, objective_p95_seconds=3_600.0
+        )
+        assert plan.feasible
+        chosen = plan.chosen
+        assert chosen.meets_objective
+        assert chosen.p95_miss_response_time <= 3_600.0
+        # One processor fewer must miss the objective.
+        smaller = FluidServiceEngine(chosen.n_processors - 1).run(
+            traffic_sample
+        )
+        misses = ~traffic_sample.hit
+        p95 = float(
+            np.percentile(smaller.response_times()[misses], 95.0)
+        )
+        assert p95 > 3_600.0
+
+    def test_infeasible_objective_reports_candidates(self, traffic_sample):
+        plan = plan_capacity_at_scale(
+            traffic_sample,
+            objective_p95_seconds=1.0,
+            max_processors=64,
+        )
+        assert not plan.feasible
+        assert plan.candidates
+        with pytest.raises(ValueError):
+            _ = plan.n_processors
+
+
+class TestAutoscale:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            AutoscalePolicy(min_processors=0, max_processors=8)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(min_processors=8, max_processors=4)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(
+                min_processors=1, max_processors=8, scale_factor=1.0
+            )
+        with pytest.raises(ValueError):
+            AutoscalePolicy(
+                min_processors=1, max_processors=8,
+                low_utilization=0.9, high_utilization=0.8,
+            )
+
+    def test_pool_stays_within_bounds(self, traffic_sample):
+        policy = AutoscalePolicy(min_processors=64, max_processors=1024)
+        outcome = evaluate_autoscale(traffic_sample, policy, 256)
+        pools = outcome.pool_trajectory
+        assert pools.min() >= 64
+        assert pools.max() <= 1024
+        assert outcome.peak_pool == int(pools.max())
+        assert outcome.mean_pool == pytest.approx(float(pools.mean()))
+
+    def test_cooldown_limits_resize_rate(self, traffic_sample):
+        policy = AutoscalePolicy(
+            min_processors=16, max_processors=4096, cooldown_epochs=4
+        )
+        outcome = evaluate_autoscale(traffic_sample, policy, 64)
+        pools = outcome.pool_trajectory
+        changes = np.flatnonzero(np.diff(pools) != 0)
+        assert (np.diff(changes) >= 4).all()
+
+    def test_elasticity_saves_on_overprovisioned_baseline(
+        self, traffic_sample
+    ):
+        # A baseline sized for the cold-start transient idles later;
+        # scaling down must cost strictly less than holding it.
+        policy = AutoscalePolicy(min_processors=64, max_processors=4096)
+        outcome = evaluate_autoscale(traffic_sample, policy, 2048)
+        assert outcome.scaled_cost < outcome.fixed_cost
+        assert outcome.cost_savings == pytest.approx(
+            outcome.fixed_cost - outcome.scaled_cost
+        )
+        assert 0.0 < outcome.savings_fraction < 1.0

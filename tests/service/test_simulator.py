@@ -112,3 +112,26 @@ class TestAggregates:
         assert big.percentile_response_time(95) <= (
             small.percentile_response_time(95) + 1e-6
         )
+
+
+class TestColumnarCaching:
+    """Aggregates derive from numpy columns cached on first access."""
+
+    def test_response_times_cached_and_read_only(self, montage1):
+        reqs = request_stream(uniform_arrivals(3, 200.0), [montage1])
+        res = ServiceSimulator(64).run(reqs)
+        first = res.response_times()
+        assert first is res.response_times()  # same array object reused
+        assert not first.flags.writeable
+        # The cached column matches the per-outcome values exactly.
+        assert first.tolist() == [o.response_time for o in res.outcomes]
+
+    def test_scalar_aggregates_cached(self, montage1):
+        reqs = request_stream(uniform_arrivals(2, 500.0), [montage1])
+        res = ServiceSimulator(32).run(reqs)
+        total = res.total_compute_seconds()
+        peak = res.peak_concurrency()
+        assert res.total_compute_seconds() == total
+        assert res.peak_concurrency() == peak
+        assert res._total_compute_seconds == total
+        assert res._peak_concurrency == peak
