@@ -366,6 +366,107 @@ def montecarlo_grid(repeats: int) -> dict:
     }
 
 
+def _with_jit(mode: str, fn):
+    """Run ``fn`` with ``REPRO_SIM_JIT`` pinned, restoring the backend."""
+    from repro.sim import kernel_core
+
+    prev = os.environ.get(kernel_core.JIT_ENV)
+    os.environ[kernel_core.JIT_ENV] = mode
+    kernel_core._invalidate_backend()
+    try:
+        return fn()
+    finally:
+        if prev is None:
+            os.environ.pop(kernel_core.JIT_ENV, None)
+        else:
+            os.environ[kernel_core.JIT_ENV] = prev
+        kernel_core._invalidate_backend()
+
+
+def jit_section(repeats: int) -> dict:
+    """SoA-core backend report: legacy interpreted vs compiled turbo.
+
+    When numba is absent (CI's default leg, most dev containers) the
+    section records ``available: false`` with the probe's reason and
+    nothing else — ``perf_guard.py`` then reports the backend as
+    unavailable and skips the gate rather than failing it.  When numba
+    is importable, the turbo replay loop is timed interpreted
+    (``REPRO_SIM_JIT=off``, the legacy tuple-heap loop) and compiled
+    (``REPRO_SIM_JIT=on``, the SoA core under ``@njit``) on the same
+    Montage-4° configuration as the ``per_run`` section, results
+    asserted bit-identical first.  The single and capacity loops stay
+    interpreted under every backend (documented, not timed): turbo
+    covers the batch/grid/Monte Carlo/service hot paths that motivated
+    the core.
+    """
+    from repro.montage.generator import montage_workflow
+    from repro.sim import kernel_core
+    from repro.sim.datamanager import DataMode
+    from repro.sim.kernel import _lowering, _run_turbo_core
+    from repro.sim.scheduler import FIFO_ORDER
+    from repro.sim.executor import ExecutionEnvironment
+
+    requested = kernel_core.resolve_jit()
+    backend = _with_jit(
+        "auto" if requested == "off" else requested,
+        kernel_core.jit_backend,
+    )
+    section: dict = {
+        "requested": requested,
+        "available": backend["compiled"],
+        "numba_version": backend["numba_version"],
+    }
+    if not backend["compiled"]:
+        section["reason"] = backend["reason"]
+        return section
+
+    wf = montage_workflow(4.0)
+    env = ExecutionEnvironment(n_processors=128, record_trace=False)
+    low = _lowering(wf)
+    tr_dur = low.transfer_durations(env.bandwidth_bytes_per_sec)
+    exec_dur = low.exec_durations(env.task_overhead_seconds)
+    mode = DataMode.CLEANUP
+
+    def replay():
+        return _run_turbo_core(
+            wf, low, env, mode, FIFO_ORDER, tr_dur, exec_dur, None
+        )
+
+    interp_result = _with_jit("off", replay)
+    jit_result = _with_jit("on", replay)  # first call compiles
+    identical = interp_result == jit_result
+    if not identical:
+        raise SystemExit("SoA turbo core diverged from the legacy loop")
+    interp_s, _ = _with_jit("off", lambda: _best(replay, repeats))
+    jit_s, _ = _with_jit("on", lambda: _best(replay, repeats))
+    turbo = {
+        "interpreted_best_seconds": interp_s,
+        "jit_best_seconds": jit_s,
+        "speedup": interp_s / jit_s,
+        "results_identical": identical,
+    }
+    section.update({
+        "workflow": "montage-4deg (3027 tasks)",
+        "config": "cleanup, 128 processors, record_trace=False",
+        "repeats": repeats,
+        "loops": {
+            "turbo": turbo,
+            "single": {
+                "backend": "interpreted",
+                "note": "traced/contended replay stays on the legacy "
+                        "loop under every backend",
+            },
+            "capacity": {
+                "backend": "interpreted",
+                "note": "finite-capacity replay stays on the legacy "
+                        "loop under every backend",
+            },
+        },
+        "max_loop_speedup": turbo["speedup"],
+    })
+    return section
+
+
 def _campaign_plan(n_plates: int, n_seeds: int):
     from repro.grid import GridPlan
     from repro.montage.generator import montage_workflow
@@ -640,12 +741,32 @@ def full_report(kernel: str) -> float:
         reset_default_cache()
 
 
+def _print_jit(jit: dict) -> None:
+    if not jit["available"]:
+        print(
+            f"  backend unavailable — skipped ({jit.get('reason')}); "
+            "the perf gate tolerates this"
+        )
+        return
+    turbo = jit["loops"]["turbo"]
+    print(
+        f"  numba {jit['numba_version']}"
+        f"  turbo interpreted {turbo['interpreted_best_seconds'] * 1e3:.1f}"
+        f" ms -> jit {turbo['jit_best_seconds'] * 1e3:.2f} ms"
+        f"  speedup {turbo['speedup']:.2f}x"
+        f"  (identical={turbo['results_identical']})"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "section", nargs="?", choices=("all", "grid"), default="all",
+        "section", nargs="?", choices=("all", "grid", "jit"),
+        default="all",
         help="'all' runs the kernel benchmarks (BENCH_kernel.json); "
-             "'grid' runs the campaign grid (BENCH_campaign.json)",
+             "'grid' runs the campaign grid (BENCH_campaign.json); "
+             "'jit' re-measures only the SoA-backend section and merges "
+             "it into BENCH_kernel.json (CI's optional numba leg)",
     )
     parser.add_argument(
         "--plates", type=int, default=12,
@@ -678,6 +799,20 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.section == "grid":
         return run_campaign(args.campaign_plates, args.campaign_seeds)
+
+    if args.section == "jit":
+        print("== SoA backend: interpreted vs numba-compiled turbo ==")
+        jit = jit_section(args.repeats)
+        _print_jit(jit)
+        merged: dict = {}
+        if OUTPUT.is_file():
+            merged = json.loads(OUTPUT.read_text(encoding="utf-8"))
+        merged["jit"] = jit
+        OUTPUT.write_text(
+            json.dumps(merged, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {OUTPUT}")
+        return 0
 
     report: dict = {
         "machine": {
@@ -743,6 +878,10 @@ def main(argv: list[str] | None = None) -> int:
         f"  ({mc['cells_per_second']:.0f} cells/s,"
         f" identical={mc['results_identical']})"
     )
+
+    print("== SoA backend: interpreted vs numba-compiled turbo ==")
+    report["jit"] = jit_section(args.repeats)
+    _print_jit(report["jit"])
 
     if not args.skip_report:
         print("== full report (cold, fast=True) ==")

@@ -116,6 +116,13 @@ SERVICE_MIN_WINDOWS = 3
 #: The benchmark must run at the gated traffic level (absolute).
 SERVICE_MIN_REQUESTS = 900_000
 
+#: Floor on the best compiled-vs-interpreted replay-loop speedup in the
+#: optional BENCH_kernel.json ``jit`` section (acceptance: >= 2x on at
+#: least one replay loop with numba installed), tolerance-relaxed.  The
+#: section is skipped — with an explicit "backend unavailable" line,
+#: never silently — when numba is absent.
+JIT_SPEEDUP_FLOOR = 2.0
+
 
 def resolve_tolerance() -> float:
     env = os.environ.get(TOLERANCE_ENV)
@@ -223,6 +230,66 @@ def check_kernel_batch(tolerance: float) -> list[str]:
             f"(tolerance-adjusted: {mc_floor:.2f}x)"
         )
     return failures
+
+
+def check_jit(tolerance: float) -> tuple[list[str], list[str]]:
+    """Gate the SoA-backend numbers committed in BENCH_kernel.json.
+
+    Returns ``(info_lines, failure_lines)``.  The ``jit`` section is
+    *optional by design*: numba is absent from CI's default leg and most
+    dev containers, so a missing section or one recorded as
+    ``available: false`` must report-and-skip with an explicit "backend
+    unavailable" line — never fail the gate, and never pass silently.
+    When the section records a compiled run, the best replay-loop
+    speedup is gated at :data:`JIT_SPEEDUP_FLOOR` (tolerance-relaxed)
+    and ``results_identical`` is absolute.
+    """
+    if not KERNEL_BENCH.exists():
+        return (
+            ["  jit gate: backend unavailable — skipped "
+             f"({KERNEL_BENCH.name} missing)"],
+            [],
+        )
+    try:
+        data = json.loads(KERNEL_BENCH.read_text())
+    except (OSError, ValueError):
+        return ([f"  {KERNEL_BENCH.name}: unreadable"], [])
+    jit = data.get("jit")
+    if jit is None:
+        return (
+            ["  jit gate: backend unavailable — skipped (no jit section "
+             f"in {KERNEL_BENCH.name}; numba absent when it was written)"],
+            [],
+        )
+    if not jit.get("available"):
+        reason = jit.get("reason") or "numba not importable"
+        return (
+            [f"  jit gate: backend unavailable — skipped ({reason})"],
+            [],
+        )
+    failures = []
+    turbo = (jit.get("loops") or {}).get("turbo") or {}
+    if not turbo.get("results_identical"):
+        failures.append(
+            "  jit.loops.turbo.results_identical is not true — the "
+            "compiled SoA core no longer reproduces the legacy loop"
+        )
+    floor = JIT_SPEEDUP_FLOOR / (1.0 + tolerance)
+    speedup = jit.get("max_loop_speedup") or 0.0
+    if speedup < floor:
+        failures.append(
+            f"  jit.max_loop_speedup {speedup:.2f}x below the "
+            f"{JIT_SPEEDUP_FLOOR}x floor "
+            f"(tolerance-adjusted: {floor:.2f}x)"
+        )
+    if failures:
+        return ([], failures)
+    return (
+        [f"  jit ok (numba {jit.get('numba_version')}, best loop "
+         f"speedup {speedup:.2f}x >= {JIT_SPEEDUP_FLOOR}x, "
+         "results identical)"],
+        [],
+    )
 
 
 def check_campaign(tolerance: float) -> list[str]:
@@ -526,6 +593,15 @@ def main(argv: list[str] | None = None) -> int:
             f"montecarlo ok "
             f"(speedup >= {MONTECARLO_SPEEDUP_FLOOR}x, results identical)"
         )
+
+    print("== SoA-backend gate (BENCH_kernel.json jit section) ==")
+    jit_info, jit_failures = check_jit(resolve_tolerance())
+    for line in jit_info:
+        print(line)
+    if jit_failures:
+        for line in jit_failures:
+            print(line)
+        regressions.extend(jit_failures)
 
     print("== campaign-grid gate (BENCH_campaign.json) ==")
     campaign_failures = check_campaign(resolve_tolerance())

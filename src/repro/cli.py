@@ -21,6 +21,7 @@ from a DAX XML file (``--dax``).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.core.costs import compute_cost
@@ -85,7 +86,18 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_jit_flag(args: argparse.Namespace) -> None:
+    """Honor ``--jit`` by setting ``REPRO_SIM_JIT`` for this process."""
+    jit = getattr(args, "jit", None)
+    if jit is not None:
+        from repro.sim import kernel_core
+
+        os.environ[kernel_core.JIT_ENV] = jit
+        kernel_core._invalidate_backend()
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    _apply_jit_flag(args)
     wf = _load_workflow(args)
     result = simulate(
         wf,
@@ -132,6 +144,88 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.trace_dir is not None:
         paths = write_trace_files(result, args.trace_dir)
         print(f"\ntrace written: {', '.join(str(p) for p in paths)}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Time the kernel hot path; optionally dump a cProfile summary."""
+    import time
+    from pathlib import Path
+
+    _apply_jit_flag(args)
+    from repro.sim import kernel_core
+    from repro.sim.executor import ExecutionEnvironment
+    from repro.sim.kernel import (
+        KernelConfig, run_fast_kernel, run_monte_carlo,
+    )
+
+    wf = montage_workflow(args.degree)
+    env = ExecutionEnvironment(
+        n_processors=args.processors, record_trace=False
+    )
+    cfg = KernelConfig(environment=env)
+    probabilities = (0.0, 0.01, 0.05)
+    seeds = range(args.seeds)
+
+    def hot_path() -> None:
+        run_fast_kernel(wf, env)
+        run_monte_carlo(
+            wf, cfg, probabilities, seeds, max_retries=3, out=None
+        )
+
+    hot_path()  # warm the lowering caches (and any numba compilation)
+    best = float("inf")
+    for _ in range(max(1, args.repeats)):
+        start = time.perf_counter()
+        hot_path()
+        best = min(best, time.perf_counter() - start)
+
+    backend = kernel_core.jit_backend()
+    n_cells = len(probabilities) * args.seeds
+    print(
+        format_table(
+            ("metric", "value"),
+            [
+                ("workflow", wf.name),
+                ("processors", args.processors),
+                ("jit mode", backend["mode"]),
+                ("soa core", "on" if backend["use_core"] else "off"),
+                (
+                    "compiled",
+                    backend["numba_version"] or
+                    (backend["reason"] or "no"),
+                ),
+                ("grid cells", n_cells),
+                ("best pass", f"{best * 1e3:.2f} ms"),
+                ("cells/s", f"{n_cells / best:,.0f}"),
+            ],
+        )
+    )
+
+    if args.profile:
+        import cProfile
+        import io
+        import pstats
+
+        prof = cProfile.Profile()
+        prof.enable()
+        hot_path()
+        prof.disable()
+        stream = io.StringIO()
+        stats = pstats.Stats(prof, stream=stream)
+        stats.sort_stats("cumulative").print_stats(30)
+        stats.sort_stats("tottime").print_stats(15)
+        if args.output is not None:
+            out_path = Path(args.output)
+        else:
+            # Next to the BENCH artifacts in a source checkout, the
+            # working directory otherwise (installed package).
+            bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+            out_path = (
+                bench_dir if bench_dir.is_dir() else Path.cwd()
+            ) / "PROFILE_kernel.txt"
+        out_path.write_text(stream.getvalue(), encoding="utf-8")
+        print(f"\nprofile written: {out_path}")
     return 0
 
 
@@ -593,6 +687,12 @@ def build_parser() -> argparse.ArgumentParser:
              "the fast array kernel, which covers every configuration "
              "including failure injection)",
     )
+    p.add_argument(
+        "--jit", choices=["auto", "on", "off"], default=None,
+        help="fast-kernel numeric core (default: REPRO_SIM_JIT, else "
+             "auto — compile the SoA replay loop with numba when it is "
+             "importable, fall back to the interpreted loops otherwise)",
+    )
     p.set_defaults(handler=_cmd_simulate)
 
     p = sub.add_parser("sweep", help="Figure 4/5/6: cost & time vs pool size")
@@ -836,6 +936,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="q1: Figures 4-6 curves; modes: Figures 7-9 bars",
     )
     p.set_defaults(handler=_cmd_plot)
+
+    p = sub.add_parser(
+        "bench",
+        help="kernel hot-path timing, with optional cProfile dump",
+    )
+    p.add_argument(
+        "--degree", type=float, default=1.0,
+        help="mosaic size in square degrees (default 1.0)",
+    )
+    p.add_argument("--processors", type=int, default=8)
+    p.add_argument(
+        "--seeds", type=int, default=20,
+        help="Monte Carlo seeds per probability (default 20)",
+    )
+    p.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing passes; the best is reported (default 3)",
+    )
+    p.add_argument(
+        "--jit", choices=["auto", "on", "off"], default=None,
+        help="fast-kernel numeric core (default: REPRO_SIM_JIT/auto)",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="dump a cProfile/pstats summary of the kernel hot path "
+             "next to the BENCH artifacts",
+    )
+    p.add_argument(
+        "--output", type=str, default=None,
+        help="profile destination (default benchmarks/PROFILE_kernel.txt)",
+    )
+    p.set_defaults(handler=_cmd_bench)
 
     p = sub.add_parser("report", help="full paper-comparison report")
     p.add_argument("--fast", action="store_true")

@@ -93,6 +93,7 @@ import numpy as np
 
 from repro.sim.datamanager import DataMode
 from repro.sim.failures import FailureModel, WorkflowAbortedError
+from repro.sim import kernel_core
 from repro.sim.results import SimulationResult, TaskRecord, TransferRecord
 from repro.sim.scheduler import FIFO_ORDER, TaskOrdering
 from repro.util.curve import StepCurve
@@ -261,6 +262,7 @@ class _Lowering:
         "_tr_cache",
         "_exec_cache",
         "_arrival_cache",
+        "core_cache",
     )
 
     #: Per-parameter derived vectors kept per lowering; sweeps touch a
@@ -324,6 +326,10 @@ class _Lowering:
         self._tr_cache: dict[float, list[float]] = {}
         self._exec_cache: dict[float, list[float]] = {}
         self._arrival_cache: dict = {}
+        # ndarray/CSR view built lazily by repro.sim.kernel_core when
+        # the SoA backend is active; lives here so it shares this
+        # lowering's lifetime (the WeakKeyDictionary entry).
+        self.core_cache = None
 
     def cleanup_tables(self) -> tuple[list[list[int]], list[int]]:
         """Per-task release candidates + releaser counts (lazy, cached).
@@ -1081,8 +1087,23 @@ def _run_turbo_core(
     :data:`SUMMARY_DTYPE` field order, minus the abort flag) so the
     columnar campaign path can write them straight into a record batch;
     :func:`_run_turbo` wraps them into a :class:`SimulationResult`.
+
+    When the SoA backend is active (``REPRO_SIM_JIT`` resolved ``on``,
+    or ``auto`` with numba importable) and the run is FIFO-ordered with
+    no live failure hook, the replay routes through
+    :func:`repro.sim.kernel_core.turbo_soa` — the same loop lowered to
+    plain arrays, numba-compiled when possible.  Batch, grid, Monte
+    Carlo and service callers all pass through here, so they pick the
+    compiled core up transparently.
     """
     cleanup = data_mode is DataMode.CLEANUP
+
+    if (
+        fail is None
+        and ordering is FIFO_ORDER
+        and kernel_core.jit_enabled()
+    ):
+        return kernel_core.turbo_soa(low, environment, cleanup)
 
     n_tasks = low.n_tasks
     task_ids = low.task_ids
@@ -1419,13 +1440,26 @@ def _run_turbo(
     fail=None,
 ) -> SimulationResult:
     """Object-returning wrapper around :func:`_run_turbo_core`."""
+    return _result_from_turbo_tuple(
+        workflow, environment, data_mode,
+        _run_turbo_core(
+            workflow, low, environment, data_mode, ordering, tr_dur,
+            exec_dur, fail,
+        ),
+    )
+
+
+def _result_from_turbo_tuple(
+    workflow: Workflow,
+    environment,
+    data_mode: DataMode,
+    tup: tuple,
+) -> SimulationResult:
+    """Wrap a turbo-loop scalar tuple into a traceless result object."""
     (
         makespan, bytes_in, bytes_out, byte_seconds, peak, held_seconds,
         compute_seconds, n_in, n_out, n_exec, n_failures,
-    ) = _run_turbo_core(
-        workflow, low, environment, data_mode, ordering, tr_dur, exec_dur,
-        fail,
-    )
+    ) = tup
     return SimulationResult(
         workflow_name=workflow.name,
         n_processors=environment.n_processors,
@@ -1930,17 +1964,99 @@ class _SeedDraws:
     pre-draw replayed index by index is bit-identical to the engine's
     mid-flight draws — and because a fresh :class:`FailureModel` restarts
     the stream, one buffer serves every probability of the grid.
+
+    The backing buffer is preallocated and grown geometrically, with new
+    draws filled in place (``Generator.random(out=...)`` consumes the
+    PCG64 stream exactly as a fresh ``.random(k)`` call would, so the
+    materialized prefix is invariant to the growth pattern).  Verdict
+    arrays — ``draws < p`` per probability — are memoized on the stream,
+    so a grid revisiting a (probability, seed) pair never recomputes or
+    reallocates them.
     """
 
-    __slots__ = ("gen", "arr", "chunk")
+    __slots__ = ("gen", "buf", "n", "chunk", "_flags")
+
+    #: Memoized verdict arrays kept per stream; grids sweep a handful of
+    #: probabilities, so a small bound suffices.
+    _FLAG_LIMIT = 16
 
     def __init__(self, seed: int, n0: int, chunk: int) -> None:
         self.gen = np.random.default_rng(seed)
-        self.arr = self.gen.random(n0)
+        self.buf = np.empty(max(n0, chunk), dtype=np.float64)
+        self.gen.random(out=self.buf[:n0])
+        self.n = n0
         self.chunk = chunk
+        self._flags: dict[float, np.ndarray] = {}
+
+    @property
+    def arr(self) -> np.ndarray:
+        """The materialized draw prefix (a view, never a copy)."""
+        return self.buf[: self.n]
+
+    def ensure(self, n: int) -> None:
+        """Materialize at least ``n`` draws (chunk-rounded, in place)."""
+        if n <= self.n:
+            return
+        target = self.n + (
+            (n - self.n + self.chunk - 1) // self.chunk
+        ) * self.chunk
+        cap = self.buf.shape[0]
+        if target > cap:
+            while cap < target:
+                cap *= 2
+            buf = np.empty(cap, dtype=np.float64)
+            buf[: self.n] = self.buf[: self.n]
+            self.buf = buf
+        self.gen.random(out=self.buf[self.n : target])
+        self.n = target
+        self._flags.clear()
 
     def extend(self) -> None:
-        self.arr = np.concatenate([self.arr, self.gen.random(self.chunk)])
+        self.ensure(self.n + self.chunk)
+
+    def flags(self, probability: float) -> np.ndarray:
+        """``draws < probability`` over the materialized prefix, cached."""
+        cached = self._flags.get(probability)
+        if cached is None:
+            if len(self._flags) >= self._FLAG_LIMIT:
+                self._flags.clear()
+            cached = np.less(self.buf[: self.n], probability)
+            self._flags[probability] = cached
+        return cached
+
+
+def _verdict_fixpoint(
+    stream: _SeedDraws, probability: float, n_tasks: int
+) -> tuple[np.ndarray, int, int]:
+    """Exact draw consumption of one completed (probability, seed) cell.
+
+    A finished replay consumes one draw per task completion event:
+    ``n_tasks`` successes plus one per failed attempt, i.e. its consumed
+    count ``c`` satisfies ``c == n_tasks + count_true(flags[:c])`` — and
+    it is the *least* such fixpoint at or above ``n_tasks``, because any
+    smaller solution would mean the run had already finished there.
+    This holds for every replay loop (each completion draws exactly
+    once), so the verdict prefix ``flags[:L]`` fully determines the cell:
+    two cells with equal prefixes are bit-identical, aborts included
+    (an aborting cell consumes a prefix of ``[0, L)``).
+
+    Returns ``(flags, L, n_true)`` with the stream materialized through
+    ``L``; ``n_true == 0`` means the cell is failure-free (identical to
+    the no-failure baseline).
+    """
+    stream.ensure(n_tasks)
+    flags = stream.flags(probability)
+    L = n_tasks
+    nf = int(np.count_nonzero(flags[:L]))
+    while True:
+        target = n_tasks + nf
+        if target == L:
+            return flags, L, nf
+        if target > flags.shape[0]:
+            stream.ensure(target)
+            flags = stream.flags(probability)
+        nf += int(np.count_nonzero(flags[L:target]))
+        L = target
 
 
 def _matrix_hook(
@@ -1951,21 +2067,20 @@ def _matrix_hook(
 ):
     """Failure hook over a pre-drawn per-attempt matrix row.
 
-    One vectorized ``draws < p`` comparison per cell replaces the
-    engine's per-draw scalar compare (same IEEE-754 comparison, so the
-    verdicts are identical); the loop then just indexes booleans.
+    One vectorized ``draws < p`` comparison per stream growth replaces
+    the engine's per-draw scalar compare (same IEEE-754 comparison, so
+    the verdicts are identical); the loop then just indexes booleans.
     """
-    flags = np.less(stream.arr, probability).tolist()
-    state = [0, flags]
+    state = [0, stream.flags(probability)]
 
     def fail(t: int, attempt: int) -> bool:
         i = state[0]
         flags = state[1]
-        if i >= len(flags):
+        if i >= flags.shape[0]:
             stream.extend()
-            flags = np.less(stream.arr, probability).tolist()
+            flags = stream.flags(probability)
             state[1] = flags
-        failed = flags[i]
+        failed = bool(flags[i])
         state[0] = i + 1
         if failed and attempt > max_retries:
             raise WorkflowAbortedError(
@@ -2080,15 +2195,49 @@ def run_monte_carlo(
         streams = {}
 
     # The no-failure cell is seed-independent, and so is any cell whose
-    # first n_tasks draws all pass: such a run calls the failure hook
-    # exactly once per task execution (n_tasks all-False verdicts,
+    # verdict fixpoint contains no True: such a run calls the failure
+    # hook exactly once per task execution (n_tasks all-False verdicts,
     # consuming precisely draws[:n_tasks]) and is therefore bit-identical
-    # to the fail=None run.  One vectorized comparison per cell detects
-    # this, so a campaign's zero- and low-probability cells collapse to
-    # a single simulation per configuration — exactly, not statistically.
-    n_check = low.n_tasks
+    # to the fail=None run.  One vectorized count per cell detects this,
+    # so a campaign's zero- and low-probability cells collapse to a
+    # single simulation per configuration — exactly, not statistically.
+    #
+    # Cells that *can* fail are deduplicated too: _verdict_fixpoint
+    # proves flags[:L] determines the whole cell, so equal verdict
+    # prefixes (across seeds and probabilities alike) replay once and
+    # share the outcome via pattern_cache.
+    n_tasks = low.n_tasks
     baseline_result: SimulationResult | None = None
     baseline_row = None
+    #: verdict-prefix bytes -> ("ok", row-or-result) | ("abort", message)
+    pattern_cache: dict[bytes, tuple] = {}
+
+    # FIFO turbo cells replay through the resumable kernel-core loop:
+    # the baseline run records checkpoints every SNAP_EVERY completions,
+    # and each failing cell forks from the checkpoint just before its
+    # first True verdict instead of re-simulating the shared prefix.
+    # With the SoA backend active, failing cells go to turbo_soa with
+    # their verdict arrays instead (the compiled loop has no fork
+    # support, but replays the whole cell faster than the interpreted
+    # suffix would).
+    use_fork = bool(use_turbo) and ordering is FIFO_ORDER
+    if use_fork:
+        jit_core = kernel_core.jit_enabled()
+        cleanup_mode = mode is DataMode.CLEANUP
+        sched = low.arrival_schedule(env.bandwidth_bytes_per_sec)
+        snap_every = kernel_core.SNAP_EVERY
+        snapshots: list = []
+    baseline_tuple = None
+
+    def turbo_baseline() -> tuple:
+        nonlocal baseline_tuple
+        if baseline_tuple is None:
+            baseline_tuple = kernel_core.turbo_fifo_replay(
+                low, env.n_processors, env.compute_ready_seconds,
+                cleanup_mode, tr_dur, exec_dur, sched,
+                snap_every=snap_every, snapshots=snapshots,
+            )
+        return baseline_tuple
 
     def no_failure_result() -> SimulationResult:
         nonlocal baseline_result
@@ -2097,6 +2246,10 @@ def run_monte_carlo(
                 baseline_result = _run_capacity(
                     workflow, low, env, mode, ordering, tr_dur, exec_dur,
                     None,
+                )
+            elif use_fork and not jit_core:
+                baseline_result = _result_from_turbo_tuple(
+                    workflow, env, mode, turbo_baseline()
                 )
             elif use_turbo:
                 baseline_result = _run_turbo(
@@ -2113,14 +2266,15 @@ def run_monte_carlo(
     def no_failure_row():
         nonlocal baseline_row
         if baseline_row is None:
-            if use_turbo:
-                one = summary_batch(1)
+            one = summary_batch(1)
+            if use_fork and not jit_core:
+                one[0] = turbo_baseline() + (False,)
+            elif use_turbo:
                 one[0] = _run_turbo_core(
                     workflow, low, env, mode, ordering, tr_dur, exec_dur,
                     None,
                 ) + (False,)
             else:
-                one = summary_batch(1)
                 _store_result(one, 0, no_failure_result())
             baseline_row = one[0]
         return baseline_row
@@ -2129,27 +2283,16 @@ def run_monte_carlo(
     k = out_offset
     for p in probabilities:
         for seed in seeds:
-            if p == 0.0:
-                fail = None
-            else:
+            if p != 0.0:
                 stream = streams.get(seed)
                 if stream is None:
                     stream = streams[seed] = _SeedDraws(seed, n0, chunk)
-                if n_check and not np.any(
-                    np.less(stream.arr[:n_check], p)
-                ):
-                    # Failure-free cell: identical to the baseline.
-                    if columnar:
-                        out[k] = no_failure_row()
-                        k += 1
-                    else:
-                        cells.append(
-                            MonteCarloCell(p, seed, no_failure_result())
-                        )
-                    continue
-                fail = _matrix_hook(stream, p, max_retries, task_ids)
-            if fail is None:
-                # Zero probability: seed-independent, computed once.
+                flags, L, nf = _verdict_fixpoint(stream, p, n_tasks)
+            else:
+                nf = 0
+            if nf == 0:
+                # Failure-free (or zero-probability) cell: identical to
+                # the baseline.
                 if columnar:
                     out[k] = no_failure_row()
                     k += 1
@@ -2158,15 +2301,53 @@ def run_monte_carlo(
                         MonteCarloCell(p, seed, no_failure_result())
                     )
                 continue
-            try:
-                if columnar and use_turbo:
-                    # Hot path: scalars go straight into the batch.
-                    out[k] = _run_turbo_core(
-                        workflow, low, env, mode, ordering, tr_dur,
-                        exec_dur, fail,
-                    ) + (False,)
+            key = flags[:L].tobytes()
+            hit = pattern_cache.get(key)
+            if hit is not None:
+                kind, payload = hit
+                if columnar:
+                    out[k] = payload if kind == "ok" else _ABORT_ROW
                     k += 1
+                elif kind == "ok":
+                    cells.append(MonteCarloCell(p, seed, payload))
+                else:
+                    cells.append(
+                        MonteCarloCell(p, seed, None, True, payload)
+                    )
+                continue
+            try:
+                if use_fork:
+                    if jit_core:
+                        tup = kernel_core.turbo_soa(
+                            low, env, cleanup_mode,
+                            verdicts=flags[:L],
+                            max_retries=max_retries,
+                        )
+                    else:
+                        turbo_baseline()  # materialize the checkpoints
+                        j = int(np.argmax(flags[:L])) // snap_every
+                        if j >= len(snapshots):
+                            j = len(snapshots) - 1
+                        tup = kernel_core.turbo_fifo_replay(
+                            low, env.n_processors,
+                            env.compute_ready_seconds, cleanup_mode,
+                            tr_dur, exec_dur, sched, verdicts=flags,
+                            max_retries=max_retries,
+                            resume=snapshots[j],
+                        )
+                    if columnar:
+                        row = tup + (False,)
+                        out[k] = row
+                        k += 1
+                        pattern_cache[key] = ("ok", row)
+                    else:
+                        result = _result_from_turbo_tuple(
+                            workflow, env, mode, tup
+                        )
+                        cells.append(MonteCarloCell(p, seed, result))
+                        pattern_cache[key] = ("ok", result)
                     continue
+                fail = _matrix_hook(stream, p, max_retries, task_ids)
                 if use_capacity:
                     result = _run_capacity(
                         workflow, low, env, mode, ordering, tr_dur,
@@ -2183,6 +2364,7 @@ def run_monte_carlo(
                         exec_dur, fail,
                     )
             except WorkflowAbortedError as exc:
+                pattern_cache[key] = ("abort", str(exc))
                 if columnar:
                     out[k] = _ABORT_ROW
                     k += 1
@@ -2193,8 +2375,10 @@ def run_monte_carlo(
             else:
                 if columnar:
                     _store_result(out, k, result)
+                    pattern_cache[key] = ("ok", out[k].copy())
                     k += 1
                 else:
+                    pattern_cache[key] = ("ok", result)
                     cells.append(MonteCarloCell(p, seed, result))
     if columnar:
         return k - out_offset

@@ -1,0 +1,1169 @@
+"""Numeric replay core: SoA kernel loops, optional JIT, turbo batching.
+
+The fast kernel in :mod:`repro.sim.kernel` replays workflows through
+interpreted Python loops over per-task scalars.  This module is the
+numeric core extracted from the hottest of those loops — the traceless
+shared-storage "turbo" replay — in two forms that share one contract:
+
+* :func:`turbo_fifo_replay` — an interpreted, *resumable* transcription
+  of ``_run_turbo_core`` specialized to FIFO ordering.  Failure verdicts
+  come from a precomputed per-cell boolean array instead of a live
+  ``fail(t, attempt)`` closure, the loop can emit periodic state
+  snapshots while it runs, and a later call can *fork* from any snapshot
+  and replay only the suffix.  This is what makes Monte Carlo campaigns
+  fast without any compiler: a failing (probability, seed) cell is
+  bit-identical to the no-failure baseline up to its first ``True``
+  verdict, so the shared prefix is restored instead of re-simulated.
+* :func:`_turbo_fifo_soa` — the same loop operating only on plain
+  ndarrays and scalars lowered from :class:`~repro.sim.kernel._Lowering`
+  (CSR consumer/output/release tables, parallel-array binary heap,
+  integer status codes instead of raises).  The single source compiles
+  under an **optional numba** ``@njit`` backend and runs unchanged as
+  pure Python when numba is absent, so the differential test suite can
+  prove the transcription correct even on interpreters without a JIT.
+
+Backend selection: the ``REPRO_SIM_JIT`` environment variable (or the
+``--jit`` CLI flag, which sets it) chooses ``auto`` (default: compile
+when numba imports, otherwise keep the legacy interpreted loops),
+``on`` (always route eligible runs through the SoA core, compiled when
+possible — with a ``RuntimeWarning`` if numba is missing, since the
+interpreted SoA loop is slower than the legacy tuple-heap loop), or
+``off`` (legacy loops only; numba is never imported and no warning is
+ever emitted).  Resolution is lazy and memoized; tests reset it via
+:func:`_invalidate_backend`.
+
+Eligibility for the SoA core is exactly the turbo shape plus FIFO
+ordering: infinite storage, no trace, no link contention, not
+remote-I/O, ``ordering is FIFO_ORDER``, and failures given as verdict
+arrays (or absent).  Everything else — traced runs, non-FIFO orderings,
+capacity/remote/contended models, live ``FailureModel`` hooks whose RNG
+stream must be consumed draw-by-draw — stays on the legacy loops in
+:mod:`repro.sim.kernel`, which remain bit-identical to the event
+engine.  Both forms here are gated by the same differential Hypothesis
+suites (``tests/sim/test_kernel_core.py`` compares them tuple-for-tuple
+against ``_run_turbo_core``, which is itself proven against the event
+engine).
+
+Float-exactness rules inherited from the legacy loop (do not "clean
+up"): events are merged by ``(time, seq)`` with the engine's sequence
+numbering; the storage integral streams through the exact
+``s_acc += s_v * (now - s_t)`` segment commits in event order; byte and
+compute accumulators fold in dispatch order; the abort message is the
+verbatim engine string.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+
+from repro.sim.failures import WorkflowAbortedError
+
+__all__ = [
+    "JIT_ENV",
+    "JITS",
+    "SNAP_EVERY",
+    "jit_backend",
+    "jit_enabled",
+    "resolve_jit",
+    "turbo_fifo_replay",
+    "turbo_soa",
+]
+
+#: Environment override for the JIT backend choice ("auto", "on", "off").
+JIT_ENV = "REPRO_SIM_JIT"
+
+#: Valid backend names.
+JITS = ("auto", "on", "off")
+
+#: Default completion interval between Monte Carlo fork snapshots.
+#: Smaller values give finer fork points (less replayed prefix) at the
+#: cost of one state copy per interval during the baseline run.
+SNAP_EVERY = 16
+
+_INF = float("inf")
+
+
+def resolve_jit(jit: str | None = None) -> str:
+    """Effective JIT mode: explicit argument, else env var, else auto."""
+    if jit is None:
+        jit = os.environ.get(JIT_ENV, "").strip().lower() or "auto"
+    if jit not in JITS:
+        raise ValueError(
+            f"unknown JIT mode {jit!r} (from {JIT_ENV}); "
+            f"expected one of {JITS}"
+        )
+    return jit
+
+
+#: Lazily resolved backend description (one per resolved mode).
+_BACKEND: dict | None = None
+
+
+def _invalidate_backend() -> None:
+    """Forget the resolved backend (tests flip env vars / break numba)."""
+    global _BACKEND
+    _BACKEND = None
+
+
+def _probe_numba():
+    """(module, error-string): import numba without requiring it."""
+    try:
+        import numba  # noqa: F401 - optional dependency probe
+    except Exception as exc:  # ImportError or any init-time failure
+        return None, f"{type(exc).__name__}: {exc}"
+    return numba, None
+
+
+def jit_backend() -> dict:
+    """Resolve and memoize the active backend.
+
+    Returns a dict with ``mode`` (resolved ``REPRO_SIM_JIT``),
+    ``use_core`` (route eligible runs through the SoA core), ``compiled``
+    (numba-jitted), ``numba_version`` and ``reason`` (why compilation is
+    off, when it is).  ``off`` never imports numba and never warns.
+    """
+    global _BACKEND
+    mode = resolve_jit()
+    if _BACKEND is not None and _BACKEND["mode"] == mode:
+        return _BACKEND
+    info = {
+        "mode": mode,
+        "use_core": False,
+        "compiled": False,
+        "numba_version": None,
+        "reason": None,
+        "turbo": _turbo_fifo_soa,
+    }
+    if mode == "off":
+        info["reason"] = "REPRO_SIM_JIT=off"
+        _BACKEND = info
+        return info
+    numba, err = _probe_numba()
+    if numba is None:
+        info["reason"] = f"numba unavailable ({err})"
+        if mode == "on":
+            # Explicit opt-in with no compiler: honor it (the parity
+            # suites rely on this to exercise the SoA source in the
+            # no-numba CI leg) but say so — the interpreted SoA loop is
+            # slower than the legacy tuple-heap loop it replaces.
+            info["use_core"] = True
+            warnings.warn(
+                "REPRO_SIM_JIT=on but numba is not importable; running "
+                "the SoA kernel core interpreted (slower than the "
+                "legacy loops). Install numba or use REPRO_SIM_JIT=auto.",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        _BACKEND = info
+        return info
+    try:
+        compiled = numba.njit(cache=True)(_turbo_fifo_soa)
+    except Exception as exc:  # pragma: no cover - depends on numba build
+        info["reason"] = f"njit compilation failed ({exc})"
+        info["use_core"] = mode == "on"
+        _BACKEND = info
+        return info
+    info["use_core"] = True
+    info["compiled"] = True
+    info["numba_version"] = getattr(numba, "__version__", "?")
+    info["turbo"] = compiled
+    _BACKEND = info
+    return info
+
+
+def jit_enabled() -> bool:
+    """Should eligible runs route through the SoA core right now?"""
+    return jit_backend()["use_core"]
+
+
+# ------------------------------------------------------------------ #
+# SoA lowering view (cached on the _Lowering via its core_cache slot)
+# ------------------------------------------------------------------ #
+def _csr(lists, n_rows: int) -> tuple[np.ndarray, np.ndarray]:
+    indptr = np.zeros(n_rows + 1, dtype=np.int64)
+    for i, row in enumerate(lists):
+        indptr[i + 1] = indptr[i] + len(row)
+    data = np.empty(int(indptr[-1]), dtype=np.int64)
+    pos = 0
+    for row in lists:
+        for v in row:
+            data[pos] = v
+            pos += 1
+    return indptr, data
+
+
+class CoreArrays:
+    """ndarray/CSR view of one :class:`_Lowering`, built once per DAG."""
+
+    __slots__ = (
+        "n_tasks",
+        "n_files",
+        "runtimes",
+        "sizes",
+        "n_inputs",
+        "no_input_tasks",
+        "cons_indptr",
+        "cons_data",
+        "out_indptr",
+        "out_data",
+        "output_fidx",
+        "rel_indptr",
+        "rel_data",
+        "rel_need",
+        "stage_out_bytes",
+        "added_cap",
+        "_arr_cache",
+        "_dur_cache",
+    )
+
+    _CACHE_LIMIT = 8
+
+    def __init__(self, low) -> None:
+        self.n_tasks = low.n_tasks
+        self.n_files = low.n_files
+        self.runtimes = low.runtimes_arr
+        self.sizes = low.sizes_arr
+        self.n_inputs = np.array(low.n_inputs, dtype=np.int64)
+        self.no_input_tasks = np.array(low.no_input_tasks, dtype=np.int64)
+        self.cons_indptr, self.cons_data = _csr(low.consumers, low.n_files)
+        self.out_indptr, self.out_data = _csr(low.task_outputs, low.n_tasks)
+        self.output_fidx = np.array(low.output_fidx, dtype=np.int64)
+        candidates, need = low.cleanup_tables()
+        self.rel_indptr, self.rel_data = _csr(candidates, low.n_tasks)
+        self.rel_need = np.array(need, dtype=np.int64)
+        self.stage_out_bytes = low.stage_out_bytes
+        self.added_cap = len(low.input_fidx) + int(self.out_indptr[-1]) + 1
+        self._arr_cache: dict = {}
+        self._dur_cache: dict = {}
+
+    def arrival(self, low, bandwidth: float):
+        sched = self._arr_cache.get(bandwidth)
+        if sched is None:
+            if len(self._arr_cache) >= self._CACHE_LIMIT:
+                self._arr_cache.clear()
+            arr_t, arr_f, arr_rank = low.arrival_schedule(bandwidth)
+            sched = (
+                np.array(arr_t, dtype=np.float64),
+                np.array(arr_f, dtype=np.int64),
+                np.array(arr_rank, dtype=np.int64),
+            )
+            self._arr_cache[bandwidth] = sched
+        return sched
+
+    def durations(self, bandwidth: float, overhead: float):
+        key = (bandwidth, overhead)
+        durs = self._dur_cache.get(key)
+        if durs is None:
+            if len(self._dur_cache) >= self._CACHE_LIMIT:
+                self._dur_cache.clear()
+            # Same float expressions as _Lowering.transfer_durations /
+            # exec_durations, kept as ndarrays.
+            durs = (self.sizes / bandwidth, overhead + self.runtimes)
+            self._dur_cache[key] = durs
+        return durs
+
+
+def core_arrays(low) -> CoreArrays:
+    """The memoized :class:`CoreArrays` of a lowering."""
+    core = low.core_cache
+    if core is None:
+        core = low.core_cache = CoreArrays(low)
+    return core
+
+
+# ------------------------------------------------------------------ #
+# SoA turbo loop (single source: numba-compilable, pure-Python runnable)
+# ------------------------------------------------------------------ #
+# Status codes returned in slot 0 of the result tuple.
+_OK = 0.0
+_ABORTED = 1.0
+_EXHAUSTED = 2.0
+_DEADLOCK = 3.0
+
+# istate slot indices (closure-shared mutable scalars live in arrays —
+# numba-compatible closures cannot rebind enclosing-scope variables).
+_SEQ = 0
+_RSEQ = 1
+_FREE = 2
+_BOOTING = 3
+_BOOT_SCHED = 4
+_BOOT_PEND = 5
+_BOOT_SEQ = 6
+_RHEAD = 7
+_QLEN = 8
+_NEXEC = 9
+_HN = 10
+_NISTATE = 11
+
+
+def _turbo_fifo_soa(
+    n_processors,
+    ready_at,
+    runtimes,
+    sizes,
+    tr_dur,
+    exec_dur,
+    no_input_tasks,
+    cons_indptr,
+    cons_data,
+    out_indptr,
+    out_data,
+    output_fidx,
+    stage_out_bytes,
+    arr_t,
+    arr_f,
+    arr_rank,
+    cleanup,
+    rel_indptr,
+    rel_data,
+    rel_need,
+    pending,
+    verdicts,
+    max_retries,
+    hp_t,
+    hp_s,
+    hp_i,
+    hp_a,
+    ready_q,
+    added,
+    removed,
+    attempts,
+    istate,
+    fstate,
+):
+    """FIFO turbo replay over plain arrays; see module docstring.
+
+    Mutates the scratch arrays it is handed (``rel_need``, ``pending``,
+    ``removed``, ``attempts`` must be fresh per call).  Returns a
+    12-float tuple ``(status, a, b, makespan, bytes_out, byte_seconds,
+    peak, held_seconds, compute_seconds, n_out, n_exec, n_failures)``
+    where for ``_ABORTED`` ``a``/``b`` are the failing task index and
+    attempt number, for ``_EXHAUSTED`` ``a`` is the verdict cursor and
+    for ``_DEADLOCK`` ``a`` is ``n_done``.
+    """
+    n_tasks = runtimes.shape[0]
+    n_arr = arr_t.shape[0]
+    n_verd = verdicts.shape[0]
+
+    for i in range(_NISTATE):
+        istate[i] = 0
+    fstate[0] = 0.0  # compute_seconds
+    istate[_FREE] = n_processors
+    if ready_at > 0.0:
+        istate[_BOOTING] = 1
+
+    def hpush(t, s, i, a):
+        j = istate[_HN]
+        istate[_HN] = j + 1
+        while j > 0:
+            par = (j - 1) >> 1
+            pt = hp_t[par]
+            ps = hp_s[par]
+            if pt > t or (pt == t and ps > s):
+                hp_t[j] = pt
+                hp_s[j] = ps
+                hp_i[j] = hp_i[par]
+                hp_a[j] = hp_a[par]
+                j = par
+            else:
+                break
+        hp_t[j] = t
+        hp_s[j] = s
+        hp_i[j] = i
+        hp_a[j] = a
+
+    def hpop():
+        n = istate[_HN] - 1
+        istate[_HN] = n
+        if n == 0:
+            return
+        t = hp_t[n]
+        s = hp_s[n]
+        i = hp_i[n]
+        a = hp_a[n]
+        j = 0
+        while True:
+            left = 2 * j + 1
+            if left >= n:
+                break
+            ct = hp_t[left]
+            cs = hp_s[left]
+            ci = left
+            right = left + 1
+            if right < n and (
+                hp_t[right] < ct or (hp_t[right] == ct and hp_s[right] < cs)
+            ):
+                ct = hp_t[right]
+                cs = hp_s[right]
+                ci = right
+            if ct < t or (ct == t and cs < s):
+                hp_t[j] = ct
+                hp_s[j] = cs
+                hp_i[j] = hp_i[ci]
+                hp_a[j] = hp_a[ci]
+                j = ci
+            else:
+                break
+        hp_t[j] = t
+        hp_s[j] = s
+        hp_i[j] = i
+        hp_a[j] = a
+
+    def dispatch(now):
+        if istate[_BOOTING]:
+            if now < ready_at:
+                if istate[_BOOT_SCHED] == 0 and istate[_RHEAD] < istate[_QLEN]:
+                    istate[_BOOT_SCHED] = 1
+                    istate[_BOOT_PEND] = 1
+                    istate[_BOOT_SEQ] = istate[_SEQ]
+                    istate[_SEQ] += 1
+                return
+            istate[_BOOTING] = 0
+        while istate[_FREE] and istate[_RHEAD] < istate[_QLEN]:
+            t = ready_q[istate[_RHEAD]]
+            istate[_RHEAD] += 1
+            istate[_FREE] -= 1
+            istate[_NEXEC] += 1
+            fstate[0] += runtimes[t]
+            hpush(now + exec_dur[t], istate[_SEQ], t, now)
+            istate[_SEQ] += 1
+
+    def ready_or_run(c, now):
+        # The engine's ready_task shortcut: a free processor and an
+        # empty queue hand the processor to ``c`` without queuing.
+        if (
+            istate[_FREE]
+            and istate[_RHEAD] == istate[_QLEN]
+            and istate[_BOOTING] == 0
+        ):
+            istate[_FREE] -= 1
+            istate[_NEXEC] += 1
+            fstate[0] += runtimes[c]
+            hpush(now + exec_dur[c], istate[_SEQ], c, now)
+            istate[_SEQ] += 1
+        else:
+            ready_q[istate[_QLEN]] = c
+            istate[_QLEN] += 1
+            istate[_RSEQ] += 1
+            if istate[_FREE]:
+                dispatch(now)
+
+    # -- t = 0: no-input tasks ready, then the (virtual) stage-ins ---- #
+    for idx in range(no_input_tasks.shape[0]):
+        ready_or_run(no_input_tasks[idx], 0.0)
+    # Arrivals occupy the next n_arr sequence numbers in submission
+    # order; later events resume counting after them.
+    base = istate[_SEQ]
+    istate[_SEQ] = base + n_arr
+
+    now = 0.0
+    n_done = 0
+    n_failures = 0
+    held_seconds = 0.0
+    bytes_out = 0.0
+    n_out = 0
+    souts_left = 0
+    added_n = 0
+    vi = 0
+    k = 0
+    finished_at = -1.0
+    s_t = 0.0
+    s_v = 0.0
+    s_acc = 0.0
+    s_peak = 0.0
+
+    while True:
+        if k < n_arr:
+            at = arr_t[k]
+            aseq = base + arr_rank[k]
+        else:
+            at = _INF
+            aseq = 0
+        if istate[_HN] > 0:
+            ct = hp_t[0]
+            cseq = hp_s[0]
+        else:
+            ct = _INF
+            cseq = 0
+        if at < ct or (at == ct and aseq < cseq):
+            et = at
+            es = aseq
+            which = 0
+        else:
+            et = ct
+            es = cseq
+            which = 1
+        if istate[_BOOT_PEND] and (
+            ready_at < et or (ready_at == et and istate[_BOOT_SEQ] < es)
+        ):
+            istate[_BOOT_PEND] = 0
+            dispatch(ready_at)
+            continue
+        if et == _INF:
+            break
+        if which == 0:
+            # stage-in arrival
+            now = at
+            f = arr_f[k]
+            k += 1
+            d = sizes[f]
+            added[added_n] = f
+            added_n += 1
+            if d != 0.0:
+                if now != s_t:
+                    s_acc += s_v * (now - s_t)
+                    if s_v > s_peak:
+                        s_peak = s_v
+                    s_t = now
+                s_v += d
+            for ci in range(cons_indptr[f], cons_indptr[f + 1]):
+                c = cons_data[ci]
+                p = pending[c] - 1
+                pending[c] = p
+                if p == 0:
+                    ready_or_run(c, now)
+        else:
+            t = hp_i[0]
+            acq = hp_a[0]
+            hpop()
+            now = ct
+            if t < 0:
+                # stage-out completion for file -1 - t
+                f = -1 - t
+                if cleanup:
+                    removed[f] = 1
+                    d = sizes[f]
+                    if d != 0.0:
+                        if now != s_t:
+                            s_acc += s_v * (now - s_t)
+                            if s_v > s_peak:
+                                s_peak = s_v
+                            s_t = now
+                        s_v -= d
+                souts_left -= 1
+                if souts_left == 0:
+                    # _finalize: remaining objects go in insertion order.
+                    for gi in range(added_n):
+                        g = added[gi]
+                        if removed[g]:
+                            continue
+                        d = sizes[g]
+                        if d != 0.0:
+                            if now != s_t:
+                                s_acc += s_v * (now - s_t)
+                                if s_v > s_peak:
+                                    s_peak = s_v
+                                s_t = now
+                            s_v -= d
+                    finished_at = now
+                    break
+                continue
+            # task completion
+            if n_verd > 0:
+                attempt = attempts[t]
+                if vi >= n_verd:
+                    return (
+                        _EXHAUSTED, float(vi), 0.0, 0.0, 0.0, 0.0, 0.0,
+                        0.0, 0.0, 0.0, 0.0, 0.0,
+                    )
+                failed = verdicts[vi] != 0
+                vi += 1
+                if failed:
+                    if attempt > max_retries:
+                        return (
+                            _ABORTED, float(t), float(attempt), 0.0, 0.0,
+                            0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+                        )
+                    # Retry on the same still-held processor, completion
+                    # re-pushed at exactly the engine's sequence point.
+                    n_failures += 1
+                    attempts[t] = attempt + 1
+                    istate[_NEXEC] += 1
+                    fstate[0] += runtimes[t]
+                    hpush(now + exec_dur[t], istate[_SEQ], t, acq)
+                    istate[_SEQ] += 1
+                    continue
+            n_done += 1
+            held_seconds += now - acq
+            istate[_FREE] += 1
+            for fi in range(out_indptr[t], out_indptr[t + 1]):
+                f = out_data[fi]
+                added[added_n] = f
+                added_n += 1
+                d = sizes[f]
+                if d != 0.0:
+                    if now != s_t:
+                        s_acc += s_v * (now - s_t)
+                        if s_v > s_peak:
+                            s_peak = s_v
+                        s_t = now
+                    s_v += d
+            if cleanup:
+                for fi in range(rel_indptr[t], rel_indptr[t + 1]):
+                    f = rel_data[fi]
+                    rn = rel_need[f] - 1
+                    rel_need[f] = rn
+                    if rn == 0:
+                        removed[f] = 1
+                        d = sizes[f]
+                        if d != 0.0:
+                            if now != s_t:
+                                s_acc += s_v * (now - s_t)
+                                if s_v > s_peak:
+                                    s_peak = s_v
+                                s_t = now
+                            s_v -= d
+            for fi in range(out_indptr[t], out_indptr[t + 1]):
+                f = out_data[fi]
+                for ci in range(cons_indptr[f], cons_indptr[f + 1]):
+                    c = cons_data[ci]
+                    p = pending[c] - 1
+                    pending[c] = p
+                    if p == 0:
+                        ready_or_run(c, now)
+            if n_done == n_tasks:
+                if output_fidx.shape[0] == 0:
+                    # _finalize at the last completion time: the deltas
+                    # coalesce onto this breakpoint (peak-relevant).
+                    for gi in range(added_n):
+                        g = added[gi]
+                        if removed[g]:
+                            continue
+                        d = sizes[g]
+                        if d != 0.0:
+                            if now != s_t:
+                                s_acc += s_v * (now - s_t)
+                                if s_v > s_peak:
+                                    s_peak = s_v
+                                s_t = now
+                            s_v -= d
+                    finished_at = now
+                    break
+                souts_left = output_fidx.shape[0]
+                bytes_out = stage_out_bytes
+                n_out = souts_left
+                for fi in range(souts_left):
+                    f = output_fidx[fi]
+                    hpush(now + tr_dur[f], istate[_SEQ], -1 - f, 0.0)
+                    istate[_SEQ] += 1
+            if istate[_RHEAD] < istate[_QLEN]:
+                dispatch(now)
+
+    if finished_at < 0.0:
+        return (
+            _DEADLOCK, float(n_done), 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+            0.0, 0.0, 0.0,
+        )
+
+    # Final segment of the integral; the value at the last breakpoint
+    # also competes for the peak (it may coalesce above earlier values).
+    s_acc += s_v * (finished_at - s_t)
+    if s_v > s_peak:
+        s_peak = s_v
+
+    return (
+        _OK,
+        0.0,
+        0.0,
+        finished_at,
+        bytes_out,
+        s_acc,
+        s_peak,
+        held_seconds,
+        fstate[0],
+        float(n_out),
+        float(istate[_NEXEC]),
+        float(n_failures),
+    )
+
+
+def turbo_soa(
+    low,
+    environment,
+    cleanup: bool,
+    verdicts: np.ndarray | None = None,
+    max_retries: int = 0,
+) -> tuple:
+    """Run the SoA turbo loop for one configuration; legacy-shaped tuple.
+
+    Only valid for turbo-shaped FIFO runs (the caller gates).  Returns
+    the same 11-tuple as ``_run_turbo_core`` (SUMMARY_DTYPE field order
+    minus the abort flag) or raises the legacy loops' verbatim
+    :class:`WorkflowAbortedError` / deadlock ``RuntimeError``.
+    ``verdicts`` is a per-completion boolean/uint8 array covering the
+    run's whole draw consumption (the Monte Carlo layer sizes it to the
+    verdict fixpoint, so exhaustion cannot occur for well-formed cells).
+    """
+    ca = core_arrays(low)
+    env = environment
+    tr_dur, exec_dur = ca.durations(
+        env.bandwidth_bytes_per_sec, env.task_overhead_seconds
+    )
+    arr_t, arr_f, arr_rank = ca.arrival(low, env.bandwidth_bytes_per_sec)
+    n_tasks = ca.n_tasks
+    if verdicts is None:
+        v = _EMPTY_U8
+        attempts = _EMPTY_I64
+    else:
+        v = np.ascontiguousarray(verdicts, dtype=np.uint8)
+        attempts = np.ones(n_tasks, dtype=np.int64)
+    heap_cap = min(env.n_processors, n_tasks) + ca.output_fidx.shape[0] + 1
+    fn = jit_backend()["turbo"]
+    out = fn(
+        env.n_processors,
+        env.compute_ready_seconds,
+        ca.runtimes,
+        ca.sizes,
+        tr_dur,
+        exec_dur,
+        ca.no_input_tasks,
+        ca.cons_indptr,
+        ca.cons_data,
+        ca.out_indptr,
+        ca.out_data,
+        ca.output_fidx,
+        ca.stage_out_bytes,
+        arr_t,
+        arr_f,
+        arr_rank,
+        cleanup,
+        ca.rel_indptr,
+        ca.rel_data,
+        ca.rel_need.copy() if cleanup else _EMPTY_I64,
+        ca.n_inputs.copy(),
+        v,
+        max_retries,
+        np.empty(heap_cap, dtype=np.float64),
+        np.empty(heap_cap, dtype=np.int64),
+        np.empty(heap_cap, dtype=np.int64),
+        np.empty(heap_cap, dtype=np.float64),
+        np.empty(n_tasks, dtype=np.int64),
+        np.empty(ca.added_cap, dtype=np.int64),
+        np.zeros(ca.n_files, dtype=np.uint8),
+        attempts,
+        np.empty(_NISTATE, dtype=np.int64),
+        np.empty(1, dtype=np.float64),
+    )
+    status = out[0]
+    if status == _ABORTED:
+        raise WorkflowAbortedError(
+            f"task {low.task_ids[int(out[1])]!r} failed on attempt "
+            f"{int(out[2])} with no retries left"
+        )
+    if status == _EXHAUSTED:
+        raise RuntimeError(
+            f"verdict buffer exhausted at draw {int(out[1])} — the "
+            "Monte Carlo layer must size verdicts to the fixpoint"
+        )
+    if status == _DEADLOCK:
+        raise RuntimeError(
+            "simulation deadlocked or unfinished: "
+            f"{n_tasks - int(out[1])} tasks incomplete"
+        )
+    return (
+        out[3],
+        low.stage_in_bytes,
+        out[4],
+        out[5],
+        out[6],
+        out[7],
+        out[8],
+        arr_t.shape[0],
+        int(out[9]),
+        int(out[10]),
+        int(out[11]),
+    )
+
+
+_EMPTY_U8 = np.empty(0, dtype=np.uint8)
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+# ------------------------------------------------------------------ #
+# interpreted resumable turbo replay (Monte Carlo checkpoint forking)
+# ------------------------------------------------------------------ #
+def turbo_fifo_replay(
+    low,
+    n_processors: int,
+    ready_at: float,
+    cleanup: bool,
+    tr_dur: list,
+    exec_dur: list,
+    sched: tuple,
+    verdicts: list | None = None,
+    max_retries: int = 0,
+    snap_every: int = 0,
+    snapshots: list | None = None,
+    resume: tuple | None = None,
+) -> tuple:
+    """Interpreted FIFO turbo loop with verdict arrays and fork support.
+
+    A faithful transcription of ``_run_turbo_core`` specialized to FIFO
+    ordering, with three additions that leave the no-extras path
+    byte-identical:
+
+    * ``verdicts`` (a plain list of bools indexed by completion-event
+      ordinal) replaces the ``fail(t, attempt)`` closure.  The abort
+      raise is the engine's verbatim message.
+    * with ``snap_every``/``snapshots``, the loop appends an immutable
+      state snapshot just before processing task completion number
+      ``j * snap_every`` (j = 0, 1, ...).  Snapshot 0 therefore covers
+      any fork, however early its first failure.
+    * with ``resume`` (one of those snapshots), the loop restores the
+      saved state instead of initializing, sets the verdict cursor to
+      the snapshot's completion count (every earlier verdict was False,
+      or the baseline that recorded it could not have matched), and
+      replays only the suffix.
+
+    Returns the legacy 11-tuple (SUMMARY_DTYPE order minus the abort
+    flag).  Snapshots record the FIFO queue normalized to a zero head
+    cursor — the compaction heuristic's internal layout is not
+    observable, so forks are still bit-identical.
+    """
+    n_tasks = low.n_tasks
+    task_ids = low.task_ids
+    runtimes = low.runtimes
+    sizes = low.sizes
+    task_outputs = low.task_outputs
+    consumers = low.consumers
+    output_fidx = low.output_fidx
+
+    if cleanup:
+        release_candidates, need = low.cleanup_tables()
+    else:
+        release_candidates = need = None
+
+    arr_t, arr_f, arr_rank = sched
+    n_arr = len(arr_t)
+
+    from heapq import heappop as pop, heappush as push
+
+    if resume is None:
+        now = 0.0
+        seq = 0
+        rseq = 0
+        ch: list = []
+        ready: list = []
+        ready_head = 0
+        qlen = 0
+        free = n_processors
+        booting = ready_at > 0.0
+        boot_scheduled = False
+        boot_pending = False
+        boot_seq = 0
+        n_done = 0
+        n_exec = 0
+        compute_seconds = 0.0
+        held_seconds = 0.0
+        bytes_out = 0.0
+        n_out = 0
+        souts_left = 0
+        s_t = 0.0
+        s_v = 0.0
+        s_acc = 0.0
+        s_peak = 0.0
+        k = 0
+        ncomp = 0
+        pending = list(low.n_inputs)
+        added: list[int] = []
+        release_need = list(need) if cleanup else None
+        removed = bytearray(low.n_files) if cleanup else None
+        base = 0  # assigned after the init section
+    else:
+        (
+            now, seq, rseq, free, booting, boot_scheduled, boot_pending,
+            boot_seq, n_done, n_exec, compute_seconds, held_seconds,
+            bytes_out, n_out, souts_left, s_t, s_v, s_acc, s_peak, k,
+            base, ncomp, ch_s, ready_s, pending_s, added_s,
+            release_need_s, removed_s,
+        ) = resume
+        ch = list(ch_s)
+        ready = list(ready_s)
+        ready_head = 0
+        qlen = len(ready)
+        pending = list(pending_s)
+        added = list(added_s)
+        release_need = list(release_need_s) if cleanup else None
+        removed = bytearray(removed_s) if cleanup else None
+    n_failures = 0
+    finished_at: float | None = None
+    attempts = [1] * n_tasks if verdicts is not None else None
+    vi = ncomp  # one verdict consumed per completion event processed
+
+    def dispatch() -> None:
+        nonlocal seq, free, booting, boot_scheduled, boot_pending
+        nonlocal boot_seq, ready_head, qlen, n_exec, compute_seconds
+        if booting:
+            if now < ready_at:
+                if not boot_scheduled and ready_head < qlen:
+                    boot_scheduled = True
+                    boot_pending = True
+                    boot_seq = seq
+                    seq += 1
+                return
+            booting = False
+        while free and ready_head < qlen:
+            t = ready[ready_head]
+            ready_head += 1
+            if ready_head > 64 and ready_head * 2 > qlen:
+                del ready[:ready_head]
+                qlen -= ready_head
+                ready_head = 0
+            free -= 1
+            n_exec += 1
+            compute_seconds += runtimes[t]
+            push(ch, (now + exec_dur[t], seq, t, now))
+            seq += 1
+
+    if resume is None:
+        # -- t = 0: no-input tasks ready, then the virtual stage-ins -- #
+        for t in low.no_input_tasks:
+            if free and ready_head == qlen and not booting:
+                free -= 1
+                n_exec += 1
+                compute_seconds += runtimes[t]
+                push(ch, (now + exec_dur[t], seq, t, now))
+                seq += 1
+            else:
+                ready.append(t)
+                qlen += 1
+                rseq += 1
+                if free:
+                    dispatch()
+        # Arrivals occupy the next n_arr sequence numbers in submission
+        # order; later events resume counting after them.
+        base = seq
+        seq = base + n_arr
+
+    INF = _INF
+    while True:
+        if k < n_arr:
+            at = arr_t[k]
+            aseq = base + arr_rank[k]
+        else:
+            at = INF
+            aseq = 0
+        if ch:
+            ce = ch[0]
+            ct = ce[0]
+            cseq = ce[1]
+        else:
+            ce = None
+            ct = INF
+            cseq = 0
+        if at < ct or (at == ct and aseq < cseq):
+            et, es, which = at, aseq, 0
+        else:
+            et, es, which = ct, cseq, 1
+        if boot_pending and (
+            ready_at < et or (ready_at == et and boot_seq < es)
+        ):
+            now = ready_at
+            boot_pending = False
+            dispatch()
+            continue
+        if et == INF:
+            break
+        if which == 0:
+            # stage-in arrival
+            now = at
+            f = arr_f[k]
+            k += 1
+            d = sizes[f]
+            added.append(f)
+            if d:
+                if now != s_t:
+                    s_acc += s_v * (now - s_t)
+                    if s_v > s_peak:
+                        s_peak = s_v
+                    s_t = now
+                s_v += d
+            for c in consumers[f]:
+                p = pending[c] - 1
+                pending[c] = p
+                if not p:
+                    if free and ready_head == qlen and not booting:
+                        free -= 1
+                        n_exec += 1
+                        compute_seconds += runtimes[c]
+                        push(ch, (now + exec_dur[c], seq, c, now))
+                        seq += 1
+                    else:
+                        ready.append(c)
+                        qlen += 1
+                        rseq += 1
+                        if free:
+                            dispatch()
+        else:
+            t = ce[2]
+            if (
+                snapshots is not None
+                and t >= 0
+                and ncomp == len(snapshots) * snap_every
+            ):
+                # State just before task completion #(ncomp + 1): forks
+                # whose first True verdict lands at completion ordinal
+                # >= ncomp restore from here.  Everything mutable is
+                # copied to immutable forms; the FIFO queue is stored
+                # head-normalized (layout-only difference).
+                snapshots.append((
+                    now, seq, rseq, free, booting, boot_scheduled,
+                    boot_pending, boot_seq, n_done, n_exec,
+                    compute_seconds, held_seconds, bytes_out, n_out,
+                    souts_left, s_t, s_v, s_acc, s_peak, k, base, ncomp,
+                    tuple(ch), tuple(ready[ready_head:]), tuple(pending),
+                    tuple(added),
+                    tuple(release_need) if cleanup else None,
+                    bytes(removed) if cleanup else None,
+                ))
+            pop(ch)
+            now = ct
+            if t < 0:
+                # stage-out completion for file -1 - t
+                f = -1 - t
+                if cleanup:
+                    removed[f] = 1
+                    d = sizes[f]
+                    if d:
+                        if now != s_t:
+                            s_acc += s_v * (now - s_t)
+                            if s_v > s_peak:
+                                s_peak = s_v
+                            s_t = now
+                        s_v -= d
+                souts_left -= 1
+                if not souts_left:
+                    # _finalize: remaining objects in insertion order.
+                    for g in added:
+                        if removed is not None and removed[g]:
+                            continue
+                        d = sizes[g]
+                        if d:
+                            if now != s_t:
+                                s_acc += s_v * (now - s_t)
+                                if s_v > s_peak:
+                                    s_peak = s_v
+                                s_t = now
+                            s_v -= d
+                    finished_at = now
+                    break
+                continue
+            # task completion
+            ncomp += 1
+            if verdicts is not None:
+                attempt = attempts[t]
+                failed = verdicts[vi]
+                vi += 1
+                if failed:
+                    if attempt > max_retries:
+                        raise WorkflowAbortedError(
+                            f"task {task_ids[t]!r} failed on attempt "
+                            f"{attempt} with no retries left"
+                        )
+                    # Retry on the same still-held processor, completion
+                    # re-pushed at exactly the engine's sequence point.
+                    n_failures += 1
+                    attempts[t] = attempt + 1
+                    n_exec += 1
+                    compute_seconds += runtimes[t]
+                    push(ch, (now + exec_dur[t], seq, t, ce[3]))
+                    seq += 1
+                    continue
+            n_done += 1
+            held_seconds += now - ce[3]
+            free += 1
+            for f in task_outputs[t]:
+                added.append(f)
+                d = sizes[f]
+                if d:
+                    if now != s_t:
+                        s_acc += s_v * (now - s_t)
+                        if s_v > s_peak:
+                            s_peak = s_v
+                        s_t = now
+                    s_v += d
+            if cleanup:
+                for f in release_candidates[t]:
+                    rn = release_need[f] - 1
+                    release_need[f] = rn
+                    if not rn:
+                        removed[f] = 1
+                        d = sizes[f]
+                        if d:
+                            if now != s_t:
+                                s_acc += s_v * (now - s_t)
+                                if s_v > s_peak:
+                                    s_peak = s_v
+                                s_t = now
+                            s_v -= d
+            for f in task_outputs[t]:
+                for c in consumers[f]:
+                    p = pending[c] - 1
+                    pending[c] = p
+                    if not p:
+                        if free and ready_head == qlen and not booting:
+                            free -= 1
+                            n_exec += 1
+                            compute_seconds += runtimes[c]
+                            push(ch, (now + exec_dur[c], seq, c, now))
+                            seq += 1
+                        else:
+                            ready.append(c)
+                            qlen += 1
+                            rseq += 1
+                            if free:
+                                dispatch()
+            if n_done == n_tasks:
+                if not output_fidx:
+                    # _finalize at the last completion time: the deltas
+                    # coalesce onto this breakpoint (peak-relevant).
+                    for g in added:
+                        if removed is not None and removed[g]:
+                            continue
+                        d = sizes[g]
+                        if d:
+                            if now != s_t:
+                                s_acc += s_v * (now - s_t)
+                                if s_v > s_peak:
+                                    s_peak = s_v
+                                s_t = now
+                            s_v -= d
+                    finished_at = now
+                    break
+                souts_left = len(output_fidx)
+                bytes_out = low.stage_out_bytes
+                n_out = len(output_fidx)
+                for f in output_fidx:
+                    push(ch, (now + tr_dur[f], seq, -1 - f, 0.0))
+                    seq += 1
+            if ready_head < qlen:
+                dispatch()
+
+    if finished_at is None:
+        raise RuntimeError(
+            "simulation deadlocked or unfinished: "
+            f"{n_tasks - n_done} tasks incomplete"
+        )
+
+    # Final segment of the integral; the value at the last breakpoint
+    # also competes for the peak (it may coalesce above earlier values).
+    s_acc += s_v * (finished_at - s_t)
+    if s_v > s_peak:
+        s_peak = s_v
+
+    return (
+        finished_at,
+        low.stage_in_bytes,
+        bytes_out,
+        s_acc,
+        s_peak,
+        held_seconds,
+        compute_seconds,
+        n_arr,
+        n_out,
+        n_exec,
+        n_failures,
+    )

@@ -1,0 +1,348 @@
+"""The SoA numeric replay core: backend resolution, parity, forking.
+
+Three groups of guarantees:
+
+1. **Backend plumbing** — ``REPRO_SIM_JIT`` resolution (auto/on/off and
+   rejection of anything else), clean fallback when ``import numba``
+   raises (monkeypatched — the real module is absent in CI's default
+   leg anyway), a warning-free ``off`` path that never imports numba,
+   and exactly one ``RuntimeWarning`` for an honored-but-interpreted
+   ``on``.
+2. **Loop parity** — :func:`repro.sim.kernel_core.turbo_fifo_replay`
+   and :func:`repro.sim.kernel_core.turbo_soa` must equal the legacy
+   ``_run_turbo_core`` tuple-for-tuple (floats bit-exact) on generated
+   DAGs, with and without failure verdicts, abort messages included;
+   checkpoint forks must equal from-scratch replays; and the whole
+   Monte Carlo grid must be invariant to ``REPRO_SIM_JIT``.
+3. **Draw-stream pinning** — ``_SeedDraws`` must materialize exactly
+   ``default_rng(seed).random(n)`` whatever growth pattern produced the
+   buffer, so the vectorized pre-draw stays bit-identical to the
+   engine's mid-flight draws.
+"""
+
+import builtins
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import kernel_core
+from repro.sim.datamanager import DataMode
+from repro.sim.executor import ExecutionEnvironment
+from repro.sim.failures import FailureModel, WorkflowAbortedError
+from repro.sim.kernel import (
+    KernelConfig,
+    _failure_hook,
+    _lowering,
+    _run_turbo_core,
+    _SeedDraws,
+    _verdict_fixpoint,
+    run_monte_carlo,
+)
+from repro.sim.scheduler import FIFO_ORDER
+
+from tests.strategies import workflows
+
+
+@pytest.fixture(autouse=True)
+def _fresh_backend(monkeypatch):
+    """Isolate backend resolution from the ambient environment."""
+    monkeypatch.delenv(kernel_core.JIT_ENV, raising=False)
+    kernel_core._invalidate_backend()
+    yield
+    kernel_core._invalidate_backend()
+
+
+# ------------------------------------------------------------------ #
+# backend resolution
+# ------------------------------------------------------------------ #
+def test_resolve_jit_defaults_and_env(monkeypatch):
+    assert kernel_core.resolve_jit() == "auto"
+    assert kernel_core.resolve_jit("off") == "off"
+    monkeypatch.setenv(kernel_core.JIT_ENV, "ON")
+    assert kernel_core.resolve_jit() == "on"
+    monkeypatch.setenv(kernel_core.JIT_ENV, "")
+    assert kernel_core.resolve_jit() == "auto"
+
+
+def test_resolve_jit_rejects_unknown(monkeypatch):
+    monkeypatch.setenv(kernel_core.JIT_ENV, "fast")
+    with pytest.raises(ValueError, match="unknown JIT mode"):
+        kernel_core.resolve_jit()
+    with pytest.raises(ValueError, match="unknown JIT mode"):
+        kernel_core.resolve_jit("numba")
+
+
+def _break_numba(monkeypatch):
+    real_import = builtins.__import__
+
+    def broken(name, *args, **kwargs):
+        if name == "numba" or name.startswith("numba."):
+            raise ImportError("numba deliberately broken for this test")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "__import__", broken)
+
+
+def test_auto_without_numba_falls_back_silently(monkeypatch):
+    _break_numba(monkeypatch)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        backend = kernel_core.jit_backend()
+    assert backend["mode"] == "auto"
+    assert backend["use_core"] is False
+    assert backend["compiled"] is False
+    assert "numba unavailable" in backend["reason"]
+    assert kernel_core.jit_enabled() is False
+
+
+def test_on_without_numba_warns_once_and_interprets(monkeypatch):
+    _break_numba(monkeypatch)
+    monkeypatch.setenv(kernel_core.JIT_ENV, "on")
+    with pytest.warns(RuntimeWarning, match="numba is not importable"):
+        backend = kernel_core.jit_backend()
+    assert backend["use_core"] is True
+    assert backend["compiled"] is False
+    # Memoized: the warning fires once, not per run.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert kernel_core.jit_enabled() is True
+
+
+def test_off_is_warning_free_and_never_imports_numba(monkeypatch):
+    real_import = builtins.__import__
+    imported = []
+
+    def spying(name, *args, **kwargs):
+        if name == "numba" or name.startswith("numba."):
+            imported.append(name)
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "__import__", spying)
+    monkeypatch.setenv(kernel_core.JIT_ENV, "off")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        backend = kernel_core.jit_backend()
+        assert kernel_core.jit_enabled() is False
+    assert backend["use_core"] is False
+    assert imported == []
+
+
+# ------------------------------------------------------------------ #
+# draw-stream pinning (_SeedDraws)
+# ------------------------------------------------------------------ #
+def test_seed_draws_sequence():
+    """arr[:n] must equal default_rng(seed).random(n) for every growth
+    path — the regression test pinning the Monte Carlo draw stream."""
+    for seed in (0, 7, 123):
+        stream = _SeedDraws(seed, n0=64, chunk=64)
+        stream.extend()
+        stream.ensure(1000)
+        stream.extend()
+        ref = np.random.default_rng(seed).random(stream.n)
+        assert stream.arr.shape == ref.shape
+        assert np.array_equal(stream.arr, ref)
+
+
+def test_seed_draws_arr_is_view_not_copy():
+    stream = _SeedDraws(3, n0=64, chunk=64)
+    assert stream.arr.base is stream.buf
+
+
+def test_seed_draws_flags_cached_and_invalidated():
+    stream = _SeedDraws(1, n0=64, chunk=64)
+    f1 = stream.flags(0.25)
+    assert stream.flags(0.25) is f1
+    ref = np.less(stream.arr, 0.25)
+    assert np.array_equal(f1, ref)
+    stream.extend()
+    f2 = stream.flags(0.25)
+    assert f2 is not f1
+    assert f2.shape[0] == stream.n
+    assert np.array_equal(f2[:64], f1)
+
+
+def test_verdict_fixpoint_is_least_fixpoint():
+    for seed in range(10):
+        stream = _SeedDraws(seed, n0=64, chunk=64)
+        n_tasks = 20
+        flags, L, nf = _verdict_fixpoint(stream, 0.3, n_tasks)
+        assert L == n_tasks + int(np.count_nonzero(flags[:L]))
+        assert nf == int(np.count_nonzero(flags[:L]))
+        for smaller in range(n_tasks, L):
+            assert smaller != n_tasks + int(
+                np.count_nonzero(flags[:smaller])
+            )
+
+
+# ------------------------------------------------------------------ #
+# loop parity: interpreted replay / SoA core vs legacy turbo loop
+# ------------------------------------------------------------------ #
+def _legacy_and_core(wf, n_proc, mode, boot, seed, probability):
+    """Run one cell through the legacy loop, the resumable replay, the
+    SoA core, and (when failing) a checkpoint fork; return all outcomes
+    as (tuple | None, abort_message | None) pairs."""
+    env = ExecutionEnvironment(
+        n_processors=n_proc, record_trace=False,
+        compute_ready_seconds=boot,
+    )
+    low = _lowering(wf)
+    tr_dur = low.transfer_durations(env.bandwidth_bytes_per_sec)
+    exec_dur = low.exec_durations(env.task_overhead_seconds)
+    sched = low.arrival_schedule(env.bandwidth_bytes_per_sec)
+    cleanup = mode is DataMode.CLEANUP
+    max_retries = 2
+
+    def run(fn):
+        try:
+            return fn(), None
+        except WorkflowAbortedError as exc:
+            return None, str(exc)
+
+    if probability > 0.0:
+        fm = FailureModel(probability, seed=seed, max_retries=max_retries)
+        fail = _failure_hook(low, fm)
+        stream = _SeedDraws(seed, n0=64, chunk=64)
+        flags, L, nf = _verdict_fixpoint(stream, probability, low.n_tasks)
+        verdicts = flags[:L]
+    else:
+        fail = None
+        verdicts = None
+        nf = 0
+
+    legacy = run(lambda: _run_turbo_core(
+        wf, low, env, mode, FIFO_ORDER, tr_dur, exec_dur, fail
+    ))
+    replay = run(lambda: kernel_core.turbo_fifo_replay(
+        low, env.n_processors, env.compute_ready_seconds, cleanup,
+        tr_dur, exec_dur, sched, verdicts=verdicts,
+        max_retries=max_retries,
+    ))
+    soa = run(lambda: kernel_core.turbo_soa(
+        low, env, cleanup, verdicts=verdicts, max_retries=max_retries
+    ))
+    outcomes = [legacy, replay, soa]
+
+    if nf:
+        snaps: list = []
+        kernel_core.turbo_fifo_replay(
+            low, env.n_processors, env.compute_ready_seconds, cleanup,
+            tr_dur, exec_dur, sched,
+            snap_every=kernel_core.SNAP_EVERY, snapshots=snaps,
+        )
+        first = int(np.argmax(verdicts))
+        j = min(first // kernel_core.SNAP_EVERY, len(snaps) - 1)
+        fork = run(lambda: kernel_core.turbo_fifo_replay(
+            low, env.n_processors, env.compute_ready_seconds, cleanup,
+            tr_dur, exec_dur, sched, verdicts=flags,
+            max_retries=max_retries, resume=snaps[j],
+        ))
+        outcomes.append(fork)
+    return outcomes
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    wf=workflows(),
+    p=st.integers(1, 6),
+    mode=st.sampled_from((DataMode.REGULAR, DataMode.CLEANUP)),
+    boot=st.sampled_from([0.0, 10.0]),
+)
+def test_core_loops_identical_no_failures(wf, p, mode, boot):
+    outcomes = _legacy_and_core(wf, p, mode, boot, seed=0, probability=0.0)
+    ref = outcomes[0]
+    assert ref[1] is None
+    for other in outcomes[1:]:
+        assert other == ref
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    wf=workflows(),
+    p=st.integers(1, 6),
+    mode=st.sampled_from((DataMode.REGULAR, DataMode.CLEANUP)),
+    seed=st.integers(0, 50),
+    probability=st.sampled_from([0.05, 0.2, 0.45]),
+)
+def test_core_loops_identical_under_failures(wf, p, mode, seed, probability):
+    outcomes = _legacy_and_core(
+        wf, p, mode, 0.0, seed=seed, probability=probability
+    )
+    ref = outcomes[0]
+    for other in outcomes[1:]:
+        assert other == ref
+
+
+def test_fork_matches_scratch_on_montage_plate():
+    """Every failing seed of a real plate forks bit-identically."""
+    from repro.montage.generator import montage_workflow
+
+    wf = montage_workflow(1.0)
+    checked = 0
+    for seed in range(25):
+        outcomes = _legacy_and_core(
+            wf, 8, DataMode.REGULAR, 0.0, seed=seed, probability=0.02
+        )
+        ref = outcomes[0]
+        for other in outcomes[1:]:
+            assert other == ref
+        checked += len(outcomes) - 1
+    assert checked >= 25
+
+
+# ------------------------------------------------------------------ #
+# Monte Carlo invariance to the backend
+# ------------------------------------------------------------------ #
+def _mc_cells(wf, jit, monkeypatch):
+    monkeypatch.setenv(kernel_core.JIT_ENV, jit)
+    kernel_core._invalidate_backend()
+    env = ExecutionEnvironment(n_processors=4, record_trace=False)
+    cfg = KernelConfig(environment=env)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        return run_monte_carlo(
+            wf, cfg, (0.0, 0.05, 0.3), range(12), max_retries=1
+        )
+
+
+def test_monte_carlo_invariant_to_backend(monkeypatch):
+    from repro.montage.generator import montage_workflow
+
+    wf = montage_workflow(0.5)
+    off = _mc_cells(wf, "off", monkeypatch)
+    on = _mc_cells(wf, "on", monkeypatch)
+    assert len(off) == len(on)
+    saw_abort = saw_failure = False
+    for a, b in zip(off, on):
+        assert (a.probability, a.seed) == (b.probability, b.seed)
+        assert a.aborted == b.aborted
+        assert a.abort_message == b.abort_message
+        assert a.result == b.result
+        saw_abort = saw_abort or a.aborted
+        if a.result is not None:
+            saw_failure = saw_failure or a.result.n_task_failures > 0
+    assert saw_failure  # the grid exercised the verdict path
+
+
+def test_monte_carlo_abort_message_verbatim():
+    """Grid aborts carry the engine's exact message under the core."""
+    from repro.montage.generator import montage_workflow
+
+    wf = montage_workflow(0.5)
+    env = ExecutionEnvironment(n_processors=4, record_trace=False)
+    cfg = KernelConfig(environment=env)
+    cells = run_monte_carlo(
+        wf, cfg, (0.45,), range(30), max_retries=0
+    )
+    aborted = [c for c in cells if c.aborted]
+    assert aborted
+    for cell in aborted:
+        fm = FailureModel(0.45, seed=cell.seed, max_retries=0)
+        from repro.sim import simulate
+
+        with pytest.raises(WorkflowAbortedError) as err:
+            simulate(
+                wf, 4, record_trace=False, failures=fm, kernel="event"
+            )
+        assert cell.abort_message == str(err.value)

@@ -405,3 +405,102 @@ def test_capacity_kernel_records_satisfy_audit_oracle(wf, p, mode):
         # the engine is covered by the differential property above).
         assume(False)
     assert result.n_task_executions == len(wf.tasks)
+
+
+# ------------------------------------------------------------------ #
+# backend parameterization: the same differential properties under the
+# SoA core (REPRO_SIM_JIT=on routes eligible FIFO turbo replays through
+# repro.sim.kernel_core; off pins the legacy loops) — the kernel must
+# equal the event engine under either backend.
+# ------------------------------------------------------------------ #
+import contextlib
+import os
+import warnings as _warnings
+
+from repro.sim import kernel_core
+
+
+@contextlib.contextmanager
+def _jit_pinned(mode):
+    prev = os.environ.get(kernel_core.JIT_ENV)
+    os.environ[kernel_core.JIT_ENV] = mode
+    kernel_core._invalidate_backend()
+    try:
+        with _warnings.catch_warnings():
+            # "on" without numba warns once that the SoA core runs
+            # interpreted — expected in the no-numba CI leg.
+            _warnings.simplefilter("ignore", RuntimeWarning)
+            yield
+    finally:
+        if prev is None:
+            os.environ.pop(kernel_core.JIT_ENV, None)
+        else:
+            os.environ[kernel_core.JIT_ENV] = prev
+        kernel_core._invalidate_backend()
+
+
+@pytest.mark.parametrize("jit", ["on", "off"])
+@settings(max_examples=50, deadline=None)
+@given(
+    wf=workflows(),
+    p=st.integers(1, 8),
+    mode=st.sampled_from(DATA_MODES),
+)
+def test_kernel_identical_under_jit_backends(jit, wf, p, mode):
+    with _jit_pinned(jit):
+        a, b = both(wf, n_processors=p, data_mode=mode, record_trace=False)
+    assert a == b
+
+
+@pytest.mark.parametrize("jit", ["on", "off"])
+@settings(max_examples=40, deadline=None)
+@given(
+    wf=workflows(max_tasks=10),
+    p=st.integers(1, 4),
+    spec=failure_specs(),
+)
+def test_kernel_failures_identical_under_jit_backends(jit, wf, p, spec):
+    with _jit_pinned(jit):
+        (ra, ma), (rb, mb) = both_or_abort(
+            wf, spec, n_processors=p, record_trace=False
+        )
+    assert ma == mb
+    assert ra == rb
+
+
+@pytest.mark.parametrize("jit", ["on", "off"])
+@settings(max_examples=20, deadline=None)
+@given(
+    wf=workflows(max_tasks=10),
+    probs=st.lists(
+        st.floats(0.0, 0.4, allow_nan=False), min_size=1, max_size=3
+    ),
+    n_seeds=st.integers(1, 4),
+)
+def test_monte_carlo_identical_under_jit_backends(jit, wf, probs, n_seeds):
+    from repro.sim import ExecutionEnvironment, KernelConfig
+    from repro.sim.failures import FailureModel
+    from repro.sim.kernel import run_monte_carlo
+
+    env = ExecutionEnvironment(n_processors=2, record_trace=False)
+    cfg = KernelConfig(environment=env)
+    with _jit_pinned(jit):
+        cells = run_monte_carlo(
+            wf, cfg, probs, range(n_seeds), max_retries=1
+        )
+    for cell in cells:
+        failures = (
+            FailureModel(cell.probability, seed=cell.seed, max_retries=1)
+            if cell.probability > 0.0 else None
+        )
+        try:
+            ref = simulate(
+                wf, 2, record_trace=False, failures=failures,
+                kernel="event",
+            )
+        except WorkflowAbortedError as err:
+            assert cell.aborted
+            assert cell.abort_message == str(err)
+        else:
+            assert not cell.aborted
+            assert cell.result == ref
