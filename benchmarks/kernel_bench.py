@@ -32,6 +32,13 @@ script:
    ``speedup_vs_event`` is gated at >= 3x by ``perf_guard.py``.
 5. **Full report** — cold ``run_all(fast=True)`` wall clock with the
    kernel in its default ``auto`` mode vs. pinned to the event engine.
+6. **SoA core ladders** — the ``jit``, ``contention`` and ``capacity``
+   sections compare the legacy interpreted replay loops against the
+   compiled SoA core (turbo, contended-link, finite-capacity).  Parity
+   against the event engine is asserted under every backend; timing and
+   the committed ``speedup`` (gated >= 2x by ``perf_guard.py``) only
+   happen when numba is importable (``kernel_bench.py jit``, CI's
+   optional numba leg, refreshes just these sections).
 
 Invoked as ``kernel_bench.py grid``, it instead runs the **campaign
 grid** benchmark and writes ``BENCH_campaign.json``: a >=100k-cell
@@ -394,10 +401,9 @@ def jit_section(repeats: int) -> dict:
     (``REPRO_SIM_JIT=off``, the legacy tuple-heap loop) and compiled
     (``REPRO_SIM_JIT=on``, the SoA core under ``@njit``) on the same
     Montage-4° configuration as the ``per_run`` section, results
-    asserted bit-identical first.  The single and capacity loops stay
-    interpreted under every backend (documented, not timed): turbo
-    covers the batch/grid/Monte Carlo/service hot paths that motivated
-    the core.
+    asserted bit-identical first.  The contended-link and
+    finite-capacity loops ride the same core and are timed by the
+    top-level ``contention`` / ``capacity`` sections.
     """
     from repro.montage.generator import montage_workflow
     from repro.sim import kernel_core
@@ -452,19 +458,133 @@ def jit_section(repeats: int) -> dict:
         "loops": {
             "turbo": turbo,
             "single": {
-                "backend": "interpreted",
-                "note": "traced/contended replay stays on the legacy "
-                        "loop under every backend",
+                "backend": "soa-core",
+                "note": "contended/traced replay rides the SoA core; "
+                        "timed by the top-level 'contention' section",
             },
             "capacity": {
-                "backend": "interpreted",
-                "note": "finite-capacity replay stays on the legacy "
-                        "loop under every backend",
+                "backend": "soa-core",
+                "note": "finite-capacity replay rides the SoA core; "
+                        "timed by the top-level 'capacity' section",
             },
         },
         "max_loop_speedup": turbo["speedup"],
     })
     return section
+
+
+def _core_loop_section(repeats: int, config_note: str, **sim_kwargs) -> dict:
+    """Legacy interpreted loop vs the SoA core on one configuration.
+
+    The legacy loops (``REPRO_SIM_JIT=off``) are the differential
+    oracles PR 10 kept behind the ``REPRO_SIM_CORE=off`` escape hatch;
+    the core run pins ``REPRO_SIM_JIT=on``.  Parity against the legacy
+    loop *and* the event engine is asserted under every backend — even
+    without numba, when the core runs interpreted — but timing and the
+    committed ``speedup`` only happen when numba compiled the core
+    (``available: true``); otherwise ``perf_guard.py`` reports the
+    backend unavailable and skips the speedup gate.
+    """
+    import warnings
+
+    from repro.montage.generator import montage_workflow
+    from repro.sim import kernel_core, simulate
+
+    requested = kernel_core.resolve_jit()
+    backend = _with_jit(
+        "auto" if requested == "off" else requested,
+        kernel_core.jit_backend,
+    )
+    section: dict = {
+        "requested": requested,
+        "available": backend["compiled"],
+        "numba_version": backend["numba_version"],
+    }
+
+    wf = montage_workflow(4.0)
+
+    def run():
+        return simulate(wf, 128, kernel="fast", **sim_kwargs)
+
+    with warnings.catch_warnings():
+        # REPRO_SIM_JIT=on without numba warns that the core runs
+        # interpreted — expected on the parity-only path.
+        warnings.simplefilter("ignore", RuntimeWarning)
+        legacy_result = _with_jit("off", run)
+        core_result = _with_jit("on", run)
+        event_result = simulate(wf, 128, kernel="event", **sim_kwargs)
+        identical = legacy_result == core_result == event_result
+        if not identical:
+            raise SystemExit(
+                f"SoA core diverged from the legacy loop ({config_note})"
+            )
+        section["results_identical"] = identical
+        if not backend["compiled"]:
+            section["reason"] = backend["reason"]
+            return section
+
+        interp_s, _ = _with_jit("off", lambda: _best(run, repeats))
+        core_s, _ = _with_jit("on", lambda: _best(run, repeats))
+    section.update({
+        "workflow": "montage-4deg (3027 tasks)",
+        "config": config_note,
+        "repeats": repeats,
+        "interpreted_best_seconds": interp_s,
+        "core_best_seconds": core_s,
+        "speedup": interp_s / core_s,
+    })
+    return section
+
+
+def contention_section(repeats: int) -> dict:
+    """Contended per-lane FIFO link replay, legacy loop vs SoA core."""
+    return _core_loop_section(
+        repeats,
+        "cleanup, 128 processors, contended separate links, traces off",
+        data_mode="cleanup",
+        link_contention=True,
+        separate_links=True,
+        record_trace=False,
+    )
+
+
+def capacity_section(repeats: int) -> dict:
+    """Finite-capacity replay (reservation mirror), legacy vs SoA core."""
+    from repro.montage.generator import montage_workflow
+    from repro.sim import simulate
+
+    # A capacity tight enough to exercise the reservation/admission
+    # machinery but comfortably feasible: 1.5x the uncapped cleanup
+    # peak of the same plate.
+    wf = montage_workflow(4.0)
+    base = simulate(
+        wf, 128, data_mode="cleanup", record_trace=False, kernel="event"
+    )
+    capacity = base.peak_storage_bytes * 1.5
+    return _core_loop_section(
+        repeats,
+        "cleanup, 128 processors, capacity = 1.5x uncapped peak, "
+        "traces off",
+        data_mode="cleanup",
+        storage_capacity_bytes=capacity,
+        record_trace=False,
+    )
+
+
+def _print_core_loop(sec: dict) -> None:
+    if not sec["available"]:
+        print(
+            f"  parity holds interpreted"
+            f" (identical={sec['results_identical']});"
+            f" backend unavailable — timing skipped ({sec.get('reason')})"
+        )
+        return
+    print(
+        f"  legacy {sec['interpreted_best_seconds'] * 1e3:.1f} ms"
+        f" -> core {sec['core_best_seconds'] * 1e3:.2f} ms"
+        f"  speedup {sec['speedup']:.2f}x"
+        f"  (identical={sec['results_identical']})"
+    )
 
 
 def _campaign_plan(n_plates: int, n_seeds: int):
@@ -804,10 +924,18 @@ def main(argv: list[str] | None = None) -> int:
         print("== SoA backend: interpreted vs numba-compiled turbo ==")
         jit = jit_section(args.repeats)
         _print_jit(jit)
+        print("== contended-link replay: legacy loop vs SoA core ==")
+        contention = contention_section(args.repeats)
+        _print_core_loop(contention)
+        print("== finite-capacity replay: legacy loop vs SoA core ==")
+        capacity = capacity_section(args.repeats)
+        _print_core_loop(capacity)
         merged: dict = {}
         if OUTPUT.is_file():
             merged = json.loads(OUTPUT.read_text(encoding="utf-8"))
         merged["jit"] = jit
+        merged["contention"] = contention
+        merged["capacity"] = capacity
         OUTPUT.write_text(
             json.dumps(merged, indent=2) + "\n", encoding="utf-8"
         )
@@ -882,6 +1010,14 @@ def main(argv: list[str] | None = None) -> int:
     print("== SoA backend: interpreted vs numba-compiled turbo ==")
     report["jit"] = jit_section(args.repeats)
     _print_jit(report["jit"])
+
+    print("== contended-link replay: legacy loop vs SoA core ==")
+    report["contention"] = contention_section(args.repeats)
+    _print_core_loop(report["contention"])
+
+    print("== finite-capacity replay: legacy loop vs SoA core ==")
+    report["capacity"] = capacity_section(args.repeats)
+    _print_core_loop(report["capacity"])
 
     if not args.skip_report:
         print("== full report (cold, fast=True) ==")

@@ -23,7 +23,12 @@ numbers in ``BENCH_kernel.json`` are gated too: ``batch.q1_sweep`` must
 report ``results_identical`` and a ``speedup_vs_per_run_fast`` of at
 least 1.5x, and ``montecarlo`` must report ``results_identical`` and a
 ``speedup_vs_event`` of at least 3x (both floors relaxed by the same
-tolerance).  The campaign numbers in ``BENCH_campaign.json`` are gated
+tolerance).  The SoA-core ``contention`` and ``capacity`` sections are
+required: parity (``results_identical``) is absolute, the >= 2x
+compiled-vs-legacy speedup applies when numba recorded a compiled run,
+and a *missing* required section fails with a clear message naming the
+section and how to regenerate it (never a bare ``KeyError``).  The
+campaign numbers in ``BENCH_campaign.json`` are gated
 as well: at least 100k cells, ``results_identical``, a
 ``speedup_vs_per_cell_fast`` of at least 5x, a cells/second floor, and
 sublinear RSS growth with a per-cell marginal-memory ceiling.  The
@@ -123,6 +128,40 @@ SERVICE_MIN_REQUESTS = 900_000
 #: never silently — when numba is absent.
 JIT_SPEEDUP_FLOOR = 2.0
 
+#: Floor on the compiled-core-vs-legacy-loop speedup for the
+#: ``contention`` and ``capacity`` sections (the contended-link and
+#: finite-capacity replay ladders), tolerance-relaxed.  The sections
+#: themselves are *required* — ``kernel_bench.py`` writes them under
+#: every backend, recording parity even when numba is absent — so a
+#: missing section fails the gate with a clear message; only the
+#: speedup is skipped (with an explicit "backend unavailable" line)
+#: when the section records ``available: false``.
+CORE_SPEEDUP_FLOOR = 2.0
+
+
+def _require_section(
+    data: dict, dotted: str, artifact: str, hint: str
+) -> tuple[dict | None, str | None]:
+    """Resolve a dotted section path in a bench artifact.
+
+    Returns ``(section, None)`` when present, ``(None, failure_line)``
+    when any component is missing — the gate then fails with that clear
+    line instead of a bare ``KeyError`` from deep inside a check.
+    """
+    node: object = data
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None, (
+                f"  {artifact}: required section {dotted!r} is missing "
+                f"({hint})"
+            )
+        node = node[part]
+    if not isinstance(node, dict):
+        return None, (
+            f"  {artifact}: section {dotted!r} is not an object ({hint})"
+        )
+    return node, None
+
 
 def resolve_tolerance() -> float:
     env = os.environ.get(TOLERANCE_ENV)
@@ -189,12 +228,12 @@ def check_kernel_batch(tolerance: float) -> list[str]:
         data = json.loads(KERNEL_BENCH.read_text())
     except (OSError, ValueError):
         return [f"  {KERNEL_BENCH.name}: unreadable"]
-    q1 = data.get("batch", {}).get("q1_sweep")
-    if q1 is None:
-        return [
-            f"  {KERNEL_BENCH.name}: no batch.q1_sweep section "
-            "(re-run benchmarks/kernel_bench.py)"
-        ]
+    q1, err = _require_section(
+        data, "batch.q1_sweep", KERNEL_BENCH.name,
+        "re-run benchmarks/kernel_bench.py",
+    )
+    if err:
+        return [err]
     failures = []
     if not q1.get("results_identical"):
         failures.append(
@@ -209,12 +248,12 @@ def check_kernel_batch(tolerance: float) -> list[str]:
             f"the {BATCH_SPEEDUP_FLOOR}x floor "
             f"(tolerance-adjusted: {floor:.2f}x)"
         )
-    mc = data.get("montecarlo")
-    if mc is None:
-        failures.append(
-            f"  {KERNEL_BENCH.name}: no montecarlo section "
-            "(re-run benchmarks/kernel_bench.py)"
-        )
+    mc, err = _require_section(
+        data, "montecarlo", KERNEL_BENCH.name,
+        "re-run benchmarks/kernel_bench.py",
+    )
+    if err:
+        failures.append(err)
         return failures
     if not mc.get("results_identical"):
         failures.append(
@@ -290,6 +329,67 @@ def check_jit(tolerance: float) -> tuple[list[str], list[str]]:
          "results identical)"],
         [],
     )
+
+
+def check_core_loops(tolerance: float) -> tuple[list[str], list[str]]:
+    """Gate the SoA-core ``contention``/``capacity`` replay sections.
+
+    Returns ``(info_lines, failure_lines)``.  Unlike the optional
+    ``jit`` section these are required: ``kernel_bench.py`` writes them
+    under every backend (asserting legacy-vs-core-vs-event parity even
+    when the core runs interpreted), so a missing section or a false
+    ``results_identical`` fails with a clear message.  The >= 2x
+    speedup floor only applies when the section records a compiled run
+    (``available: true``); otherwise the speedup is reported as skipped.
+    """
+    if not KERNEL_BENCH.exists():
+        return (
+            [],
+            [f"  {KERNEL_BENCH.name}: missing "
+             "(run benchmarks/kernel_bench.py)"],
+        )
+    try:
+        data = json.loads(KERNEL_BENCH.read_text())
+    except (OSError, ValueError):
+        return ([], [f"  {KERNEL_BENCH.name}: unreadable"])
+    info: list[str] = []
+    failures: list[str] = []
+    for name in ("contention", "capacity"):
+        section, err = _require_section(
+            data, name, KERNEL_BENCH.name,
+            "re-run benchmarks/kernel_bench.py (or 'kernel_bench.py "
+            "jit' in the numba leg)",
+        )
+        if err:
+            failures.append(err)
+            continue
+        if not section.get("results_identical"):
+            failures.append(
+                f"  {name}.results_identical is not true — the SoA core "
+                f"no longer reproduces the legacy {name} loop / event "
+                "engine"
+            )
+        if not section.get("available"):
+            reason = section.get("reason") or "numba not importable"
+            info.append(
+                f"  {name}: backend unavailable — speedup skipped "
+                f"({reason}); parity recorded interpreted"
+            )
+            continue
+        floor = CORE_SPEEDUP_FLOOR / (1.0 + tolerance)
+        speedup = section.get("speedup") or 0.0
+        if speedup < floor:
+            failures.append(
+                f"  {name}.speedup {speedup:.2f}x below the "
+                f"{CORE_SPEEDUP_FLOOR}x floor "
+                f"(tolerance-adjusted: {floor:.2f}x)"
+            )
+        else:
+            info.append(
+                f"  {name} ok (core speedup {speedup:.2f}x >= "
+                f"{CORE_SPEEDUP_FLOOR}x, results identical)"
+            )
+    return (info, failures)
 
 
 def check_campaign(tolerance: float) -> list[str]:
@@ -602,6 +702,15 @@ def main(argv: list[str] | None = None) -> int:
         for line in jit_failures:
             print(line)
         regressions.extend(jit_failures)
+
+    print("== SoA-core replay gate (contention/capacity sections) ==")
+    core_info, core_failures = check_core_loops(resolve_tolerance())
+    for line in core_info:
+        print(line)
+    if core_failures:
+        for line in core_failures:
+            print(line)
+        regressions.extend(core_failures)
 
     print("== campaign-grid gate (BENCH_campaign.json) ==")
     campaign_failures = check_campaign(resolve_tolerance())

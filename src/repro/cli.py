@@ -147,10 +147,81 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _compare_bench(old_path: str, new_path: str) -> int:
+    """Print per-section metric deltas between two BENCH artifacts.
+
+    Every ``*_seconds`` timing is reported as OLD/NEW (>1x = the new
+    run is faster) and every ``speedup``/``*_per_second`` metric as
+    NEW/OLD (>1x = the new run improved), section by section, so a CI
+    summary can show at a glance what a change did to the committed
+    benchmarks.  Sections present on only one side are noted, never an
+    error — artifacts from different benchmark generations stay
+    comparable.
+    """
+    import json
+    from pathlib import Path
+
+    try:
+        old = json.loads(Path(old_path).read_text(encoding="utf-8"))
+        new = json.loads(Path(new_path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as err:
+        print(f"cannot compare bench artifacts: {err}")
+        return 1
+
+    def leaves(node: dict, prefix: str = ""):
+        for key in sorted(node):
+            value = node[key]
+            dotted = f"{prefix}{key}"
+            if isinstance(value, dict):
+                yield from leaves(value, dotted + ".")
+            elif isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            ):
+                yield dotted, float(value)
+
+    rows = []
+    shared = [
+        key for key in new
+        if key != "machine"
+        and isinstance(new.get(key), dict)
+        and isinstance(old.get(key), dict)
+    ]
+    for section in shared:
+        old_leaves = dict(leaves(old[section]))
+        for dotted, new_value in leaves(new[section]):
+            old_value = old_leaves.get(dotted)
+            if old_value is None or old_value <= 0 or new_value <= 0:
+                continue
+            metric = dotted.rsplit(".", 1)[-1]
+            if metric.endswith("seconds"):
+                ratio = old_value / new_value
+                note = "faster" if ratio >= 1.0 else "slower"
+            elif "speedup" in metric or metric.endswith("per_second"):
+                ratio = new_value / old_value
+                note = "up" if ratio >= 1.0 else "down"
+            else:
+                continue
+            rows.append((
+                f"{section}.{dotted}",
+                f"{old_value:,.4g}",
+                f"{new_value:,.4g}",
+                f"{ratio:.2f}x {note}",
+            ))
+    print(format_table(("section.metric", "old", "new", "delta"), rows))
+    for key in sorted(set(old) - set(new) - {"machine"}):
+        print(f"note: section {key!r} present only in OLD")
+    for key in sorted(set(new) - set(old) - {"machine"}):
+        print(f"note: section {key!r} present only in NEW")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Time the kernel hot path; optionally dump a cProfile summary."""
     import time
     from pathlib import Path
+
+    if getattr(args, "compare", None):
+        return _compare_bench(*args.compare)
 
     _apply_jit_flag(args)
     from repro.sim import kernel_core
@@ -966,6 +1037,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--output", type=str, default=None,
         help="profile destination (default benchmarks/PROFILE_kernel.txt)",
+    )
+    p.add_argument(
+        "--compare", nargs=2, metavar=("OLD.json", "NEW.json"),
+        default=None,
+        help="print per-section speedup deltas between two BENCH "
+             "artifacts instead of timing the hot path",
     )
     p.set_defaults(handler=_cmd_bench)
 

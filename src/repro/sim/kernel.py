@@ -623,6 +623,129 @@ def _replay(deltas: list) -> StepCurve:
     return StepCurve.from_changes(times, values)
 
 
+def _walk_core_log(low: _Lowering, log: tuple):
+    """Decode a core columnar event log back into the legacy lists.
+
+    One linear walk over the ``(kind, time, a, b, x)`` buffers rebuilds
+    ``task_records``, ``transfer_records``, ``storage_deltas`` and
+    ``busy_deltas`` in the exact order the legacy loop appended them —
+    the same rows, same coalescing order, same Python float/int values.
+    """
+    lk, lt, la, lb, lx, n = log
+    task_ids = low.task_ids
+    fnames = low.fnames
+    transformations = low.transformations
+    sizes = low.sizes
+    task_records: list[TaskRecord] = []
+    transfer_records: list[TransferRecord] = []
+    storage_deltas: list = []
+    busy_deltas: list = []
+    for i in range(n):
+        k = lk[i]
+        if k == kernel_core.EV_STORE:
+            storage_deltas.append((float(lt[i]), float(lx[i])))
+        elif k == kernel_core.EV_TASK:
+            t = int(la[i])
+            task_records.append(
+                TaskRecord(
+                    task_ids[t], transformations[t], float(lx[i]),
+                    float(lt[i]), int(lb[i]),
+                )
+            )
+        elif k == kernel_core.EV_BUSY:
+            busy_deltas.append((float(lt[i]), float(lx[i])))
+        else:
+            f = int(la[i])
+            t = int(lb[i])
+            transfer_records.append(
+                TransferRecord(
+                    fnames[f], sizes[f],
+                    "in" if k == kernel_core.EV_XIN else "out",
+                    float(lx[i]), float(lt[i]),
+                    task_ids[t] if t >= 0 else None,
+                )
+            )
+    return task_records, transfer_records, storage_deltas, busy_deltas
+
+
+def _core_storage_curve(log: tuple) -> StepCurve:
+    """Replay only a core log's EV_STORE rows into the storage curve."""
+    lk, lt, la, lb, lx, n = log
+    ev_store = kernel_core.EV_STORE
+    deltas = [
+        (float(lt[i]), float(lx[i])) for i in range(n) if lk[i] == ev_store
+    ]
+    return _replay(deltas)
+
+
+def _core_scalars(scal: tuple, log: tuple | None) -> tuple:
+    """Summary-row scalars of a core run (storage slots fixed from log).
+
+    Capacity runs (and traced runs) return placeholder storage scalars:
+    the loop ran the heap dry past ``finished_at``, so the byte-seconds
+    integral must be clipped at the makespan while the peak stays
+    unclipped — exactly the legacy loop's curve-based computation.
+    """
+    if log is None:
+        return scal
+    curve = _core_storage_curve(log)
+    makespan = scal[0]
+    return (
+        scal[0],
+        scal[1],
+        scal[2],
+        curve.integral(0.0, makespan),
+        curve.max_value(),
+    ) + scal[5:]
+
+
+def _finish_core_run(
+    workflow: Workflow,
+    low: _Lowering,
+    environment,
+    data_mode: DataMode,
+    scal: tuple,
+    log: tuple | None,
+    trace: bool,
+) -> SimulationResult:
+    """Assemble a full SimulationResult from a core run's scalars + log."""
+    task_records: list[TaskRecord] = []
+    transfer_records: list[TransferRecord] = []
+    storage_curve = busy_curve = None
+    (
+        makespan, bytes_in, bytes_out, sbs, peak, held, comp,
+        n_in, n_out, n_exec, n_fail,
+    ) = scal
+    if log is not None:
+        task_records, transfer_records, sd, bd = _walk_core_log(low, log)
+        curve = _replay(sd)
+        sbs = curve.integral(0.0, makespan)
+        peak = curve.max_value()
+        if trace:
+            storage_curve = curve
+            busy_curve = _replay(bd)
+    return SimulationResult(
+        workflow_name=workflow.name,
+        n_processors=environment.n_processors,
+        data_mode=data_mode.value,
+        makespan=makespan,
+        bytes_in=bytes_in,
+        bytes_out=bytes_out,
+        storage_byte_seconds=sbs,
+        peak_storage_bytes=peak,
+        cpu_busy_seconds=held,
+        compute_seconds=comp,
+        n_transfers_in=n_in,
+        n_transfers_out=n_out,
+        n_task_executions=n_exec,
+        n_task_failures=n_fail,
+        task_records=task_records,
+        transfer_records=transfer_records,
+        storage_curve=storage_curve,
+        busy_curve=busy_curve,
+    )
+
+
 # ------------------------------------------------------------------ #
 # single-run loop (infinite storage; dedicated or contended link)
 # ------------------------------------------------------------------ #
@@ -639,6 +762,22 @@ def _run_single(
     remote = data_mode is DataMode.REMOTE_IO
     cleanup = data_mode is DataMode.CLEANUP
     trace = environment.record_trace
+
+    if (
+        not remote
+        and fail is None
+        and ordering is FIFO_ORDER
+        and low.n_tasks
+        and kernel_core.core_enabled()
+    ):
+        # SoA core path: contended links and record building included.
+        # Live failure hooks stay here (their RNG stream must be drawn
+        # in the interpreter); Monte Carlo verdict cells enter the core
+        # through run_monte_carlo instead.
+        scal, log = kernel_core.single_soa(low, environment, cleanup, trace)
+        return _finish_core_run(
+            workflow, low, environment, data_mode, scal, log, trace
+        )
 
     n_tasks = low.n_tasks
     task_ids = low.task_ids
@@ -1512,6 +1651,22 @@ def _run_capacity(
     cleanup = data_mode is DataMode.CLEANUP
     trace = environment.record_trace
 
+    if (
+        not remote
+        and fail is None
+        and ordering is FIFO_ORDER
+        and low.n_tasks
+        and kernel_core.core_enabled()
+    ):
+        # SoA core path; the deadlock RuntimeError (verbatim message,
+        # capacity hint included) propagates from the wrapper.
+        scal, log = kernel_core.capacity_soa(
+            low, environment, cleanup, trace
+        )
+        return _finish_core_run(
+            workflow, low, environment, data_mode, scal, log, trace
+        )
+
     n_tasks = low.n_tasks
     task_ids = low.task_ids
     fnames = low.fnames
@@ -2227,6 +2382,20 @@ def run_monte_carlo(
         sched = low.arrival_schedule(env.bandwidth_bytes_per_sec)
         snap_every = kernel_core.SNAP_EVERY
         snapshots: list = []
+    # The cells the fork path cannot take — finite capacity, contended
+    # links, traced runs — batch through the single/capacity SoA loops
+    # with their verdict arrays when the core is active, instead of the
+    # interpreted legacy loops behind a live matrix hook.
+    use_core_cells = (
+        not use_fork
+        and ordering is FIFO_ORDER
+        and mode is not DataMode.REMOTE_IO
+        and low.n_tasks
+        and kernel_core.core_enabled()
+    )
+    if use_core_cells:
+        cleanup_core = mode is DataMode.CLEANUP
+        core_trace = env.record_trace
     baseline_tuple = None
 
     def turbo_baseline() -> tuple:
@@ -2343,6 +2512,29 @@ def run_monte_carlo(
                     else:
                         result = _result_from_turbo_tuple(
                             workflow, env, mode, tup
+                        )
+                        cells.append(MonteCarloCell(p, seed, result))
+                        pattern_cache[key] = ("ok", result)
+                    continue
+                if use_core_cells:
+                    if use_capacity:
+                        scal, log = kernel_core.capacity_soa(
+                            low, env, cleanup_core, core_trace,
+                            verdicts=flags[:L], max_retries=max_retries,
+                        )
+                    else:
+                        scal, log = kernel_core.single_soa(
+                            low, env, cleanup_core, core_trace,
+                            verdicts=flags[:L], max_retries=max_retries,
+                        )
+                    if columnar:
+                        row = _core_scalars(scal, log) + (False,)
+                        out[k] = row
+                        k += 1
+                        pattern_cache[key] = ("ok", row)
+                    else:
+                        result = _finish_core_run(
+                            workflow, low, env, mode, scal, log, core_trace
                         )
                         cells.append(MonteCarloCell(p, seed, result))
                         pattern_cache[key] = ("ok", result)

@@ -32,17 +32,31 @@ interpreted SoA loop is slower than the legacy tuple-heap loop), or
 ever emitted).  Resolution is lazy and memoized; tests reset it via
 :func:`_invalidate_backend`.
 
-Eligibility for the SoA core is exactly the turbo shape plus FIFO
-ordering: infinite storage, no trace, no link contention, not
-remote-I/O, ``ordering is FIFO_ORDER``, and failures given as verdict
-arrays (or absent).  Everything else — traced runs, non-FIFO orderings,
-capacity/remote/contended models, live ``FailureModel`` hooks whose RNG
-stream must be consumed draw-by-draw — stays on the legacy loops in
-:mod:`repro.sim.kernel`, which remain bit-identical to the event
-engine.  Both forms here are gated by the same differential Hypothesis
-suites (``tests/sim/test_kernel_core.py`` compares them tuple-for-tuple
-against ``_run_turbo_core``, which is itself proven against the event
-engine).
+Beyond turbo, two further SoA loops cover the rest of the kernel:
+:func:`_single_fifo_soa` (contended per-lane FIFO links and
+record-building runs) and :func:`_capacity_fifo_soa` (finite
+``storage_capacity_bytes`` with the reservation mirror, head-of-line
+admission, and byte-identical deadlock diagnostics).  Traced runs are
+core-eligible through the **columnar event log**: instead of building
+record objects mid-loop, the loops append ``(kind, time, a, b, x)``
+rows into preallocated int64/float64 buffers (:data:`EV_TASK`,
+:data:`EV_XIN`/:data:`EV_XOUT`, :data:`EV_STORE`, :data:`EV_BUSY`) in
+the legacy append order, and a post-pass in :mod:`repro.sim.kernel`
+assembles bit-identical ``SimulationResult`` records and step curves.
+Eligibility for these loops is FIFO ordering, no remote-I/O, and
+failures given as verdict arrays (or absent); non-FIFO orderings and
+live ``FailureModel`` hooks whose RNG stream must be consumed
+draw-by-draw stay on the legacy loops in :mod:`repro.sim.kernel`,
+which remain bit-identical to the event engine and double as
+differential oracles behind the ``REPRO_SIM_CORE=off`` escape hatch.
+Because the interpreted SoA execution is slower than the legacy
+tuple-heap loops, single/capacity routing engages only when the
+backend compiled.  All forms here are gated by differential Hypothesis
+suites (``tests/sim/test_kernel_core.py`` compares turbo
+tuple-for-tuple against ``_run_turbo_core``;
+``tests/sim/test_kernel_core_paths.py`` proves the single/capacity
+loops and the columnar record assembly against the event engine and
+the legacy loops).
 
 Float-exactness rules inherited from the legacy loop (do not "clean
 up"): events are merged by ``(time, seq)`` with the engine's sequence
@@ -62,12 +76,23 @@ import numpy as np
 from repro.sim.failures import WorkflowAbortedError
 
 __all__ = [
+    "CORE_ENV",
+    "CORES",
+    "EV_BUSY",
+    "EV_STORE",
+    "EV_TASK",
+    "EV_XIN",
+    "EV_XOUT",
     "JIT_ENV",
     "JITS",
     "SNAP_EVERY",
+    "capacity_soa",
+    "core_enabled",
     "jit_backend",
     "jit_enabled",
+    "resolve_core",
     "resolve_jit",
+    "single_soa",
     "turbo_fifo_replay",
     "turbo_soa",
 ]
@@ -77,6 +102,18 @@ JIT_ENV = "REPRO_SIM_JIT"
 
 #: Valid backend names.
 JITS = ("auto", "on", "off")
+
+#: Environment escape hatch for routing the re-unified replay loops
+#: (single-run contention/trace and finite-capacity) through the SoA
+#: core.  ``off`` keeps those runs on the legacy loops in
+#: :mod:`repro.sim.kernel` even when the backend is active — that is
+#: what lets the differential suites drive both executions of the same
+#: configuration side by side.  ``auto``/``on`` (and unset) follow the
+#: ``REPRO_SIM_JIT`` backend decision.
+CORE_ENV = "REPRO_SIM_CORE"
+
+#: Valid core-routing modes.
+CORES = ("auto", "on", "off")
 
 #: Default completion interval between Monte Carlo fork snapshots.
 #: Smaller values give finer fork points (less replayed prefix) at the
@@ -96,6 +133,31 @@ def resolve_jit(jit: str | None = None) -> str:
             f"expected one of {JITS}"
         )
     return jit
+
+
+def resolve_core(core: str | None = None) -> str:
+    """Effective core-routing mode: argument, else env var, else auto."""
+    if core is None:
+        core = os.environ.get(CORE_ENV, "").strip().lower() or "auto"
+    if core not in CORES:
+        raise ValueError(
+            f"unknown core mode {core!r} (from {CORE_ENV}); "
+            f"expected one of {CORES}"
+        )
+    return core
+
+
+def core_enabled() -> bool:
+    """Route single-run/capacity replay through the SoA core right now?
+
+    ``REPRO_SIM_CORE=off`` pins those runs on the legacy loops (the
+    differential oracles); otherwise the decision is exactly the
+    backend's ``use_core`` — compiled numba under ``auto``, or the
+    interpreted SoA source under an explicit ``REPRO_SIM_JIT=on``.
+    The turbo batch path ignores this knob on purpose: it has its own
+    interpreted fork engine and is gated by :func:`jit_enabled` alone.
+    """
+    return resolve_core() != "off" and jit_enabled()
 
 
 #: Lazily resolved backend description (one per resolved mode).
@@ -136,6 +198,8 @@ def jit_backend() -> dict:
         "numba_version": None,
         "reason": None,
         "turbo": _turbo_fifo_soa,
+        "single": _single_fifo_soa,
+        "capacity": _capacity_fifo_soa,
     }
     if mode == "off":
         info["reason"] = "REPRO_SIM_JIT=off"
@@ -161,6 +225,8 @@ def jit_backend() -> dict:
         return info
     try:
         compiled = numba.njit(cache=True)(_turbo_fifo_soa)
+        compiled_single = numba.njit(cache=True)(_single_fifo_soa)
+        compiled_capacity = numba.njit(cache=True)(_capacity_fifo_soa)
     except Exception as exc:  # pragma: no cover - depends on numba build
         info["reason"] = f"njit compilation failed ({exc})"
         info["use_core"] = mode == "on"
@@ -170,6 +236,8 @@ def jit_backend() -> dict:
     info["compiled"] = True
     info["numba_version"] = getattr(numba, "__version__", "?")
     info["turbo"] = compiled
+    info["single"] = compiled_single
+    info["capacity"] = compiled_capacity
     _BACKEND = info
     return info
 
@@ -215,6 +283,9 @@ class CoreArrays:
         "rel_need",
         "stage_out_bytes",
         "added_cap",
+        "input_fidx",
+        "res_out_bytes",
+        "headroom_out",
         "_arr_cache",
         "_dur_cache",
     )
@@ -236,6 +307,18 @@ class CoreArrays:
         self.rel_need = np.array(need, dtype=np.int64)
         self.stage_out_bytes = low.stage_out_bytes
         self.added_cap = len(low.input_fidx) + int(self.out_indptr[-1]) + 1
+        self.input_fidx = np.array(low.input_fidx, dtype=np.int64)
+        # Shared-mode reservation bytes per task and the pump's output
+        # headroom: the same left-to-right float folds as the engine's
+        # sum(...) / max(...) calls in _run_capacity.
+        res: list = []
+        for outs in low.task_outputs:
+            acc = 0.0
+            for f in outs:
+                acc += low.sizes[f]
+            res.append(acc)
+        self.res_out_bytes = np.array(res, dtype=np.float64)
+        self.headroom_out = max(res, default=0.0)
         self._arr_cache: dict = {}
         self._dur_cache: dict = {}
 
@@ -780,6 +863,1048 @@ def turbo_soa(
 
 _EMPTY_U8 = np.empty(0, dtype=np.uint8)
 _EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+# ------------------------------------------------------------------ #
+# SoA single-run + capacity loops with columnar event logging
+# ------------------------------------------------------------------ #
+# Columnar event-log kinds: rows are (kind, time, a, b, x) appended in
+# the legacy loops' exact append order, so one linear walk in kernel.py
+# rebuilds every record list and occupancy-delta stream with the
+# engine's order-sensitive same-time coalescing intact.
+EV_TASK = 0  # a = task index, b = attempt,      x = started_at; time = end
+EV_XIN = 1  # a = file index, b = task or -1,   x = start;      time = end
+EV_XOUT = 2  # a = file index, b = task or -1,   x = start;      time = end
+EV_STORE = 3  # signed storage delta in x
+EV_BUSY = 4  # processor occupancy delta (+1.0 / -1.0) in x
+
+# Heap event kinds for the two loops below (ties cannot occur — seq is
+# unique — so the values carry no scheduling meaning; kept aligned with
+# kernel.py's constants for readability).
+_K_BOOT = 0
+_K_SIN = 1
+_K_DONE = 2
+_K_SOUT = 3
+
+# Run-state slots (closure-shared mutable scalars live in arrays —
+# numba closures cannot rebind enclosing-scope variables — and the
+# wrappers read the result scalars back out of the same arrays).
+_R_SEQ = 0  # engine schedule counter
+_R_RSEQ = 1  # ready-queue arrival counter
+_R_FREE = 2  # free processors
+_R_BOOTING = 3
+_R_BOOTSCHED = 4
+_R_RHEAD = 5  # ready-queue pop cursor
+_R_QLEN = 6  # ready-queue length
+_R_NEXEC = 7
+_R_HN = 8  # heap size
+_R_NIN = 9
+_R_NOUT = 10
+_R_NDONE = 11
+_R_NFAIL = 12
+_R_SOUTS = 13  # stage-outs left
+_R_LOGN = 14  # event-log row count
+_R_VI = 15  # verdict cursor
+_R_ADDN = 16  # store-insertion-order cursor
+_R_PUMPING = 17  # capacity: pump re-entrancy guard
+_R_SINHEAD = 18  # capacity: stage-in queue cursor
+_R_OUT = 19  # capacity: in-flight transfers (engine mirror)
+_R_FIN = 20  # finished flag
+_NRSTATE = 21
+
+_F_COMPUTE = 0
+_F_HELD = 1
+_F_BIN = 2
+_F_BOUT = 3
+_F_RESERVED = 4  # capacity: reservation mirror
+_F_ST = 5  # streamed storage integral: current segment start
+_F_SV = 6  # ... current value
+_F_SACC = 7  # ... accumulated byte-seconds
+_F_SPEAK = 8  # ... peak
+_F_LANE0 = 9  # contended link lanes (busy-until), NetworkLink mirror
+_F_LANE1 = 10
+_F_XS = 11  # last link-request start time (transfer-record start)
+_F_FIN = 12  # finished_at
+_NFSTATE = 13
+
+
+def _single_fifo_soa(
+    n_processors,
+    ready_at,
+    contended,
+    out_lane,
+    runtimes,
+    sizes,
+    tr_dur,
+    exec_dur,
+    no_input_tasks,
+    input_fidx,
+    cons_indptr,
+    cons_data,
+    out_indptr,
+    out_data,
+    output_fidx,
+    cleanup,
+    rel_indptr,
+    rel_data,
+    rel_need,
+    pending,
+    verdicts,
+    max_retries,
+    trace,
+    lk,
+    lt,
+    la,
+    lb,
+    lx,
+    hp_t,
+    hp_s,
+    hp_k,
+    hp_a,
+    ready_q,
+    added,
+    in_store,
+    attempts,
+    started_at,
+    acquired_at,
+    istate,
+    fstate,
+):
+    """FIFO single-run replay (infinite storage) over plain arrays.
+
+    The SoA transcription of ``kernel._run_single`` minus remote-I/O:
+    contended per-lane FIFO links included, with ``trace`` switching on
+    the columnar event log (every legacy ``*_records`` /
+    ``storage_deltas`` / ``busy_deltas`` append becomes one log row, in
+    the same order).  Traceless runs stream the storage integral with
+    the turbo loop's exact segment commits instead of logging.
+
+    Mutates its scratch arrays (``rel_need``, ``pending``, ``in_store``,
+    ``attempts`` must be fresh per call).  Returns ``(status, a, b,
+    finished_at)``; every other scalar is read back from
+    ``istate``/``fstate`` by the wrapper.
+    """
+    n_tasks = runtimes.shape[0]
+    n_verd = verdicts.shape[0]
+
+    for i in range(_NRSTATE):
+        istate[i] = 0
+    for i in range(_NFSTATE):
+        fstate[i] = 0.0
+    istate[_R_FREE] = n_processors
+    if ready_at > 0.0:
+        istate[_R_BOOTING] = 1
+
+    def hpush(t, s, k, a):
+        j = istate[_R_HN]
+        istate[_R_HN] = j + 1
+        while j > 0:
+            par = (j - 1) >> 1
+            pt = hp_t[par]
+            ps = hp_s[par]
+            if pt > t or (pt == t and ps > s):
+                hp_t[j] = pt
+                hp_s[j] = ps
+                hp_k[j] = hp_k[par]
+                hp_a[j] = hp_a[par]
+                j = par
+            else:
+                break
+        hp_t[j] = t
+        hp_s[j] = s
+        hp_k[j] = k
+        hp_a[j] = a
+
+    def hpop():
+        n = istate[_R_HN] - 1
+        istate[_R_HN] = n
+        if n == 0:
+            return
+        t = hp_t[n]
+        s = hp_s[n]
+        k = hp_k[n]
+        a = hp_a[n]
+        j = 0
+        while True:
+            left = 2 * j + 1
+            if left >= n:
+                break
+            ct = hp_t[left]
+            cs = hp_s[left]
+            ci = left
+            right = left + 1
+            if right < n and (
+                hp_t[right] < ct or (hp_t[right] == ct and hp_s[right] < cs)
+            ):
+                ct = hp_t[right]
+                cs = hp_s[right]
+                ci = right
+            if ct < t or (ct == t and cs < s):
+                hp_t[j] = ct
+                hp_s[j] = cs
+                hp_k[j] = hp_k[ci]
+                hp_a[j] = hp_a[ci]
+                j = ci
+            else:
+                break
+        hp_t[j] = t
+        hp_s[j] = s
+        hp_k[j] = k
+        hp_a[j] = a
+
+    def emit(kind, time, a, b, x):
+        j = istate[_R_LOGN]
+        lk[j] = kind
+        lt[j] = time
+        la[j] = a
+        lb[j] = b
+        lx[j] = x
+        istate[_R_LOGN] = j + 1
+
+    def add_store(time, d):
+        # One call per legacy ``storage_deltas.append``: traced runs log
+        # the delta for the post-pass curve replay; traceless runs
+        # stream the integral with the turbo loop's exact segment
+        # commits (same-time deltas coalesce before a segment closes).
+        if trace:
+            emit(EV_STORE, time, 0, 0, d)
+        elif d != 0.0:
+            if time != fstate[_F_ST]:
+                fstate[_F_SACC] += fstate[_F_SV] * (time - fstate[_F_ST])
+                if fstate[_F_SV] > fstate[_F_SPEAK]:
+                    fstate[_F_SPEAK] = fstate[_F_SV]
+                fstate[_F_ST] = time
+            fstate[_F_SV] += d
+
+    def link(f, lane, now):
+        # NetworkLink.request mirror: returns the end time; the start
+        # lands in fstate[_F_XS] (numba closures avoid tuple returns).
+        if contended:
+            b = fstate[_F_LANE0 + lane]
+            start = b if b > now else now
+            end = start + tr_dur[f]
+            fstate[_F_LANE0 + lane] = end
+        else:
+            start = now
+            end = now + tr_dur[f]
+        fstate[_F_XS] = start
+        return end
+
+    def start_task(t, now):
+        # The legacy trace-on start_task and trace-off inline execute
+        # are the same ops modulo the busy log row, so one body serves
+        # both (the emit is trace-gated).
+        acquired_at[t] = now
+        if trace:
+            emit(EV_BUSY, now, 0, 0, 1.0)
+        istate[_R_NEXEC] += 1
+        fstate[_F_COMPUTE] += runtimes[t]
+        started_at[t] = now
+        hpush(now + exec_dur[t], istate[_R_SEQ], _K_DONE, t)
+        istate[_R_SEQ] += 1
+
+    def dispatch(now):
+        if istate[_R_BOOTING]:
+            if now < ready_at:
+                if (
+                    istate[_R_BOOTSCHED] == 0
+                    and istate[_R_RHEAD] < istate[_R_QLEN]
+                ):
+                    istate[_R_BOOTSCHED] = 1
+                    hpush(ready_at, istate[_R_SEQ], _K_BOOT, 0)
+                    istate[_R_SEQ] += 1
+                return
+            istate[_R_BOOTING] = 0
+        while istate[_R_FREE] and istate[_R_RHEAD] < istate[_R_QLEN]:
+            t = ready_q[istate[_R_RHEAD]]
+            istate[_R_RHEAD] += 1
+            istate[_R_FREE] -= 1
+            start_task(t, now)
+
+    def ready_task(c, now):
+        # The engine's ready_task shortcut: a free processor and an
+        # empty queue hand the processor to ``c`` without queuing.
+        if (
+            istate[_R_FREE]
+            and istate[_R_RHEAD] == istate[_R_QLEN]
+            and istate[_R_BOOTING] == 0
+        ):
+            istate[_R_FREE] -= 1
+            start_task(c, now)
+            return
+        ready_q[istate[_R_QLEN]] = c
+        istate[_R_QLEN] += 1
+        istate[_R_RSEQ] += 1
+        if istate[_R_FREE]:
+            dispatch(now)
+
+    # -- t = 0: no-input tasks ready, then every stage-in submitted --- #
+    for idx in range(no_input_tasks.shape[0]):
+        ready_task(no_input_tasks[idx], 0.0)
+    for ii in range(input_fidx.shape[0]):
+        f = input_fidx[ii]
+        fstate[_F_BIN] += sizes[f]
+        istate[_R_NIN] += 1
+        end = link(f, 0, 0.0)
+        if trace:
+            emit(EV_XIN, end, f, -1, fstate[_F_XS])
+        hpush(end, istate[_R_SEQ], _K_SIN, f)
+        istate[_R_SEQ] += 1
+
+    # -- the event loop ------------------------------------------------ #
+    while istate[_R_HN] > 0:
+        now = hp_t[0]
+        kind = hp_k[0]
+        a = hp_a[0]
+        hpop()
+        if kind == _K_DONE:
+            t = a
+            attempt = 1
+            failed = False
+            if n_verd > 0:
+                # Verdict drawn before the record — an exhausted retry
+                # budget aborts with no record for the aborting attempt,
+                # exactly like the live failure hook's raise.
+                attempt = int(attempts[t])
+                vi = istate[_R_VI]
+                if vi >= n_verd:
+                    return (_EXHAUSTED, float(vi), 0.0, 0.0)
+                failed = verdicts[vi] != 0
+                istate[_R_VI] = vi + 1
+                if failed and attempt > max_retries:
+                    return (_ABORTED, float(t), float(attempt), 0.0)
+            if trace:
+                emit(EV_TASK, now, t, attempt, started_at[t])
+            if failed:
+                # Immediate retry on the same still-held processor:
+                # compute re-billed, completion re-scheduled, no
+                # dispatch.
+                istate[_R_NFAIL] += 1
+                attempts[t] = attempt + 1
+                istate[_R_NEXEC] += 1
+                fstate[_F_COMPUTE] += runtimes[t]
+                started_at[t] = now
+                hpush(now + exec_dur[t], istate[_R_SEQ], _K_DONE, t)
+                istate[_R_SEQ] += 1
+                continue
+            istate[_R_NDONE] += 1
+            fstate[_F_HELD] += now - acquired_at[t]
+            istate[_R_FREE] += 1
+            if trace:
+                emit(EV_BUSY, now, 0, 0, -1.0)
+            for fi in range(out_indptr[t], out_indptr[t + 1]):
+                f = out_data[fi]
+                added[istate[_R_ADDN]] = f
+                istate[_R_ADDN] += 1
+                in_store[f] = 1
+                add_store(now, sizes[f])
+            if cleanup:
+                for fi in range(rel_indptr[t], rel_indptr[t + 1]):
+                    f = rel_data[fi]
+                    rn = rel_need[f] - 1
+                    rel_need[f] = rn
+                    if rn == 0 and in_store[f]:
+                        in_store[f] = 0
+                        add_store(now, -sizes[f])
+            for fi in range(out_indptr[t], out_indptr[t + 1]):
+                f = out_data[fi]
+                for ci in range(cons_indptr[f], cons_indptr[f + 1]):
+                    c = cons_data[ci]
+                    p = pending[c] - 1
+                    pending[c] = p
+                    if p == 0:
+                        ready_task(c, now)
+            if istate[_R_NDONE] == n_tasks:
+                if output_fidx.shape[0] == 0:
+                    # _finalize: remaining objects go in insertion order.
+                    for gi in range(istate[_R_ADDN]):
+                        g = added[gi]
+                        if in_store[g]:
+                            in_store[g] = 0
+                            add_store(now, -sizes[g])
+                    istate[_R_FIN] = 1
+                    fstate[_F_FIN] = now
+                    break
+                istate[_R_SOUTS] = output_fidx.shape[0]
+                for fi in range(output_fidx.shape[0]):
+                    f = output_fidx[fi]
+                    fstate[_F_BOUT] += sizes[f]
+                    istate[_R_NOUT] += 1
+                    end = link(f, out_lane, now)
+                    if trace:
+                        emit(EV_XOUT, end, f, -1, fstate[_F_XS])
+                    hpush(end, istate[_R_SEQ], _K_SOUT, f)
+                    istate[_R_SEQ] += 1
+            if istate[_R_RHEAD] < istate[_R_QLEN]:
+                dispatch(now)
+        elif kind == _K_SIN:
+            f = a
+            in_store[f] = 1
+            added[istate[_R_ADDN]] = f
+            istate[_R_ADDN] += 1
+            add_store(now, sizes[f])
+            for ci in range(cons_indptr[f], cons_indptr[f + 1]):
+                c = cons_data[ci]
+                p = pending[c] - 1
+                pending[c] = p
+                if p == 0:
+                    ready_task(c, now)
+        elif kind == _K_SOUT:
+            f = a
+            if cleanup:
+                in_store[f] = 0
+                add_store(now, -sizes[f])
+            istate[_R_SOUTS] -= 1
+            if istate[_R_SOUTS] == 0:
+                for gi in range(istate[_R_ADDN]):
+                    g = added[gi]
+                    if in_store[g]:
+                        in_store[g] = 0
+                        add_store(now, -sizes[g])
+                istate[_R_FIN] = 1
+                fstate[_F_FIN] = now
+                break
+        else:  # _K_BOOT
+            dispatch(now)
+
+    if istate[_R_FIN] == 0:
+        return (_DEADLOCK, float(istate[_R_NDONE]), 0.0, 0.0)
+
+    if not trace:
+        # Final segment of the streamed integral; the last breakpoint's
+        # value also competes for the peak.
+        fin = fstate[_F_FIN]
+        fstate[_F_SACC] += fstate[_F_SV] * (fin - fstate[_F_ST])
+        if fstate[_F_SV] > fstate[_F_SPEAK]:
+            fstate[_F_SPEAK] = fstate[_F_SV]
+    return (_OK, 0.0, 0.0, fstate[_F_FIN])
+
+
+def _capacity_fifo_soa(
+    n_processors,
+    ready_at,
+    contended,
+    out_lane,
+    cap_eps,
+    headroom,
+    res_bytes,
+    runtimes,
+    sizes,
+    tr_dur,
+    exec_dur,
+    no_input_tasks,
+    input_fidx,
+    cons_indptr,
+    cons_data,
+    out_indptr,
+    out_data,
+    output_fidx,
+    cleanup,
+    rel_indptr,
+    rel_data,
+    rel_need,
+    pending,
+    verdicts,
+    max_retries,
+    trace,
+    lk,
+    lt,
+    la,
+    lb,
+    lx,
+    hp_t,
+    hp_s,
+    hp_k,
+    hp_a,
+    ready_q,
+    added,
+    in_store,
+    attempts,
+    started_at,
+    acquired_at,
+    done_flag,
+    istate,
+    fstate,
+):
+    """FIFO finite-capacity replay over plain arrays.
+
+    The SoA transcription of ``kernel._run_capacity`` minus remote-I/O:
+    the reservation mirror, head-of-line dispatch admission, gated
+    stage-in pump with output headroom, and the space-freed cascade
+    (dispatcher first, then the pump), all over scalar state in
+    ``istate``/``fstate``.  Storage deltas are *always* logged — the
+    loop runs the heap dry past ``finished_at`` exactly like the legacy
+    loop, so post-finish stage-ins can move the storage peak while the
+    byte-seconds integral stays clipped, and only a curve replay in the
+    caller reproduces both.
+
+    Returns ``(status, a, b, finished_at)``; scalars read back from
+    ``istate``/``fstate``; ``done_flag`` lets the wrapper build the
+    verbatim deadlock message.
+    """
+    n_tasks = runtimes.shape[0]
+    n_verd = verdicts.shape[0]
+    n_sin = input_fidx.shape[0]
+
+    for i in range(_NRSTATE):
+        istate[i] = 0
+    for i in range(_NFSTATE):
+        fstate[i] = 0.0
+    istate[_R_FREE] = n_processors
+    if ready_at > 0.0:
+        istate[_R_BOOTING] = 1
+
+    def hpush(t, s, k, a):
+        j = istate[_R_HN]
+        istate[_R_HN] = j + 1
+        while j > 0:
+            par = (j - 1) >> 1
+            pt = hp_t[par]
+            ps = hp_s[par]
+            if pt > t or (pt == t and ps > s):
+                hp_t[j] = pt
+                hp_s[j] = ps
+                hp_k[j] = hp_k[par]
+                hp_a[j] = hp_a[par]
+                j = par
+            else:
+                break
+        hp_t[j] = t
+        hp_s[j] = s
+        hp_k[j] = k
+        hp_a[j] = a
+
+    def hpop():
+        n = istate[_R_HN] - 1
+        istate[_R_HN] = n
+        if n == 0:
+            return
+        t = hp_t[n]
+        s = hp_s[n]
+        k = hp_k[n]
+        a = hp_a[n]
+        j = 0
+        while True:
+            left = 2 * j + 1
+            if left >= n:
+                break
+            ct = hp_t[left]
+            cs = hp_s[left]
+            ci = left
+            right = left + 1
+            if right < n and (
+                hp_t[right] < ct or (hp_t[right] == ct and hp_s[right] < cs)
+            ):
+                ct = hp_t[right]
+                cs = hp_s[right]
+                ci = right
+            if ct < t or (ct == t and cs < s):
+                hp_t[j] = ct
+                hp_s[j] = cs
+                hp_k[j] = hp_k[ci]
+                hp_a[j] = hp_a[ci]
+                j = ci
+            else:
+                break
+        hp_t[j] = t
+        hp_s[j] = s
+        hp_k[j] = k
+        hp_a[j] = a
+
+    def emit(kind, time, a, b, x):
+        j = istate[_R_LOGN]
+        lk[j] = kind
+        lt[j] = time
+        la[j] = a
+        lb[j] = b
+        lx[j] = x
+        istate[_R_LOGN] = j + 1
+
+    def add_store(time, d):
+        emit(EV_STORE, time, 0, 0, d)
+
+    def stored_sum():
+        # sum(store.values()) in object insertion order — the engine's
+        # exact left-to-right float fold for the admission check.
+        acc = 0.0
+        for gi in range(istate[_R_ADDN]):
+            g = added[gi]
+            if in_store[g]:
+                acc += sizes[g]
+        return acc
+
+    def fits(n):
+        return (stored_sum() + fstate[_F_RESERVED]) + n <= cap_eps
+
+    def reserve(n):
+        if not fits(n):
+            return False
+        fstate[_F_RESERVED] += n
+        return True
+
+    def link(f, lane, now):
+        if contended:
+            b = fstate[_F_LANE0 + lane]
+            start = b if b > now else now
+            end = start + tr_dur[f]
+            fstate[_F_LANE0 + lane] = end
+        else:
+            start = now
+            end = now + tr_dur[f]
+        fstate[_F_XS] = start
+        return end
+
+    def execute(t, now):
+        istate[_R_NEXEC] += 1
+        fstate[_F_COMPUTE] += runtimes[t]
+        started_at[t] = now
+        hpush(now + exec_dur[t], istate[_R_SEQ], _K_DONE, t)
+        istate[_R_SEQ] += 1
+
+    def start_task(t, now):
+        acquired_at[t] = now
+        if trace:
+            emit(EV_BUSY, now, 0, 0, 1.0)
+        execute(t, now)
+
+    def dispatch(now):
+        if istate[_R_BOOTING]:
+            if now < ready_at:
+                if (
+                    istate[_R_BOOTSCHED] == 0
+                    and istate[_R_RHEAD] < istate[_R_QLEN]
+                ):
+                    istate[_R_BOOTSCHED] = 1
+                    hpush(ready_at, istate[_R_SEQ], _K_BOOT, 0)
+                    istate[_R_SEQ] += 1
+                return
+            istate[_R_BOOTING] = 0
+        while istate[_R_FREE] and istate[_R_RHEAD] < istate[_R_QLEN]:
+            # Head-of-line admission: reserve the task's storage before
+            # popping; on failure it stays queued for a space-freed
+            # retry.
+            t = ready_q[istate[_R_RHEAD]]
+            if not reserve(res_bytes[t]):
+                break
+            istate[_R_RHEAD] += 1
+            istate[_R_FREE] -= 1
+            start_task(t, now)
+
+    def pump(now):
+        # _pump_stage_ins: FIFO head-of-line, output headroom reserved —
+        # except when the store is completely empty, where holding back
+        # cannot help.
+        if istate[_R_PUMPING]:
+            return
+        istate[_R_PUMPING] = 1
+        while istate[_R_SINHEAD] < n_sin:
+            f = input_fidx[istate[_R_SINHEAD]]
+            size = sizes[f]
+            admissible = fits(size + headroom)
+            if not admissible:
+                admissible = (stored_sum() + fstate[_F_RESERVED]) == 0.0
+            ok = False
+            if admissible:
+                ok = reserve(size)
+            if not ok:
+                break
+            istate[_R_SINHEAD] += 1
+            fstate[_F_BIN] += size
+            istate[_R_NIN] += 1
+            end = link(f, 0, now)
+            if trace:
+                emit(EV_XIN, end, f, -1, fstate[_F_XS])
+            hpush(end, istate[_R_SEQ], _K_SIN, f)
+            istate[_R_SEQ] += 1
+            istate[_R_OUT] += 1
+        istate[_R_PUMPING] = 0
+
+    def space_freed(now):
+        # Subscriber order: the executor's dispatcher subscribes at
+        # construction, the shared-storage pump at on_start.
+        dispatch(now)
+        pump(now)
+
+    def release_reservation(n, now):
+        r = fstate[_F_RESERVED] - n
+        fstate[_F_RESERVED] = r if r > 0.0 else 0.0
+        space_freed(now)
+
+    def remove_obj(f, now):
+        in_store[f] = 0
+        add_store(now, -sizes[f])
+        space_freed(now)
+
+    def materialize(f, now):
+        # add first, release the reservation after (committed bytes
+        # never transiently undercount)
+        in_store[f] = 1
+        added[istate[_R_ADDN]] = f
+        istate[_R_ADDN] += 1
+        add_store(now, sizes[f])
+        release_reservation(sizes[f], now)
+
+    def ready_task(c, now):
+        ready_q[istate[_R_QLEN]] = c
+        istate[_R_QLEN] += 1
+        istate[_R_RSEQ] += 1
+        dispatch(now)
+
+    def finalize_shared(now):
+        # Iterates the insertion-order snapshot; the space-freed cascade
+        # inside remove_obj cannot add store objects synchronously
+        # (materialization only happens at heap events).
+        nadd = istate[_R_ADDN]
+        for gi in range(nadd):
+            g = added[gi]
+            if in_store[g]:
+                remove_obj(g, now)
+        istate[_R_FIN] = 1
+        fstate[_F_FIN] = now
+
+    # -- t = 0: no-input tasks ready, then prime the stage-in pump ---- #
+    for idx in range(no_input_tasks.shape[0]):
+        ready_task(no_input_tasks[idx], 0.0)
+    pump(0.0)
+
+    # -- event loop (runs the heap dry: post-finish stage-ins behave
+    #    exactly as the engine's) ------------------------------------- #
+    while istate[_R_HN] > 0:
+        now = hp_t[0]
+        kind = hp_k[0]
+        a = hp_a[0]
+        hpop()
+        if kind == _K_DONE:
+            t = a
+            attempt = 1
+            failed = False
+            if n_verd > 0:
+                attempt = int(attempts[t])
+                vi = istate[_R_VI]
+                if vi >= n_verd:
+                    return (_EXHAUSTED, float(vi), 0.0, 0.0)
+                failed = verdicts[vi] != 0
+                istate[_R_VI] = vi + 1
+                if failed and attempt > max_retries:
+                    return (_ABORTED, float(t), float(attempt), 0.0)
+            if trace:
+                emit(EV_TASK, now, t, attempt, started_at[t])
+            if failed:
+                # Retry immediately on the same still-held processor;
+                # the engine's failed branch returns before _dispatch,
+                # so no reservation or dispatch happens here either.
+                istate[_R_NFAIL] += 1
+                attempts[t] = attempt + 1
+                execute(t, now)
+                continue
+            done_flag[t] = 1
+            istate[_R_NDONE] += 1
+            fstate[_F_HELD] += now - acquired_at[t]
+            istate[_R_FREE] += 1
+            if trace:
+                emit(EV_BUSY, now, 0, 0, -1.0)
+            for fi in range(out_indptr[t], out_indptr[t + 1]):
+                materialize(out_data[fi], now)
+            if cleanup:
+                for fi in range(rel_indptr[t], rel_indptr[t + 1]):
+                    f = rel_data[fi]
+                    rn = rel_need[f] - 1
+                    rel_need[f] = rn
+                    if rn == 0 and in_store[f]:
+                        remove_obj(f, now)
+            for fi in range(out_indptr[t], out_indptr[t + 1]):
+                f = out_data[fi]
+                for ci in range(cons_indptr[f], cons_indptr[f + 1]):
+                    c = cons_data[ci]
+                    p = pending[c] - 1
+                    pending[c] = p
+                    if p == 0:
+                        ready_task(c, now)
+            if istate[_R_NDONE] == n_tasks:
+                if output_fidx.shape[0] == 0:
+                    finalize_shared(now)
+                else:
+                    istate[_R_SOUTS] = output_fidx.shape[0]
+                    for fi in range(output_fidx.shape[0]):
+                        f = output_fidx[fi]
+                        fstate[_F_BOUT] += sizes[f]
+                        istate[_R_NOUT] += 1
+                        end = link(f, out_lane, now)
+                        if trace:
+                            emit(EV_XOUT, end, f, -1, fstate[_F_XS])
+                        hpush(end, istate[_R_SEQ], _K_SOUT, f)
+                        istate[_R_SEQ] += 1
+                        istate[_R_OUT] += 1
+            dispatch(now)
+        elif kind == _K_SIN:
+            istate[_R_OUT] -= 1
+            f = a
+            materialize(f, now)
+            for ci in range(cons_indptr[f], cons_indptr[f + 1]):
+                c = cons_data[ci]
+                p = pending[c] - 1
+                pending[c] = p
+                if p == 0:
+                    ready_task(c, now)
+        elif kind == _K_SOUT:
+            istate[_R_OUT] -= 1
+            f = a
+            if cleanup:
+                remove_obj(f, now)
+            istate[_R_SOUTS] -= 1
+            if istate[_R_SOUTS] == 0:
+                finalize_shared(now)
+        else:  # _K_BOOT
+            dispatch(now)
+
+    if istate[_R_FIN] == 0:
+        return (_DEADLOCK, float(istate[_R_NDONE]), 0.0, 0.0)
+    return (_OK, 0.0, 0.0, fstate[_F_FIN])
+
+
+def _core_scratch(ca, env, trace: bool, capacity: bool, n_verd: int):
+    """Allocate the log/heap/scratch arrays one loop call needs."""
+    n_tasks = ca.n_tasks
+    n_in = ca.input_fidx.shape[0]
+    n_out = ca.output_fidx.shape[0]
+    heap_cap = n_in + min(env.n_processors, n_tasks) + n_out + 2
+    # Store-delta rows are bounded by adds + removes; the other row
+    # kinds only appear when tracing.
+    log_cap = 2 * ca.added_cap + 4 if capacity else 0
+    if trace:
+        log_cap += (
+            (n_tasks + n_verd)  # task records (completions incl. retries)
+            + 2 * n_tasks  # busy deltas
+            + n_in
+            + n_out
+            + (0 if capacity else 2 * ca.added_cap)
+            + 8
+        )
+    return (
+        np.empty(log_cap, dtype=np.int64),
+        np.empty(log_cap, dtype=np.float64),
+        np.empty(log_cap, dtype=np.int64),
+        np.empty(log_cap, dtype=np.int64),
+        np.empty(log_cap, dtype=np.float64),
+        np.empty(heap_cap, dtype=np.float64),
+        np.empty(heap_cap, dtype=np.int64),
+        np.empty(heap_cap, dtype=np.int64),
+        np.empty(heap_cap, dtype=np.int64),
+        np.empty(n_tasks, dtype=np.int64),
+        np.empty(ca.added_cap, dtype=np.int64),
+        np.zeros(ca.n_files, dtype=np.uint8),
+        np.zeros(n_tasks, dtype=np.float64),
+        np.zeros(n_tasks, dtype=np.float64),
+        np.empty(_NRSTATE, dtype=np.int64),
+        np.empty(_NFSTATE, dtype=np.float64),
+    )
+
+
+def _core_status_raise(status, out, low, n_tasks, done_flag=None):
+    """Map a loop status tuple to the legacy loops' verbatim raises."""
+    if status == _ABORTED:
+        raise WorkflowAbortedError(
+            f"task {low.task_ids[int(out[1])]!r} failed on attempt "
+            f"{int(out[2])} with no retries left"
+        )
+    if status == _EXHAUSTED:
+        raise RuntimeError(
+            f"verdict buffer exhausted at draw {int(out[1])} — the "
+            "Monte Carlo layer must size verdicts to the fixpoint"
+        )
+    if status == _DEADLOCK:
+        if done_flag is None:
+            raise RuntimeError(
+                "simulation deadlocked or unfinished: "
+                f"{n_tasks - int(out[1])} tasks incomplete"
+            )
+        stuck = [
+            low.task_ids[t] for t in range(n_tasks) if not done_flag[t]
+        ]
+        raise RuntimeError(
+            f"simulation deadlocked or unfinished: {len(stuck)} tasks "
+            f"incomplete (first few: {stuck[:5]}) — the storage capacity "
+            "is too small for the workflow's minimum footprint"
+        )
+
+
+def single_soa(
+    low,
+    environment,
+    cleanup: bool,
+    trace: bool,
+    verdicts: np.ndarray | None = None,
+    max_retries: int = 0,
+) -> tuple:
+    """Run the SoA single-run loop; ``(scalars, log)``.
+
+    Only valid for FIFO, non-remote, infinite-storage runs (the caller
+    gates).  ``scalars`` is the legacy 11-tuple (SUMMARY_DTYPE order
+    minus the abort flag); with ``trace`` the storage slots in it are
+    placeholders and ``log`` is the ``(kind, time, a, b, x)`` columnar
+    event log (plus its row count) for the kernel post-pass, otherwise
+    ``log`` is None and the streamed storage scalars are final.
+    """
+    ca = core_arrays(low)
+    env = environment
+    tr_dur, exec_dur = ca.durations(
+        env.bandwidth_bytes_per_sec, env.task_overhead_seconds
+    )
+    n_tasks = ca.n_tasks
+    if verdicts is None:
+        v = _EMPTY_U8
+        attempts = _EMPTY_I64
+    else:
+        v = np.ascontiguousarray(verdicts, dtype=np.uint8)
+        attempts = np.ones(n_tasks, dtype=np.int64)
+    (
+        lk, lt, la, lb, lx, hp_t, hp_s, hp_k, hp_a, ready_q, added,
+        in_store, started_at, acquired_at, istate, fstate,
+    ) = _core_scratch(ca, env, trace, False, v.shape[0])
+    fn = jit_backend()["single"]
+    out = fn(
+        env.n_processors,
+        env.compute_ready_seconds,
+        bool(env.link_contention),
+        1 if env.separate_links else 0,
+        ca.runtimes,
+        ca.sizes,
+        tr_dur,
+        exec_dur,
+        ca.no_input_tasks,
+        ca.input_fidx,
+        ca.cons_indptr,
+        ca.cons_data,
+        ca.out_indptr,
+        ca.out_data,
+        ca.output_fidx,
+        cleanup,
+        ca.rel_indptr,
+        ca.rel_data,
+        ca.rel_need.copy() if cleanup else _EMPTY_I64,
+        ca.n_inputs.copy(),
+        v,
+        max_retries,
+        trace,
+        lk, lt, la, lb, lx,
+        hp_t, hp_s, hp_k, hp_a,
+        ready_q,
+        added,
+        in_store,
+        attempts,
+        started_at,
+        acquired_at,
+        istate,
+        fstate,
+    )
+    _core_status_raise(out[0], out, low, n_tasks)
+    scal = (
+        float(out[3]),
+        float(fstate[_F_BIN]),
+        float(fstate[_F_BOUT]),
+        float(fstate[_F_SACC]),
+        float(fstate[_F_SPEAK]),
+        float(fstate[_F_HELD]),
+        float(fstate[_F_COMPUTE]),
+        int(istate[_R_NIN]),
+        int(istate[_R_NOUT]),
+        int(istate[_R_NEXEC]),
+        int(istate[_R_NFAIL]),
+    )
+    log = (lk, lt, la, lb, lx, int(istate[_R_LOGN])) if trace else None
+    return scal, log
+
+
+def capacity_soa(
+    low,
+    environment,
+    cleanup: bool,
+    trace: bool,
+    verdicts: np.ndarray | None = None,
+    max_retries: int = 0,
+) -> tuple:
+    """Run the SoA finite-capacity loop; ``(scalars, log)``.
+
+    Only valid for FIFO, non-remote runs with a finite
+    ``storage_capacity_bytes`` (the caller gates).  The storage slots of
+    ``scalars`` are always placeholders: the loop runs the heap dry past
+    ``finished_at`` like the legacy loop, so the byte-seconds integral
+    must be clipped (and the peak taken unclipped) by replaying the
+    ``log``'s EV_STORE rows — ``log`` is therefore always returned.
+    """
+    ca = core_arrays(low)
+    env = environment
+    tr_dur, exec_dur = ca.durations(
+        env.bandwidth_bytes_per_sec, env.task_overhead_seconds
+    )
+    n_tasks = ca.n_tasks
+    if verdicts is None:
+        v = _EMPTY_U8
+        attempts = _EMPTY_I64
+    else:
+        v = np.ascontiguousarray(verdicts, dtype=np.uint8)
+        attempts = np.ones(n_tasks, dtype=np.int64)
+    (
+        lk, lt, la, lb, lx, hp_t, hp_s, hp_k, hp_a, ready_q, added,
+        in_store, started_at, acquired_at, istate, fstate,
+    ) = _core_scratch(ca, env, trace, True, v.shape[0])
+    done_flag = np.zeros(n_tasks, dtype=np.uint8)
+    fn = jit_backend()["capacity"]
+    out = fn(
+        env.n_processors,
+        env.compute_ready_seconds,
+        bool(env.link_contention),
+        1 if env.separate_links else 0,
+        env.storage_capacity_bytes + 1e-6,
+        ca.headroom_out,
+        ca.res_out_bytes,
+        ca.runtimes,
+        ca.sizes,
+        tr_dur,
+        exec_dur,
+        ca.no_input_tasks,
+        ca.input_fidx,
+        ca.cons_indptr,
+        ca.cons_data,
+        ca.out_indptr,
+        ca.out_data,
+        ca.output_fidx,
+        cleanup,
+        ca.rel_indptr,
+        ca.rel_data,
+        ca.rel_need.copy() if cleanup else _EMPTY_I64,
+        ca.n_inputs.copy(),
+        v,
+        max_retries,
+        trace,
+        lk, lt, la, lb, lx,
+        hp_t, hp_s, hp_k, hp_a,
+        ready_q,
+        added,
+        in_store,
+        attempts,
+        started_at,
+        acquired_at,
+        done_flag,
+        istate,
+        fstate,
+    )
+    _core_status_raise(out[0], out, low, n_tasks, done_flag=done_flag)
+    scal = (
+        float(out[3]),
+        float(fstate[_F_BIN]),
+        float(fstate[_F_BOUT]),
+        0.0,
+        0.0,
+        float(fstate[_F_HELD]),
+        float(fstate[_F_COMPUTE]),
+        int(istate[_R_NIN]),
+        int(istate[_R_NOUT]),
+        int(istate[_R_NEXEC]),
+        int(istate[_R_NFAIL]),
+    )
+    log = (lk, lt, la, lb, lx, int(istate[_R_LOGN]))
+    return scal, log
 
 
 # ------------------------------------------------------------------ #
